@@ -1,0 +1,80 @@
+"""Extension — the section 5.2 cost discussion as a deployment table.
+
+The paper argues the bitmap filter's constant-time structure makes both
+software deployment and hardware acceleration easy.  This bench evaluates
+the analytical model for the paper's configuration on two hardware
+profiles, validates the model's *shape* against the measured Python
+implementation, and prints the line-rate verdicts.
+"""
+
+import random
+
+from benchmarks.conftest import print_comparison
+from repro.core.bitmap_filter import BitmapFilter, BitmapFilterConfig
+from repro.core.costmodel import (
+    HARDWARE_ASIC,
+    SOFTWARE_2006,
+    estimate,
+    spi_memory_bytes,
+    supports_line_rate,
+)
+from repro.net.inet import IPPROTO_TCP
+from repro.net.packet import SocketPair
+
+PAPER_CONFIG = BitmapFilterConfig(size=2 ** 20, vectors=4, hashes=3, rotate_interval=5.0)
+
+
+def test_ext_costmodel_line_rates(benchmark):
+    costs = benchmark(
+        lambda: {
+            profile.name: estimate(PAPER_CONFIG, profile)
+            for profile in (SOFTWARE_2006, HARDWARE_ASIC)
+        }
+    )
+    rows = []
+    for name, cost in costs.items():
+        rows.append((f"{name}: outbound cost", "O(m·t_h + m·k·t_m)",
+                     f"{cost.outbound_seconds * 1e9:.0f} ns"))
+        rows.append((f"{name}: inbound cost", "cheaper", f"{cost.inbound_seconds * 1e9:.0f} ns"))
+        rows.append((f"{name}: line rate", "-", f"{cost.line_rate_mbps():,.0f} Mbps"))
+    rows.append(
+        ("SPI memory at 1M flows", "O(n), 'not affordable'",
+         f"{spi_memory_bytes(1_000_000) // 2**20} MiB vs 0.5 MiB bitmap")
+    )
+    print_comparison("Section 5.2 — analytical deployment costs", rows)
+
+    assert supports_line_rate(PAPER_CONFIG, SOFTWARE_2006, 146.7)  # the trace
+    assert supports_line_rate(PAPER_CONFIG, HARDWARE_ASIC, 10_000)  # 10 GbE
+
+
+def test_ext_costmodel_shape_matches_measurement(benchmark):
+    """The model's *ratios* must match the Python implementation: inbound
+    is cheaper than outbound, and outbound cost grows with k."""
+    rng = random.Random(4)
+    pairs = [
+        SocketPair(IPPROTO_TCP, rng.getrandbits(32), rng.getrandbits(16),
+                   rng.getrandbits(32), rng.getrandbits(16))
+        for _ in range(2000)
+    ]
+    import time
+
+    def measure(vectors):
+        filt = BitmapFilter(BitmapFilterConfig(size=2 ** 20, vectors=vectors, hashes=3))
+        start = time.perf_counter()
+        for pair in pairs:
+            filt.mark_outbound(pair)
+        mark = time.perf_counter() - start
+        start = time.perf_counter()
+        for pair in pairs:
+            filt.lookup_inbound(pair.inverse)
+        lookup = time.perf_counter() - start
+        return mark, lookup
+
+    (mark_k4, lookup_k4) = benchmark.pedantic(lambda: measure(4), rounds=1, iterations=1)
+    (mark_k8, _) = measure(8)
+
+    print(f"\nmeasured: mark(k=4)={mark_k4 * 1e6 / len(pairs):.2f}us  "
+          f"lookup={lookup_k4 * 1e6 / len(pairs):.2f}us  "
+          f"mark(k=8)={mark_k8 * 1e6 / len(pairs):.2f}us")
+    assert lookup_k4 < mark_k4  # inbound cheaper, as the model says
+    assert mark_k8 > mark_k4    # outbound scales with k, as the model says

@@ -1,0 +1,69 @@
+"""Figure 2 — CDF of TCP service ports by class (ALL/P2P/Non-P2P/UNKNOWN).
+
+Paper shape: Non-P2P connections concentrate on a handful of well-known
+low ports; P2P uses "a great deal of random ports between port 10000 and
+port 40000"; the UNKNOWN class's port profile is close to P2P (the paper's
+evidence that unknown traffic is mostly encrypted P2P).
+"""
+
+from benchmarks.conftest import print_comparison
+from repro.analyzer.classifier import TrafficAnalyzer
+from repro.analyzer.report import (
+    CLASS_ALL,
+    CLASS_NON_P2P,
+    CLASS_P2P,
+    CLASS_UNKNOWN,
+    cdf_value,
+    port_cdf,
+)
+from repro.net.inet import IPPROTO_TCP
+
+
+def test_fig2_tcp_port_cdf(benchmark, standard_trace):
+    analyzer = TrafficAnalyzer().analyze(standard_trace)
+    cdf = benchmark.pedantic(
+        lambda: port_cdf(analyzer.flows, protocol=IPPROTO_TCP), rounds=1, iterations=1
+    )
+
+    rows = []
+    for klass, paper_low, paper_mid in (
+        (CLASS_NON_P2P, "> 0.9", "~1.0"),
+        (CLASS_P2P, "< 0.5", "rising to 1.0 by 40000"),
+        (CLASS_UNKNOWN, "close to P2P", "close to P2P"),
+        (CLASS_ALL, "mixed", "mixed"),
+    ):
+        if klass not in cdf:
+            continue
+        at_1024 = cdf_value(cdf[klass], 1024)
+        at_10000 = cdf_value(cdf[klass], 10000)
+        at_40000 = cdf_value(cdf[klass], 40000)
+        rows.append((f"{klass} CDF@1024", paper_low, f"{at_1024:.2f}"))
+        rows.append((f"{klass} CDF@10000", "", f"{at_10000:.2f}"))
+        rows.append((f"{klass} CDF@40000", paper_mid, f"{at_40000:.2f}"))
+    print_comparison("Figure 2 — TCP service-port CDF", rows)
+
+    from repro.report.figures import render_cdf
+
+    print()
+    print(
+        render_cdf(
+            {klass: [(float(p), f) for p, f in cdf[klass]]
+             for klass in (CLASS_P2P, CLASS_NON_P2P, CLASS_UNKNOWN)
+             if klass in cdf},
+            title="Figure 2 (rendered)",
+        )
+    )
+
+    # Shape assertions.
+    non_p2p_low = cdf_value(cdf[CLASS_NON_P2P], 9999)
+    p2p_low = cdf_value(cdf[CLASS_P2P], 9999)
+    assert non_p2p_low > 0.9, "non-P2P must live on well-known ports"
+    assert p2p_low < 0.6, "P2P must use high random ports"
+    assert cdf_value(cdf[CLASS_P2P], 40000) > 0.95
+
+    if CLASS_UNKNOWN in cdf:
+        unknown_low = cdf_value(cdf[CLASS_UNKNOWN], 9999)
+        # "the port distributions of these UNKNOWN connections are close
+        #  to P2P applications"
+        assert abs(unknown_low - p2p_low) < 0.35
+        assert unknown_low < non_p2p_low

@@ -1,0 +1,83 @@
+"""Figure 8 — packet drop rates: SPI filter vs bitmap filter.
+
+Paper setup: SPI deletes idle connections after 240 s (the Windows
+TIME_WAIT default); the bitmap filter is {4 × 2^20}, T_e = 20 s, Δt = 5 s,
+dropping all inbound packets without state (P_d = 1).  Result: per-window
+drop rates land on a slope-1.0 line; averages 1.56 % (SPI) vs 1.51 %
+(bitmap), SPI slightly higher because it knows exact connection close
+times.
+"""
+
+from benchmarks.conftest import print_comparison
+from repro.core.bitmap_filter import BitmapFilterConfig
+from repro.filters.bitmap import BitmapPacketFilter
+from repro.filters.spi import SPIFilter
+from repro.sim.metrics import least_squares_slope
+from repro.sim.replay import compare_drop_rates
+
+PAPER_SPI_RATE = 0.0156
+PAPER_BITMAP_RATE = 0.0151
+
+
+def paper_bitmap_filter() -> BitmapPacketFilter:
+    return BitmapPacketFilter(
+        BitmapFilterConfig(size=2 ** 20, vectors=4, hashes=3, rotate_interval=5.0)
+    )
+
+
+def test_fig8_drop_rate_comparison(benchmark, standard_trace):
+    comparison = benchmark.pedantic(
+        lambda: compare_drop_rates(
+            standard_trace,
+            {"spi": SPIFilter(idle_timeout=240.0), "bitmap": paper_bitmap_filter()},
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    spi_rate = comparison.overall("spi")
+    bitmap_rate = comparison.overall("bitmap")
+    slope = least_squares_slope(comparison.points) if comparison.points else float("nan")
+
+    print_comparison(
+        "Figure 8 — SPI vs bitmap drop rates",
+        [
+            ("SPI average drop rate", f"{PAPER_SPI_RATE:.2%}", f"{spi_rate:.2%}"),
+            ("bitmap average drop rate", f"{PAPER_BITMAP_RATE:.2%}", f"{bitmap_rate:.2%}"),
+            ("scatter slope (bitmap vs spi)", "1.0", f"{slope:.3f}"),
+            ("scatter windows", "-", len(comparison.points)),
+        ],
+    )
+
+    from repro.report.figures import render_scatter
+
+    print()
+    print(render_scatter(comparison.points, title="Figure 8 (rendered)"))
+
+    # Shape: the filters behave near-identically.  The paper's SPI edges
+    # out the bitmap by 0.05 points ("drops packets more precisely"); on
+    # our synthetic trace the gap is equally small but can go either way,
+    # so the assertion bounds the magnitude, not the sign.
+    assert abs(spi_rate - bitmap_rate) < 0.01
+    assert 0.75 <= slope <= 1.25
+    # Both land in the small-single-digit-percent regime the paper reports.
+    assert 0.001 < bitmap_rate < 0.10
+
+
+def test_fig8_per_packet_agreement(benchmark, standard_trace):
+    """Stronger than the figure: count per-packet verdict agreement."""
+    spi = SPIFilter(idle_timeout=240.0)
+    bitmap = paper_bitmap_filter()
+
+    def run():
+        agree = 0
+        total = 0
+        for packet in standard_trace:
+            a = spi.process(packet)
+            b = bitmap.process(packet)
+            total += 1
+            agree += a is b
+        return agree / total
+
+    agreement = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nper-packet verdict agreement: {agreement:.3%}")
+    assert agreement > 0.98

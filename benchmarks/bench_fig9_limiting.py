@@ -1,0 +1,120 @@
+"""Figure 9 — bounding upload traffic with the bitmap filter.
+
+Paper setup: the bitmap filter monitors uplink throughput and drops
+stateless inbound packets with the Equation 1 probability (L = 50 Mbps,
+H = 100 Mbps on their 146.7 Mbps trace); blocked connections stay blocked
+(the σ store).  Result: uplink throughput is pinned near/below H, and some
+downlink shrinks too (P2P downloads arriving on separate inbound
+connections).
+
+Our trace is scaled down, so L and H scale with the measured offered
+uplink load: L = 35 % and H = 70 % of the unfiltered mean — the same
+relative position the paper's 50/100 Mbps holds against its ~130 Mbps
+uplink.
+"""
+
+from benchmarks.conftest import print_comparison
+from repro.core.bitmap_filter import BitmapFilterConfig
+from repro.filters.base import AcceptAllFilter
+from repro.filters.bitmap import BitmapPacketFilter
+from repro.filters.policy import DropController
+from repro.net.packet import Direction
+from repro.sim.replay import replay
+
+
+def test_fig9_upload_limiting(benchmark, standard_trace):
+    unfiltered = replay(standard_trace, AcceptAllFilter(), use_blocklist=False)
+    offered_up = unfiltered.passed.mean_mbps(Direction.OUTBOUND)
+    offered_down = unfiltered.passed.mean_mbps(Direction.INBOUND)
+    low, high = offered_up * 0.35, offered_up * 0.70
+
+    filtered = benchmark.pedantic(
+        lambda: replay(
+            standard_trace,
+            BitmapPacketFilter(
+                BitmapFilterConfig(size=2 ** 20, vectors=4, hashes=3, rotate_interval=5.0),
+                drop_controller=DropController.red_mbps(low_mbps=low, high_mbps=high),
+            ),
+            use_blocklist=True,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    limited_up = filtered.passed.mean_mbps(Direction.OUTBOUND)
+    limited_down = filtered.passed.mean_mbps(Direction.INBOUND)
+    p95_up = filtered.passed.quantile_mbps(Direction.OUTBOUND, 0.95)
+
+    print_comparison(
+        "Figure 9 — upload limiting (thresholds scaled to trace)",
+        [
+            ("uplink before (Mbps)", "~130", f"{offered_up:.2f}"),
+            ("uplink after (Mbps)", "<= ~100 (H)", f"{limited_up:.2f}"),
+            ("H threshold (Mbps)", "100", f"{high:.2f}"),
+            ("L threshold (Mbps)", "50", f"{low:.2f}"),
+            ("uplink p95 after (Mbps)", "near H", f"{p95_up:.2f}"),
+            ("downlink before (Mbps)", "-", f"{offered_down:.2f}"),
+            ("downlink after (Mbps)", "also reduced", f"{limited_down:.2f}"),
+            ("blocked connections", "-", len(filtered.router.blocklist)),
+        ],
+    )
+
+    from repro.report.figures import render_series
+
+    horizon = 180.0
+    print()
+    print(render_series(
+        [(t, v) for t, v in unfiltered.passed.series_mbps(Direction.OUTBOUND) if t <= horizon],
+        title="Figure 9-a (rendered): uplink before", y_label="Mbps", hline=high,
+    ))
+    print()
+    print(render_series(
+        [(t, v) for t, v in filtered.passed.series_mbps(Direction.OUTBOUND) if t <= horizon],
+        title="Figure 9-b (rendered): uplink after", y_label="Mbps", hline=high,
+    ))
+
+    # Shape assertions: uplink meaningfully reduced toward H; downlink
+    # reduced too (the paper's observation about separate inbound transfer
+    # connections); replay blocking is imperfect, exactly as the paper
+    # notes ("the effect of the traffic filtering is limited" in replay).
+    assert limited_up < offered_up * 0.85
+    assert limited_down < offered_down
+    assert len(filtered.router.blocklist) > 0
+
+
+def test_fig9_bound_tightens_with_lower_thresholds(benchmark, standard_trace):
+    """Ablation on the Figure 9 thresholds: lower (L, H) → lower bound."""
+    unfiltered = replay(standard_trace, AcceptAllFilter(), use_blocklist=False)
+    offered_up = unfiltered.passed.mean_mbps(Direction.OUTBOUND)
+
+    def run(scale):
+        result = replay(
+            standard_trace,
+            BitmapPacketFilter(
+                BitmapFilterConfig(size=2 ** 20, vectors=4, hashes=3, rotate_interval=5.0),
+                drop_controller=DropController.red_mbps(
+                    low_mbps=offered_up * scale / 2, high_mbps=offered_up * scale
+                ),
+            ),
+            use_blocklist=True,
+        )
+        return result.passed.mean_mbps(Direction.OUTBOUND)
+
+    sweep = benchmark.pedantic(
+        lambda: {scale: run(scale) for scale in (0.3, 0.6, 0.9)}, rounds=1, iterations=1
+    )
+    rows = [
+        (f"H = {scale:.0%} of offered", "lower H -> lower uplink", f"{mbps:.2f} Mbps")
+        for scale, mbps in sweep.items()
+    ]
+    print_comparison("Figure 9 ablation — threshold sweep", rows)
+    # Open-loop replay with blocked-σ persistence is path-dependent (which
+    # connection's first inbound packet hits a high-P_d instant decides
+    # its whole volume), so the sweep is noisy rather than strictly
+    # monotone — the paper makes the same caveat about replay ("the
+    # effect of the traffic filtering is limited").  The robust shape:
+    # every limited run sits below the unfiltered uplink, and even the
+    # loosest threshold bites.
+    assert all(mbps < offered_up for mbps in sweep.values())
+    assert min(sweep.values()) < offered_up * 0.5
+    # The closed-loop simulator (repro.sim.closedloop) recovers the clean
+    # monotone relationship; see bench_ext_closedloop.py.

@@ -1,0 +1,72 @@
+"""Table 2 — protocol distribution (connections % and utilization %).
+
+Runs the full section-3 traffic analyzer over the standard synthetic trace
+and compares the resulting protocol mix against the paper's Table 2.
+"""
+
+from benchmarks.conftest import print_comparison
+from repro.analyzer.classifier import TrafficAnalyzer
+from repro.analyzer.report import protocol_distribution
+from repro.workload.calibrate import PAPER_TARGETS
+
+
+def test_table2_protocol_distribution(benchmark, standard_trace):
+    analyzer = benchmark.pedantic(
+        lambda: TrafficAnalyzer().analyze(standard_trace), rounds=1, iterations=1
+    )
+    rows_by_group = {
+        row.protocol: row for row in protocol_distribution(analyzer.flows)
+    }
+
+    comparison = []
+    for group in ("http", "bittorrent", "gnutella", "edonkey", "unknown", "others"):
+        paper_conn = PAPER_TARGETS.connection_share.get(group, 0.0)
+        paper_bytes = PAPER_TARGETS.byte_share.get(group, 0.0)
+        measured = rows_by_group.get(group)
+        comparison.append(
+            (
+                f"{group} connections",
+                f"{paper_conn:.1%}",
+                f"{measured.connection_share:.1%}" if measured else "0%",
+            )
+        )
+        comparison.append(
+            (
+                f"{group} utilization",
+                f"{paper_bytes:.0%}",
+                f"{measured.byte_share:.1%}" if measured else "0%",
+            )
+        )
+    print_comparison("Table 2 — protocol distribution", comparison)
+
+    # Shape assertions: P2P dominates connections and bytes; unknown is a
+    # large share whose ports look like P2P (checked in fig2).
+    p2p_conn = sum(
+        rows_by_group[g].connection_share
+        for g in ("bittorrent", "gnutella", "edonkey")
+        if g in rows_by_group
+    )
+    assert p2p_conn > 0.5
+    unknown = rows_by_group.get("unknown")
+    assert unknown is not None and unknown.byte_share > 0.2
+
+
+def test_headline_aggregates(benchmark, standard_measurement):
+    measurement = standard_measurement
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print_comparison(
+        "Section 3.3 — headline aggregates",
+        [
+            ("TCP connection share", "29.8%", f"{measurement.tcp_connection_fraction:.1%}"),
+            ("UDP connection share", "70.1%", f"{1 - measurement.tcp_connection_fraction:.1%}"),
+            ("TCP byte share", "99.5%", f"{measurement.tcp_byte_fraction:.1%}"),
+            ("upload byte share", "89.8%", f"{measurement.upload_byte_fraction:.1%}"),
+            (
+                "upload on inbound conns",
+                "80%",
+                f"{measurement.upload_on_inbound_fraction:.1%}",
+            ),
+        ],
+    )
+    assert measurement.upload_byte_fraction > 0.7
+    assert measurement.tcp_byte_fraction > 0.97

@@ -1,0 +1,65 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Each ``bench_*`` module regenerates one table or figure of the paper (see
+DESIGN.md's experiment index) and prints a paper-vs-measured comparison;
+the pytest-benchmark timing wraps the computational core of the experiment
+so the harness also tracks reproduction cost.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.calibrate import measure_specs
+from repro.workload.generator import TraceConfig, TraceGenerator
+
+#: The standard evaluation trace — a scaled-down stand-in for the paper's
+#: 7.5-hour campus trace (see DESIGN.md substitution table).
+STANDARD_CONFIG = TraceConfig(duration=120.0, connection_rate=15.0, seed=2)
+
+
+@pytest.fixture(scope="session")
+def standard_generator():
+    generator = TraceGenerator(STANDARD_CONFIG)
+    generator.packet_list()  # force spec + packet realization once
+    return generator
+
+
+@pytest.fixture(scope="session")
+def standard_trace(standard_generator):
+    return standard_generator.packet_list()
+
+
+@pytest.fixture(scope="session")
+def standard_specs(standard_generator):
+    return standard_generator.specs()
+
+
+@pytest.fixture(scope="session")
+def standard_measurement(standard_specs, standard_trace):
+    return measure_specs(standard_specs, standard_trace)
+
+
+def print_comparison(title: str, rows) -> None:
+    """Render a paper-vs-measured table to stdout.
+
+    ``rows`` is ``[(label, paper_value, measured_value), ...]`` with string
+    or float values; floats are shown with sensible precision.
+    """
+    width = max(len(str(label)) for label, _, _ in rows)
+    print(f"\n=== {title} ===")
+    print(f"{'metric'.ljust(width)}  {'paper':>14}  {'measured':>14}")
+    for label, paper, measured in rows:
+        print(f"{str(label).ljust(width)}  {_fmt(paper):>14}  {_fmt(measured):>14}")
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if 0 < abs(value) < 0.01:
+            return f"{value:.5f}"
+        return f"{value:,.3f}" if abs(value) < 1000 else f"{value:,.0f}"
+    return str(value)

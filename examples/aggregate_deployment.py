@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Aggregate deployment — Figure 6's core-router placement.
+
+"The bitmap filter can be installed on an edge router directly connected
+to a client network or on a core router, which is an aggregate of two or
+more client networks."  This example builds two client networks, merges
+their traffic, and compares:
+
+* two per-edge filters (one per client network), vs
+* one filter at the aggregation point sized by the Equation 6 capacity
+  model for the combined connection load.
+
+Run:  python examples/aggregate_deployment.py
+"""
+
+import heapq
+
+from repro import BitmapFilterConfig, BitmapPacketFilter, Direction
+from repro.core.analysis import recommend_parameters
+from repro.workload import TraceConfig, TraceGenerator
+
+
+def make_network(network, seed):
+    generator = TraceGenerator(
+        TraceConfig(duration=60.0, connection_rate=8.0, seed=seed,
+                    network=network, prefix_len=16)
+    )
+    return generator.packet_list()
+
+
+def run_filter(filt, packets):
+    for packet in packets:
+        filt.process(packet)
+    return filt.stats.drop_rate(Direction.INBOUND)
+
+
+def main() -> None:
+    print("building two client networks (10.1/16 and 10.2/16)...")
+    net_a = make_network("10.1.0.0", seed=31)
+    net_b = make_network("10.2.0.0", seed=32)
+    merged = list(heapq.merge(net_a, net_b, key=lambda p: p.timestamp))
+    print(f"  edge A: {len(net_a):,} packets, edge B: {len(net_b):,}, "
+          f"core sees {len(merged):,}\n")
+
+    config = BitmapFilterConfig(size=2 ** 20, vectors=4, hashes=3, rotate_interval=5.0)
+
+    edge_a = BitmapPacketFilter(config)
+    edge_b = BitmapPacketFilter(config)
+    rate_a = run_filter(edge_a, net_a)
+    rate_b = run_filter(edge_b, net_b)
+    print("per-edge deployment (two 512 KiB filters):")
+    print(f"  edge A inbound drop rate: {rate_a:.2%}")
+    print(f"  edge B inbound drop rate: {rate_b:.2%}\n")
+
+    core = BitmapPacketFilter(config)
+    rate_core = run_filter(core, merged)
+    print("core-router deployment (one 512 KiB filter for both networks):")
+    print(f"  aggregate inbound drop rate: {rate_core:.2%}")
+    print(f"  utilization of current vector: {core.core.current_utilization:.4%}\n")
+
+    # Sizing check: does one vector carry the combined load?
+    combined_conns = 2 * 8.0 * config.expiry_time  # rate x T_e per network
+    rec = recommend_parameters(int(combined_conns) + 1, target_p=0.01)
+    print("Equation 6 sizing for the aggregate point at p <= 1%:")
+    print(f"  {rec.summary()}")
+    print(f"\nthe paper's 2^20 vector supports 83K connections at p=1% — an"
+          f" aggregate of ~{combined_conns:.0f} is {combined_conns / 83_000:.2%}"
+          " of capacity: one core filter is ample for both networks.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Capacity planning — sizing a bitmap filter with the section 5.1 model.
+
+Given how many connections a client network keeps active inside one
+expiry window and the penetration probability the operator will tolerate,
+the closed-form model (Equations 3/5/6) produces a deployable
+configuration — the section 4.3 procedure as a tool.
+
+Run:  python examples/capacity_planning.py [active_connections] [target_p]
+"""
+
+import sys
+
+from repro.core.analysis import (
+    capacity_bound,
+    capacity_table,
+    optimal_hash_count,
+    penetration_probability,
+    recommend_parameters,
+)
+
+
+def main() -> None:
+    connections = int(sys.argv[1]) if len(sys.argv) > 1 else 15_000
+    target_p = float(sys.argv[2]) if len(sys.argv) > 2 else 0.05
+
+    print(f"planning for {connections:,} active connections per T_e window, "
+          f"target penetration p <= {target_p:.0%}\n")
+
+    rec = recommend_parameters(connections, target_p=target_p,
+                               expiry_time=20.0, rotate_interval=5.0)
+    print("recommended configuration (section 4.3 procedure):")
+    print(f"  {rec.summary()}\n")
+
+    print("the paper's worked example — capacity of a {4 x 2^20} bitmap:")
+    print(f"  {'target p':>10} {'capacity (Eq. 6)':>18} {'optimal m (Eq. 5)':>18}")
+    for row in capacity_table(2 ** 20):
+        print(f"  {row['target_p']:>9.0%} {row['capacity']:>16,.0f}  "
+              f"{row['optimal_m_at_capacity']:>16.2f}")
+    print("  (paper: 167K / 125K / 83K connections at 10% / 5% / 1%)\n")
+
+    print("what-if sweep for your load:")
+    print(f"  {'N':>8} {'m*':>6} {'predicted p':>12} {'memory (k=4)':>14}")
+    n = 14
+    while n <= 24:
+        size = 2 ** n
+        m = max(1, round(optimal_hash_count(size, connections)))
+        m = min(m, 8)
+        p = penetration_probability(connections, size, m)
+        print(f"  2^{n:<6} {m:>6} {p:>11.2%} {4 * size // 8 // 1024:>11} KiB")
+        n += 2
+
+    print(f"\nheadroom: a 2^20 vector supports {capacity_bound(2**20, target_p):,.0f} "
+          f"connections at p = {target_p:.0%}; "
+          f"you asked for {connections:,} "
+          f"({connections / capacity_bound(2**20, target_p):.0%} of capacity)")
+
+
+if __name__ == "__main__":
+    main()

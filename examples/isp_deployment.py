@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""ISP deployment scenario — the Figure 9 experiment end to end.
+
+Synthesises a client-network trace (heavy P2P upload, calibrated to the
+paper's campus trace), deploys a bitmap filter with RED-style drop control
+on the edge router, and renders before/after uplink throughput as an ASCII
+time series.
+
+Run:  python examples/isp_deployment.py [seed]
+"""
+
+import sys
+
+from repro import BitmapFilterConfig, BitmapPacketFilter, Direction, DropController
+from repro.filters.base import AcceptAllFilter
+from repro.sim.replay import replay
+from repro.workload import TraceConfig, TraceGenerator
+
+BAR_WIDTH = 60
+
+
+def sparkline(points, peak):
+    """Render (time, mbps) points as one bar row per 10-second bucket."""
+    buckets = {}
+    for t, mbps in points:
+        bucket = int(t // 10)
+        buckets.setdefault(bucket, []).append(mbps)
+    lines = []
+    for bucket in sorted(buckets):
+        mean = sum(buckets[bucket]) / len(buckets[bucket])
+        bar = "#" * max(1, int(BAR_WIDTH * mean / peak)) if mean > 0 else ""
+        lines.append(f"  t={bucket * 10:>4}s |{bar:<{BAR_WIDTH}}| {mean:6.2f} Mbps")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 7
+    print("generating client-network trace (P2P-heavy, paper-calibrated)...")
+    generator = TraceGenerator(
+        TraceConfig(duration=120.0, connection_rate=12.0, seed=seed)
+    )
+    trace = generator.packet_list()
+    print(f"  {len(trace):,} packets, {len(generator.specs()):,} connections\n")
+
+    # Baseline: no filtering.
+    unfiltered = replay(trace, AcceptAllFilter(), use_blocklist=False)
+    offered = unfiltered.passed.mean_mbps(Direction.OUTBOUND)
+
+    # Deploy: thresholds at 35 % / 70 % of the offered uplink load — the
+    # same relative position the paper's L=50/H=100 Mbps holds against its
+    # ~130 Mbps uplink.
+    low, high = offered * 0.35, offered * 0.70
+    filtered = replay(
+        trace,
+        BitmapPacketFilter(
+            BitmapFilterConfig(size=2 ** 20, vectors=4, hashes=3, rotate_interval=5.0),
+            drop_controller=DropController.red_mbps(low_mbps=low, high_mbps=high),
+        ),
+        use_blocklist=True,
+    )
+
+    peak = max(
+        [m for _, m in unfiltered.passed.series_mbps(Direction.OUTBOUND)] + [1e-9]
+    )
+    print(f"=== Figure 9-a: uplink throughput, unfiltered "
+          f"(mean {offered:.2f} Mbps) ===")
+    print(sparkline(unfiltered.passed.series_mbps(Direction.OUTBOUND), peak))
+
+    limited = filtered.passed.mean_mbps(Direction.OUTBOUND)
+    print(f"\n=== Figure 9-b: uplink throughput, bitmap filter with "
+          f"L={low:.1f}, H={high:.1f} Mbps (mean {limited:.2f} Mbps) ===")
+    print(sparkline(filtered.passed.series_mbps(Direction.OUTBOUND), peak))
+
+    blocked = filtered.router.blocklist
+    print(f"\nblocked connections: {len(blocked):,} "
+          f"({blocked.suppressed_packets:,} packets suppressed)")
+    print(f"inbound drop rate: {filtered.inbound_drop_rate:.2%}")
+    print(f"uplink reduced {offered:.2f} -> {limited:.2f} Mbps "
+          f"({1 - limited / offered:.0%} cut) with 512 KiB of filter state")
+
+
+if __name__ == "__main__":
+    main()

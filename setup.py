@@ -1,0 +1,6 @@
+"""Shim for environments whose setuptools lacks PEP 660 editable-wheel
+support (no `wheel` package offline); `pip install -e .` falls back here."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""The section-3 traffic analyzer.
+
+Identifies the application behind each connection (payload patterns first,
+well-known ports second, plus the two file-sharing strategies: P2P
+service-endpoint propagation and FTP data-connection tracking), and
+measures the per-connection properties the paper reports: direction,
+packets/bytes per direction, lifetime, and out-in packet delay.
+
+The analyzer exists to establish *ground truth* — the bitmap filter itself
+never inspects payloads.
+"""
+
+from repro.analyzer.patterns import (
+    PATTERNS,
+    WELL_KNOWN_TCP_PORTS,
+    WELL_KNOWN_UDP_PORTS,
+    match_payload,
+    port_application,
+)
+from repro.analyzer.classifier import ConnectionClassifier, TrafficAnalyzer
+from repro.analyzer.outin import OutInDelayMeter
+from repro.analyzer.report import (
+    lifetime_report,
+    port_cdf,
+    protocol_distribution,
+    utilization_summary,
+)
+
+__all__ = [
+    "PATTERNS",
+    "WELL_KNOWN_TCP_PORTS",
+    "WELL_KNOWN_UDP_PORTS",
+    "match_payload",
+    "port_application",
+    "ConnectionClassifier",
+    "TrafficAnalyzer",
+    "OutInDelayMeter",
+    "protocol_distribution",
+    "port_cdf",
+    "lifetime_report",
+    "utilization_summary",
+]

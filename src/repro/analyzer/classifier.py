@@ -1,0 +1,303 @@
+"""Connection classification — the paper's two-stage identifier.
+
+Stage 1 (payload): for every connection, match payloads against the
+Table 1 patterns.  UDP datagrams are matched individually; TCP connections
+are matched only if their SYN was seen, against the concatenation of the
+first few data packets (per direction, since e.g. the FTP banner comes
+from the server side).
+
+Stage 2 (ports): connections that stage 1 could not identify fall back to
+well-known port numbers.
+
+Two extra strategies for file-exchange applications (section 3.2):
+
+* **P2P endpoint propagation** — once ``{A:x -> B:y}`` is identified as a
+  P2P application, *all* future connections to ``B:y`` are that
+  application.
+* **FTP data tracking** — the payloads of identified FTP control
+  connections are scanned for PORT commands and PASV replies, and the
+  announced data endpoints pre-classify the matching data connections.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analyzer.patterns import match_payload, port_application
+from repro.net.flows import ConnectionTable, FlowRecord
+from repro.net.inet import IPPROTO_TCP, IPPROTO_UDP
+from repro.net.packet import Packet, SocketPair
+from repro.workload.apps import APP_FTP, APP_FTP_DATA, APP_UNKNOWN, P2P_APPS
+
+#: "In our program, we concatenate at most four TCP data packets."
+MAX_TCP_DATA_PACKETS = 4
+
+_PORT_COMMAND = re.compile(
+    rb"(?:PORT |227[^(]*\()(\d{1,3}),(\d{1,3}),(\d{1,3}),(\d{1,3}),(\d{1,3}),(\d{1,3})",
+    re.IGNORECASE,
+)
+
+
+def parse_ftp_endpoints(payload: bytes) -> List[Tuple[int, int]]:
+    """Extract (address, port) endpoints from PORT commands / PASV replies."""
+    endpoints = []
+    for match in _PORT_COMMAND.finditer(payload):
+        octets = [int(group) for group in match.groups()]
+        if any(octet > 255 for octet in octets):
+            continue
+        addr = (octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) | octets[3]
+        port = (octets[4] << 8) | octets[5]
+        if port == 0:
+            continue
+        endpoints.append((addr, port))
+    return endpoints
+
+
+class _ConnState:
+    """Per-connection classification scratch state."""
+
+    __slots__ = ("streams", "data_packets", "saw_syn", "syn_dst_port", "decided", "is_ftp_control")
+
+    def __init__(self) -> None:
+        # Index 0: packets in the orientation of the first packet seen;
+        # index 1: the reverse direction.
+        self.streams: List[bytes] = [b"", b""]
+        self.data_packets = [0, 0]
+        self.saw_syn = False
+        self.syn_dst_port: Optional[int] = None
+        self.decided: Optional[str] = None
+        self.is_ftp_control = False
+
+
+@dataclass
+class ClassifierStats:
+    payload_identified: int = 0
+    port_identified: int = 0
+    endpoint_identified: int = 0
+    ftp_data_identified: int = 0
+    unidentified: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "payload": self.payload_identified,
+            "port": self.port_identified,
+            "endpoint": self.endpoint_identified,
+            "ftp_data": self.ftp_data_identified,
+            "unknown": self.unidentified,
+        }
+
+
+class ConnectionClassifier:
+    """Streaming classifier: feed packets, read applications."""
+
+    def __init__(self, verify_checksums: bool = False) -> None:
+        self.verify_checksums = verify_checksums
+        self._states: Dict[SocketPair, _ConnState] = {}
+        #: Service endpoints learned from identified P2P connections.
+        self._p2p_endpoints: Dict[Tuple[int, int], str] = {}
+        #: Data endpoints announced inside FTP control dialogues.
+        self._ftp_expected: Dict[Tuple[int, int], float] = {}
+        self.stats = ClassifierStats()
+
+    def observe(self, packet: Packet, record: FlowRecord) -> Optional[str]:
+        """Fold one packet in; returns the application if newly decided."""
+        key = packet.pair.canonical
+        state = self._states.get(key)
+        if state is None:
+            state = _ConnState()
+            self._states[key] = state
+            pre = self._preclassify(packet)
+            if pre is not None:
+                state.decided = pre
+                record.application = pre
+                return pre
+
+        if state.decided is not None:
+            if state.is_ftp_control and packet.payload:
+                self._scan_ftp_control(packet)
+            return None
+
+        if packet.pair.protocol == IPPROTO_TCP:
+            decided = self._observe_tcp(packet, state, record)
+        else:
+            decided = self._observe_udp(packet, state)
+
+        if decided is not None:
+            self._decide(state, record, decided, packet)
+            return decided
+
+        # Port fallback once payload identification is clearly exhausted.
+        if self._payload_exhausted(packet, state):
+            fallback = self._port_fallback(packet, state)
+            self._decide(state, record, fallback or APP_UNKNOWN, packet)
+            return record.application
+        return None
+
+    # -- per-protocol payload handling --------------------------------
+
+    def _observe_tcp(
+        self, packet: Packet, state: _ConnState, record: FlowRecord
+    ) -> Optional[str]:
+        if packet.is_syn:
+            state.saw_syn = True
+            state.syn_dst_port = packet.pair.dst_port
+        if not packet.payload:
+            return None
+        # "we only examine TCP connections with an explicitly TCP-SYN packet"
+        if not state.saw_syn:
+            return None
+        stream_index = 0 if packet.pair == record.pair else 1
+        if state.data_packets[stream_index] >= MAX_TCP_DATA_PACKETS:
+            return None
+        state.data_packets[stream_index] += 1
+        state.streams[stream_index] += packet.payload
+        return match_payload(state.streams[stream_index])
+
+    def _observe_udp(self, packet: Packet, state: _ConnState) -> Optional[str]:
+        if not packet.payload:
+            return None
+        state.data_packets[0] += 1
+        return match_payload(packet.payload)
+
+    # -- decision plumbing ---------------------------------------------
+
+    def _preclassify(self, packet: Packet) -> Optional[str]:
+        """Check learned P2P endpoints and announced FTP data endpoints."""
+        pair = packet.pair
+        for endpoint in ((pair.dst_addr, pair.dst_port), (pair.src_addr, pair.src_port)):
+            application = self._p2p_endpoints.get(endpoint)
+            if application is not None:
+                self.stats.endpoint_identified += 1
+                return application
+            if endpoint in self._ftp_expected:
+                del self._ftp_expected[endpoint]
+                self.stats.ftp_data_identified += 1
+                return APP_FTP_DATA
+        return None
+
+    def _decide(
+        self, state: _ConnState, record: FlowRecord, application: str, packet: Packet
+    ) -> None:
+        state.decided = application
+        record.application = application
+        if application == APP_UNKNOWN:
+            self.stats.unidentified += 1
+        elif state.streams[0] or state.streams[1] or packet.pair.protocol == IPPROTO_UDP:
+            self.stats.payload_identified += 1
+        else:
+            self.stats.port_identified += 1
+        if application in P2P_APPS:
+            # Strategy 1: remember the service endpoint (B:y of the SYN for
+            # TCP; for UDP, the responder's endpoint is unknowable, so both
+            # fixed well-known-looking endpoints would be noise — the paper
+            # applies this to identified connections, which we take as TCP).
+            if packet.pair.protocol == IPPROTO_TCP and state.syn_dst_port is not None:
+                pair = packet.pair if packet.pair.dst_port == state.syn_dst_port else packet.pair.inverse
+                self._p2p_endpoints[(pair.dst_addr, pair.dst_port)] = application
+        if application == APP_FTP:
+            state.is_ftp_control = True
+            self._scan_ftp_control(packet)
+
+    def _scan_ftp_control(self, packet: Packet) -> None:
+        """Strategy 2: learn announced data endpoints from control payloads."""
+        if not packet.payload:
+            return
+        for endpoint in parse_ftp_endpoints(packet.payload):
+            self._ftp_expected[endpoint] = packet.timestamp
+
+    def _payload_exhausted(self, packet: Packet, state: _ConnState) -> bool:
+        """True once payload matching can no longer succeed."""
+        if packet.pair.protocol == IPPROTO_TCP:
+            if packet.is_fin or packet.is_rst:
+                return True
+            if not state.saw_syn:
+                # Mid-stream capture: payload matching is disallowed, ports
+                # are all we will ever have.
+                return packet.payload != b"" or packet.is_synack
+            return min(state.data_packets) >= MAX_TCP_DATA_PACKETS or (
+                max(state.data_packets) >= MAX_TCP_DATA_PACKETS
+            )
+        return state.data_packets[0] >= 2
+
+    def _port_fallback(self, packet: Packet, state: _ConnState) -> Optional[str]:
+        pair = packet.pair
+        if pair.protocol == IPPROTO_TCP:
+            dst_port = state.syn_dst_port if state.syn_dst_port is not None else pair.dst_port
+            return port_application(True, 0, dst_port)
+        return port_application(False, pair.src_port, pair.dst_port)
+
+    def finalize(self, table: ConnectionTable) -> None:
+        """End-of-trace: force a fallback decision for undecided flows."""
+        for record in table.all_flows():
+            if record.application is not None:
+                continue
+            state = self._states.get(record.pair.canonical)
+            if state is not None and state.decided is not None:
+                # A later flow on a reused five-tuple: inherit the pair's
+                # established identity (same endpoints, same application).
+                record.application = state.decided
+                continue
+            if record.pair.protocol == IPPROTO_TCP:
+                dst_port = (
+                    state.syn_dst_port
+                    if state is not None and state.syn_dst_port is not None
+                    else record.pair.dst_port
+                )
+                application = port_application(True, 0, dst_port)
+            else:
+                application = port_application(
+                    False, record.pair.src_port, record.pair.dst_port
+                )
+            record.application = application or APP_UNKNOWN
+            if record.application == APP_UNKNOWN:
+                self.stats.unidentified += 1
+            else:
+                self.stats.port_identified += 1
+
+
+class TrafficAnalyzer:
+    """The full section-3.2 analyzer: flows + classification + delays.
+
+    Feed packets in timestamp order via :meth:`observe` (or analyze a whole
+    iterable with :meth:`analyze`); finished flow records carry packets,
+    bytes, lifetimes and application labels.
+    """
+
+    def __init__(
+        self,
+        udp_timeout: float = 120.0,
+        outin_expiry: float = 600.0,
+        track_outin: bool = True,
+    ) -> None:
+        from repro.analyzer.outin import OutInDelayMeter
+
+        self.table = ConnectionTable(udp_timeout=udp_timeout)
+        self.classifier = ConnectionClassifier()
+        self.outin = OutInDelayMeter(expiry=outin_expiry) if track_outin else None
+        self.packets_seen = 0
+        self.bytes_seen = 0
+
+    def observe(self, packet: Packet) -> FlowRecord:
+        self.packets_seen += 1
+        self.bytes_seen += packet.size
+        record = self.table.observe(packet)
+        self.classifier.observe(packet, record)
+        if self.outin is not None and packet.direction is not None:
+            self.outin.observe(packet)
+        return record
+
+    def analyze(self, packets: Iterable[Packet]) -> "TrafficAnalyzer":
+        for packet in packets:
+            self.observe(packet)
+        self.finalize()
+        return self
+
+    def finalize(self) -> None:
+        self.table.flush()
+        self.classifier.finalize(self.table)
+
+    @property
+    def flows(self) -> List[FlowRecord]:
+        return self.table.finished

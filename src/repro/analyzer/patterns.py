@@ -1,0 +1,169 @@
+"""Application identification patterns — Table 1.
+
+Regular expressions adapted from the L7-filter project, exactly as the
+paper does ("Most of these patterns are adopted from the L7-filter
+project").  Patterns are matched against a short byte stream: for TCP, the
+concatenation of the first few data packets of a connection; for UDP, each
+datagram payload.
+
+Order matters: several P2P protocols tunnel over HTTP-looking requests
+("GET /scrape?info_hash=", "GET /uri-res/N2R?", "GET /.hash="), so P2P
+patterns are tried before the generic HTTP pattern, as L7-filter's
+priority configuration does.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+# Application label constants are shared with the workload ground truth so
+# classifier output can be compared against generated traffic directly.
+from repro.workload.apps import (
+    APP_BITTORRENT,
+    APP_DNS,
+    APP_EDONKEY,
+    APP_FASTTRACK,
+    APP_FTP,
+    APP_FTP_DATA,
+    APP_GNUTELLA,
+    APP_HTTP,
+    APP_IMAP,
+    APP_SMTP,
+    APP_SSH,
+)
+
+_FLAGS = re.IGNORECASE | re.DOTALL
+
+#: (application, compiled pattern) in matching priority order.
+PATTERNS: List[Tuple[str, "re.Pattern[bytes]"]] = [
+    (
+        APP_BITTORRENT,
+        re.compile(
+            rb"^\x13bittorrent protocol"
+            rb"|^d1:ad2:id20:"
+            rb"|^get /scrape\?info_hash="
+            rb"|^get /announce\?info_hash="
+            rb"|^azver\x01",
+            _FLAGS,
+        ),
+    ),
+    (
+        APP_EDONKEY,
+        # Protocol byte (classic 0xe3, emule 0xc5, packed 0xd4, UDP 0xe4/0xe5)
+        # then up to four length bytes, then a known opcode.
+        re.compile(
+            rb"^[\xc5\xd4\xe3-\xe5].{0,4}?"
+            rb"[\x01\x02\x05\x14\x15\x16\x18\x19\x1a\x1b\x1c\x20\x21\x32\x33"
+            rb"\x34\x35\x36\x38\x40\x41\x42\x43\x46\x47\x48\x49\x4a\x4b\x4c"
+            rb"\x4d\x4e\x4f\x50\x51\x52\x53\x54\x55\x56\x57\x58\x60\x81\x82"
+            rb"\x90\x91\x93\x96\x97\x98\x99\x9a\x9b\x9c\x9e\xa0\xa1\xa2\xa3\xa4]",
+            re.DOTALL,
+        ),
+    ),
+    (
+        APP_FASTTRACK,
+        re.compile(
+            rb"^get (/\.hash=[0-9a-f]*|/\.supernode|/\.network|/\.files)",
+            _FLAGS,
+        ),
+    ),
+    (
+        APP_GNUTELLA,
+        re.compile(
+            rb"^gnd[\x01\x02]?"
+            rb"|^gnutella connect/[012]\.[0-9]"
+            rb"|^gnutella/[012]\.[0-9] [1-5][0-9][0-9]"
+            rb"|^get /uri-res/n2r\?urn:sha1:"
+            rb"|^giv [0-9]+:[0-9a-f]+"
+            rb"|^get /get/[0-9]+/",
+            _FLAGS,
+        ),
+    ),
+    (
+        APP_HTTP,
+        re.compile(
+            rb"^(get|post|head|put|delete|options|connect) \S+ http/[01]\.[019]"
+            rb"|^http/[01]\.[019] [1-5][0-9][0-9]",
+            _FLAGS,
+        ),
+    ),
+    (
+        APP_FTP,
+        re.compile(rb"^220[\x09-\x0d -~]*ftp", _FLAGS),
+    ),
+    (
+        APP_SSH,
+        re.compile(rb"^ssh-[12]\.[0-9]", _FLAGS),
+    ),
+    (
+        APP_SMTP,
+        re.compile(rb"^220[\x09-\x0d -~]*(e?smtp|mail)", _FLAGS),
+    ),
+    (
+        APP_IMAP,
+        re.compile(rb"^\* ok.*imap", _FLAGS),
+    ),
+]
+
+#: Well-known TCP service ports (port-based fallback identification).
+WELL_KNOWN_TCP_PORTS: Dict[int, str] = {
+    20: APP_FTP_DATA,
+    21: APP_FTP,
+    22: APP_SSH,
+    25: APP_SMTP,
+    80: APP_HTTP,
+    110: "pop3",
+    143: APP_IMAP,
+    443: APP_HTTP,
+    3128: APP_HTTP,
+    8080: APP_HTTP,
+    4661: APP_EDONKEY,
+    4662: APP_EDONKEY,
+    6346: APP_GNUTELLA,
+    6347: APP_GNUTELLA,
+}
+WELL_KNOWN_TCP_PORTS.update({port: APP_BITTORRENT for port in range(6881, 6890)})
+
+#: Well-known UDP ports (both endpoints' ports are considered).
+WELL_KNOWN_UDP_PORTS: Dict[int, str] = {
+    53: APP_DNS,
+    123: "ntp",
+    4661: APP_EDONKEY,
+    4665: APP_EDONKEY,
+    4672: APP_EDONKEY,
+    6346: APP_GNUTELLA,
+    6347: APP_GNUTELLA,
+}
+WELL_KNOWN_UDP_PORTS.update({port: APP_BITTORRENT for port in range(6881, 6890)})
+
+#: How many bytes of stream the matcher looks at.  L7-filter inspects at
+#: most a few packets; the paper concatenates "at most four TCP data
+#: packets" because "most of the patterns ... are short".
+MATCH_LIMIT = 2048
+
+
+def match_payload(stream: bytes) -> Optional[str]:
+    """Match a (possibly concatenated) payload stream against Table 1.
+
+    Returns the application label of the first matching pattern, or None.
+    """
+    if not stream:
+        return None
+    window = stream[:MATCH_LIMIT]
+    for application, pattern in PATTERNS:
+        if pattern.search(window):
+            return application
+    return None
+
+
+def port_application(protocol_is_tcp: bool, src_port: int, dst_port: int) -> Optional[str]:
+    """Port-based fallback identification.
+
+    For TCP "we only count the port number that is used by the service
+    provider" — the caller passes the SYN's destination port as
+    ``dst_port``.  For UDP both ports are considered (no direction signal).
+    """
+    if protocol_is_tcp:
+        return WELL_KNOWN_TCP_PORTS.get(dst_port)
+    return WELL_KNOWN_UDP_PORTS.get(dst_port) or WELL_KNOWN_UDP_PORTS.get(src_port)

@@ -1,0 +1,210 @@
+"""Reports over analyzed traffic: Table 2 and Figures 2-5 as data.
+
+Each function consumes the finished :class:`FlowRecord` list of a
+:class:`repro.analyzer.classifier.TrafficAnalyzer` and returns plain data
+structures that the benchmark harness renders next to the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.net.flows import FlowRecord
+from repro.net.inet import IPPROTO_TCP, IPPROTO_UDP
+from repro.workload.apps import APP_UNKNOWN, P2P_APPS
+from repro.workload.calibrate import table2_group
+
+#: The paper's Figure 2/3 port classes.
+CLASS_ALL = "ALL"
+CLASS_P2P = "P2P"
+CLASS_NON_P2P = "Non-P2P"
+CLASS_UNKNOWN = "UNKNOWN"
+
+
+@dataclass
+class ProtocolRow:
+    """One row of Table 2."""
+
+    protocol: str
+    connections: int
+    connection_share: float
+    bytes: int
+    byte_share: float
+
+
+def protocol_distribution(flows: Sequence[FlowRecord]) -> List[ProtocolRow]:
+    """Table 2: connections and utilization share per protocol group."""
+    if not flows:
+        return []
+    connection_counts: Dict[str, int] = {}
+    byte_counts: Dict[str, int] = {}
+    total_bytes = 0
+    for flow in flows:
+        group = table2_group(flow.application or APP_UNKNOWN)
+        connection_counts[group] = connection_counts.get(group, 0) + 1
+        byte_counts[group] = byte_counts.get(group, 0) + flow.bytes
+        total_bytes += flow.bytes
+    rows = []
+    for group in sorted(connection_counts, key=lambda g: -byte_counts.get(g, 0)):
+        rows.append(
+            ProtocolRow(
+                protocol=group,
+                connections=connection_counts[group],
+                connection_share=connection_counts[group] / len(flows),
+                bytes=byte_counts.get(group, 0),
+                byte_share=byte_counts.get(group, 0) / total_bytes if total_bytes else 0.0,
+            )
+        )
+    return rows
+
+
+def _port_class(flow: FlowRecord) -> str:
+    application = flow.application or APP_UNKNOWN
+    if application in P2P_APPS:
+        return CLASS_P2P
+    if application == APP_UNKNOWN:
+        return CLASS_UNKNOWN
+    return CLASS_NON_P2P
+
+
+def port_cdf(
+    flows: Sequence[FlowRecord],
+    protocol: int = IPPROTO_TCP,
+) -> Dict[str, List[Tuple[int, float]]]:
+    """Figures 2-3: cumulative distribution of port numbers per class.
+
+    TCP: only the service-side port of each connection is counted (the
+    destination port of the SYN — here, the destination of the initiating
+    packet).  UDP: both source and destination ports are counted.  Returns
+    ``{class: [(port, cumulative_fraction), ...]}`` including ``ALL``.
+    """
+    samples: Dict[str, List[int]] = {
+        CLASS_ALL: [],
+        CLASS_P2P: [],
+        CLASS_NON_P2P: [],
+        CLASS_UNKNOWN: [],
+    }
+    for flow in flows:
+        if flow.pair.protocol != protocol:
+            continue
+        if protocol == IPPROTO_TCP:
+            if not flow.saw_syn:
+                continue
+            ports = [flow.pair.dst_port]
+        else:
+            ports = [flow.pair.src_port, flow.pair.dst_port]
+        klass = _port_class(flow)
+        samples[CLASS_ALL].extend(ports)
+        samples[klass].extend(ports)
+    return {klass: _cdf(values) for klass, values in samples.items() if values}
+
+
+def _cdf(values: List[int]) -> List[Tuple[int, float]]:
+    ordered = sorted(values)
+    total = len(ordered)
+    points: List[Tuple[int, float]] = []
+    seen = 0
+    previous: Optional[int] = None
+    for value in ordered:
+        seen += 1
+        if value != previous:
+            points.append((value, seen / total))
+            previous = value
+        else:
+            points[-1] = (value, seen / total)
+    return points
+
+
+def cdf_value(points: List[Tuple[int, float]], threshold: int) -> float:
+    """Evaluate a CDF produced by :func:`port_cdf` at a threshold."""
+    result = 0.0
+    for value, cumulative in points:
+        if value <= threshold:
+            result = cumulative
+        else:
+            break
+    return result
+
+
+@dataclass
+class LifetimeReport:
+    """Figure 4's statistics."""
+
+    count: int
+    mean: float
+    quantiles: Dict[float, float]
+    fraction_over_810s: float
+    histogram: List[Tuple[float, int]]
+
+
+def lifetime_report(
+    flows: Sequence[FlowRecord],
+    bin_width: float = 5.0,
+    max_lifetime: float = 6000.0,
+    quantiles: Iterable[float] = (0.5, 0.9, 0.95, 0.99),
+) -> LifetimeReport:
+    """Connection-lifetime distribution (TCP flows with observed SYN).
+
+    The paper: average 45.84 s; 90 % under 45 s; 95 % under 4 minutes;
+    under 1 % above 810 s; histogram truncated at the 6000th second.
+    """
+    lifetimes = [
+        flow.lifetime
+        for flow in flows
+        if flow.pair.protocol == IPPROTO_TCP and flow.lifetime is not None
+    ]
+    if not lifetimes:
+        raise ValueError("no TCP lifetimes observed")
+    ordered = sorted(lifetimes)
+    bins: Dict[int, int] = {}
+    for lifetime in ordered:
+        if lifetime > max_lifetime:
+            continue
+        bins[int(lifetime / bin_width)] = bins.get(int(lifetime / bin_width), 0) + 1
+    return LifetimeReport(
+        count=len(ordered),
+        mean=sum(ordered) / len(ordered),
+        quantiles={
+            q: ordered[min(len(ordered) - 1, int(q * len(ordered)))] for q in quantiles
+        },
+        fraction_over_810s=sum(1 for value in ordered if value > 810.0) / len(ordered),
+        histogram=[(index * bin_width, bins[index]) for index in sorted(bins)],
+    )
+
+
+@dataclass
+class UtilizationSummary:
+    """The section 3.3 headline aggregates."""
+
+    connections: int
+    tcp_connection_share: float
+    udp_connection_share: float
+    total_bytes: int
+    tcp_byte_share: float
+    upload_byte_share: float
+    mean_throughput_mbps: float
+
+
+def utilization_summary(
+    flows: Sequence[FlowRecord], duration: float, upload_bytes: int
+) -> UtilizationSummary:
+    """Aggregate shares; ``upload_bytes`` comes from the packet pass (flow
+    records alone cannot attribute direction per byte once merged)."""
+    if duration <= 0:
+        raise ValueError(f"duration must be positive: {duration}")
+    if not flows:
+        raise ValueError("no flows")
+    tcp = sum(1 for flow in flows if flow.pair.protocol == IPPROTO_TCP)
+    udp = sum(1 for flow in flows if flow.pair.protocol == IPPROTO_UDP)
+    total_bytes = sum(flow.bytes for flow in flows)
+    tcp_bytes = sum(flow.bytes for flow in flows if flow.pair.protocol == IPPROTO_TCP)
+    return UtilizationSummary(
+        connections=len(flows),
+        tcp_connection_share=tcp / len(flows),
+        udp_connection_share=udp / len(flows),
+        total_bytes=total_bytes,
+        tcp_byte_share=tcp_bytes / total_bytes if total_bytes else 0.0,
+        upload_byte_share=upload_bytes / total_bytes if total_bytes else 0.0,
+        mean_throughput_mbps=total_bytes * 8.0 / duration / 1e6,
+    )

@@ -1,0 +1,379 @@
+"""Command-line interface.
+
+Four subcommands mirror the library's workflow::
+
+    repro trace   --out trace.pcap --duration 60 --rate 10   # synthesize
+    repro analyze trace.pcap                                  # section 3 study
+    repro filter  trace.pcap --filter bitmap --auto-red       # section 5 replay
+    repro plan    --connections 15000 --target-p 0.05         # section 4.3 sizing
+
+Every command prints plain text; nothing writes outside the paths given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.bitmap_filter import BitmapFilterConfig, FieldMode
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point: parse arguments, dispatch to a command handler."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not hasattr(args, "handler"):
+        parser.print_help()
+        return 2
+    return args.handler(args)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bitmap-filter reproduction toolkit (Huang & Lei, DSN 2007)",
+    )
+    sub = parser.add_subparsers(title="commands")
+
+    trace = sub.add_parser("trace", help="synthesize a client-network pcap trace")
+    trace.add_argument("--out", required=True, help="output pcap path")
+    trace.add_argument("--duration", type=float, default=60.0, help="trace seconds")
+    trace.add_argument("--rate", type=float, default=10.0, help="connection arrivals/sec")
+    trace.add_argument("--hosts", type=int, default=120, help="client hosts")
+    trace.add_argument("--seed", type=int, default=7, help="random seed")
+    trace.add_argument("--snaplen", type=int, default=65535,
+                       help="bytes captured per packet (64 = headers only)")
+    trace.set_defaults(handler=cmd_trace)
+
+    analyze = sub.add_parser("analyze", help="run the section-3 traffic analysis")
+    analyze.add_argument("pcap", help="input pcap path")
+    analyze.add_argument("--network", default="10.1.0.0/16",
+                         help="client network CIDR (decides packet direction)")
+    analyze.set_defaults(handler=cmd_analyze)
+
+    filt = sub.add_parser("filter", help="replay a pcap through a filter")
+    filt.add_argument("pcap", help="input pcap path")
+    filt.add_argument("--network", default="10.1.0.0/16")
+    filt.add_argument("--filter", dest="filter_name", default="bitmap",
+                      choices=("bitmap", "spi", "naive", "counting", "none"))
+    filt.add_argument("--size-bits", type=int, default=20, help="n of N=2^n")
+    filt.add_argument("--vectors", type=int, default=4, help="k bit vectors")
+    filt.add_argument("--hashes", type=int, default=3, help="m hash functions")
+    filt.add_argument("--rotate", type=float, default=5.0, help="Δt seconds")
+    filt.add_argument("--hole-punching", action="store_true",
+                      help="ignore remote port in hashes (NAT traversal support)")
+    filt.add_argument("--low-mbps", type=float, default=None, help="Equation 1 L")
+    filt.add_argument("--high-mbps", type=float, default=None, help="Equation 1 H")
+    filt.add_argument("--auto-red", action="store_true",
+                      help="set L/H to 35%%/70%% of the measured uplink")
+    filt.add_argument("--no-blocklist", action="store_true",
+                      help="disable blocked-connection persistence")
+    filt.set_defaults(handler=cmd_filter)
+
+    figures = sub.add_parser(
+        "figures", help="regenerate the paper's figures from a pcap (or synthetic)"
+    )
+    figures.add_argument("pcap", nargs="?", default=None,
+                         help="input pcap (omit to synthesize a trace)")
+    figures.add_argument("--network", default="10.1.0.0/16")
+    figures.add_argument("--duration", type=float, default=90.0,
+                         help="synthetic trace seconds (no pcap given)")
+    figures.add_argument("--rate", type=float, default=12.0)
+    figures.add_argument("--seed", type=int, default=7)
+    figures.set_defaults(handler=cmd_figures)
+
+    plan = sub.add_parser("plan", help="size a bitmap filter (section 4.3)")
+    plan.add_argument("--connections", type=int, required=True,
+                      help="active connections per T_e window")
+    plan.add_argument("--target-p", type=float, default=0.05,
+                      help="tolerated penetration probability")
+    plan.add_argument("--expiry", type=float, default=20.0, help="T_e seconds")
+    plan.add_argument("--rotate", type=float, default=5.0, help="Δt seconds")
+    plan.set_defaults(handler=cmd_plan)
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+
+
+def _parse_cidr(text: str):
+    from repro.net.inet import parse_ipv4
+
+    if "/" in text:
+        network, prefix = text.split("/", 1)
+        return parse_ipv4(network), int(prefix)
+    return parse_ipv4(text), 16
+
+
+def _load_pcap(path: str, network_cidr: str):
+    from repro.net.headers import HeaderError, decode_packet
+    from repro.net.inet import in_network
+    from repro.net.packet import Direction
+    from repro.net.pcap import PcapReader
+
+    network, prefix = _parse_cidr(network_cidr)
+    packets = []
+    with open(path, "rb") as fileobj:
+        for record in PcapReader(fileobj):
+            try:
+                packet = decode_packet(record.data, record.timestamp)
+            except HeaderError:
+                continue
+            inside = in_network(packet.pair.src_addr, network, prefix)
+            packet.direction = Direction.OUTBOUND if inside else Direction.INBOUND
+            packets.append(packet)
+    return packets
+
+
+def cmd_trace(args) -> int:
+    """Synthesize a client-network trace and write it as a pcap."""
+    from repro.workload.generator import TraceConfig, TraceGenerator
+
+    config = TraceConfig(
+        duration=args.duration,
+        connection_rate=args.rate,
+        hosts=args.hosts,
+        seed=args.seed,
+    )
+    generator = TraceGenerator(config)
+    count = generator.write_pcap(args.out, snaplen=args.snaplen)
+    print(f"wrote {count:,} packets ({len(generator.specs()):,} connections) "
+          f"to {args.out}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    """Run the section-3 measurement study over a pcap."""
+    from repro.analyzer.classifier import TrafficAnalyzer
+    from repro.analyzer.report import lifetime_report, protocol_distribution
+    from repro.net.packet import Direction
+
+    packets = _load_pcap(args.pcap, args.network)
+    if not packets:
+        print("no parseable packets", file=sys.stderr)
+        return 1
+    analyzer = TrafficAnalyzer().analyze(packets)
+
+    print(f"{len(packets):,} packets, {len(analyzer.flows):,} connections\n")
+    print(f"{'protocol':<12} {'connections':>12} {'bytes':>8}")
+    for row in protocol_distribution(analyzer.flows):
+        print(f"{row.protocol:<12} {row.connection_share:>11.1%} {row.byte_share:>7.1%}")
+
+    try:
+        report = lifetime_report(analyzer.flows)
+        print(f"\nTCP lifetimes: mean {report.mean:.1f}s, "
+              f"90% < {report.quantiles[0.9]:.1f}s, "
+              f"95% < {report.quantiles[0.95]:.1f}s")
+    except ValueError:
+        pass
+    if analyzer.outin is not None and len(analyzer.outin):
+        print(f"out-in delay: median {analyzer.outin.quantile(0.5) * 1000:.0f} ms, "
+              f"99% < {analyzer.outin.quantile(0.99):.2f}s")
+    upload = sum(p.size for p in packets if p.direction is Direction.OUTBOUND)
+    total = sum(p.size for p in packets)
+    print(f"upload share: {upload / total:.1%} of {total:,} bytes")
+    return 0
+
+
+def _build_filter(args, offered_up_mbps: float):
+    from repro.filters.base import AcceptAllFilter
+    from repro.filters.bitmap import BitmapPacketFilter
+    from repro.filters.counting import CountingBitmapFilter
+    from repro.filters.naive import NaiveTimerFilter
+    from repro.filters.policy import DropController
+    from repro.filters.spi import SPIFilter
+
+    if args.auto_red:
+        low, high = offered_up_mbps * 0.35, offered_up_mbps * 0.70
+    else:
+        low, high = args.low_mbps, args.high_mbps
+    if low is not None and high is not None:
+        controller = DropController.red_mbps(low_mbps=low, high_mbps=high)
+        red_note = f"RED L={low:.2f} H={high:.2f} Mbps"
+    else:
+        controller = DropController.always_drop()
+        red_note = "P_d = 1 (drop all stateless inbound)"
+
+    config = BitmapFilterConfig(
+        size=2 ** args.size_bits,
+        vectors=args.vectors,
+        hashes=args.hashes,
+        rotate_interval=args.rotate,
+        field_mode=FieldMode.HOLE_PUNCHING if args.hole_punching else FieldMode.STRICT,
+    )
+    if args.filter_name == "bitmap":
+        return BitmapPacketFilter(config, drop_controller=controller), red_note
+    if args.filter_name == "counting":
+        return CountingBitmapFilter(config, drop_controller=controller), red_note
+    if args.filter_name == "spi":
+        return SPIFilter(drop_controller=controller), red_note
+    if args.filter_name == "naive":
+        return NaiveTimerFilter(expiry=config.expiry_time,
+                                drop_controller=controller), red_note
+    return AcceptAllFilter(), "no filtering"
+
+
+def cmd_filter(args) -> int:
+    """Replay a pcap through a chosen filter and report the outcome."""
+    from repro.filters.base import AcceptAllFilter
+    from repro.net.packet import Direction
+    from repro.sim.replay import replay
+
+    packets = _load_pcap(args.pcap, args.network)
+    if not packets:
+        print("no parseable packets", file=sys.stderr)
+        return 1
+
+    baseline = replay(packets, AcceptAllFilter(), use_blocklist=False)
+    offered_up = baseline.passed.mean_mbps(Direction.OUTBOUND)
+
+    packet_filter, note = _build_filter(args, offered_up)
+    result = replay(packets, packet_filter, use_blocklist=not args.no_blocklist)
+
+    print(f"filter: {packet_filter.name}  ({note})")
+    print(f"packets: {result.packets:,}  inbound: {result.inbound_packets:,}")
+    print(f"inbound drop rate: {result.inbound_drop_rate:.2%}")
+    print(f"uplink: {offered_up:.2f} -> "
+          f"{result.passed.mean_mbps(Direction.OUTBOUND):.2f} Mbps")
+    print(f"downlink: {baseline.passed.mean_mbps(Direction.INBOUND):.2f} -> "
+          f"{result.passed.mean_mbps(Direction.INBOUND):.2f} Mbps")
+    if result.router.blocklist is not None:
+        print(f"blocked connections: {len(result.router.blocklist):,}")
+    if hasattr(packet_filter, "memory_bytes"):
+        print(f"filter memory: {packet_filter.memory_bytes // 1024} KiB")
+    return 0
+
+
+def cmd_figures(args) -> int:
+    """Regenerate every figure of the paper's evaluation as ASCII plots."""
+    from repro.analyzer.classifier import TrafficAnalyzer
+    from repro.analyzer.report import (
+        CLASS_NON_P2P,
+        CLASS_P2P,
+        CLASS_UNKNOWN,
+        lifetime_report,
+        port_cdf,
+        protocol_distribution,
+    )
+    from repro.core.bitmap_filter import BitmapFilterConfig
+    from repro.filters.base import AcceptAllFilter
+    from repro.filters.bitmap import BitmapPacketFilter
+    from repro.filters.policy import DropController
+    from repro.filters.spi import SPIFilter
+    from repro.net.inet import IPPROTO_TCP, IPPROTO_UDP
+    from repro.net.packet import Direction
+    from repro.report.figures import (
+        render_cdf,
+        render_histogram,
+        render_scatter,
+        render_series,
+    )
+    from repro.sim.replay import compare_drop_rates, replay
+
+    if args.pcap is not None:
+        packets = _load_pcap(args.pcap, args.network)
+    else:
+        from repro.workload.generator import TraceConfig, TraceGenerator
+
+        print(f"synthesizing trace ({args.duration:g}s at {args.rate:g} conn/s, "
+              f"seed {args.seed})...")
+        packets = TraceGenerator(
+            TraceConfig(duration=args.duration, connection_rate=args.rate,
+                        seed=args.seed)
+        ).packet_list()
+    if not packets:
+        print("no parseable packets", file=sys.stderr)
+        return 1
+    print(f"{len(packets):,} packets\n")
+
+    analyzer = TrafficAnalyzer().analyze(packets)
+
+    print("== Table 2: protocol distribution ==")
+    for row in protocol_distribution(analyzer.flows):
+        print(f"  {row.protocol:<12} {row.connection_share:>7.1%} of connections, "
+              f"{row.byte_share:>6.1%} of bytes")
+
+    tcp_cdf = port_cdf(analyzer.flows, protocol=IPPROTO_TCP)
+    print("\n" + render_cdf(
+        {klass: [(float(p), f) for p, f in tcp_cdf[klass]]
+         for klass in (CLASS_P2P, CLASS_NON_P2P, CLASS_UNKNOWN) if klass in tcp_cdf},
+        title="Figure 2: TCP service-port CDF",
+    ))
+
+    udp_cdf = port_cdf(analyzer.flows, protocol=IPPROTO_UDP)
+    if udp_cdf:
+        print("\n" + render_cdf(
+            {"ALL": [(float(p), f) for p, f in udp_cdf["ALL"]]},
+            title="Figure 3: UDP port CDF",
+        ))
+
+    report = lifetime_report(analyzer.flows)
+    print("\n" + render_histogram(report.histogram[:18],
+                                  title=f"Figure 4: lifetimes (mean {report.mean:.1f}s)"))
+
+    if analyzer.outin is not None and len(analyzer.outin):
+        print("\n" + render_histogram(
+            analyzer.outin.histogram(bin_width=0.25, max_delay=3.0),
+            title=f"Figure 5: out-in delays (99% < "
+                  f"{analyzer.outin.quantile(0.99):.2f}s)",
+        ))
+
+    comparison = compare_drop_rates(
+        packets,
+        {
+            "spi": SPIFilter(idle_timeout=240.0),
+            "bitmap": BitmapPacketFilter(
+                BitmapFilterConfig(size=2 ** 20, vectors=4, hashes=3,
+                                   rotate_interval=5.0)
+            ),
+        },
+    )
+    print("\n" + render_scatter(
+        comparison.points,
+        title=f"Figure 8: drop rates (SPI {comparison.overall('spi'):.2%} vs "
+              f"bitmap {comparison.overall('bitmap'):.2%})",
+    ))
+
+    baseline = replay(packets, AcceptAllFilter(), use_blocklist=False)
+    offered = baseline.passed.mean_mbps(Direction.OUTBOUND)
+    high = offered * 0.70
+    limited = replay(
+        packets,
+        BitmapPacketFilter(
+            BitmapFilterConfig(size=2 ** 20, vectors=4, hashes=3, rotate_interval=5.0),
+            drop_controller=DropController.red_mbps(low_mbps=offered * 0.35,
+                                                    high_mbps=high),
+        ),
+        use_blocklist=True,
+    )
+    horizon = packets[-1].timestamp * 0.6
+    for title, result in (("Figure 9-a: uplink before", baseline),
+                          ("Figure 9-b: uplink after (H marked)", limited)):
+        series = [(t, v) for t, v in result.passed.series_mbps(Direction.OUTBOUND)
+                  if t <= horizon]
+        print("\n" + render_series(series, title=title, y_label="Mbps", hline=high))
+    return 0
+
+
+def cmd_plan(args) -> int:
+    """Print a sized configuration from the section-4.3 procedure."""
+    from repro.core.analysis import capacity_table, recommend_parameters
+
+    rec = recommend_parameters(
+        args.connections,
+        target_p=args.target_p,
+        expiry_time=args.expiry,
+        rotate_interval=args.rotate,
+    )
+    print(rec.summary())
+    print("\ncapacity of the recommended vector at other targets:")
+    for row in capacity_table(rec.size):
+        print(f"  p = {row['target_p']:.0%}: {row['capacity']:,.0f} connections")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

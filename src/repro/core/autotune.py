@@ -1,0 +1,81 @@
+"""Adaptive drop control — "dynamically adjusted" P_d, section 4.2.
+
+The paper fixes Equation 1's thresholds (L, H) by hand and notes the
+probability "can be dynamically adjusted according to the upload bandwidth
+throughput".  This module closes that loop: an operator states a *target*
+uplink rate, and an integral controller moves the admission probability so
+the measured uplink settles at the target — no threshold tuning.
+
+The controller acts only on the admission decision for unmatched inbound
+packets (the bitmap filter's P_d), never on matched traffic, preserving
+the paper's selectivity property.
+"""
+
+from __future__ import annotations
+
+from repro.core.dropper import DropPolicy
+
+
+class TargetRateController(DropPolicy):
+    """Integral controller steering P_d to hold a target uplink rate.
+
+    Exposes the :class:`DropPolicy` interface so it drops into
+    :class:`repro.filters.policy.DropController` anywhere a
+    :class:`RedDropPolicy` would.  ``probability(throughput)`` both reads
+    the current P_d and feeds the controller one observation, so calls
+    must carry the live throughput measurement (as DropController does).
+
+    Control law: ``P_d += gain · (b − target)/target`` per observation,
+    clamped to [0, 1].  ``deadband`` (fraction of target) suppresses
+    hunting around the setpoint.
+    """
+
+    def __init__(
+        self,
+        target_bps: float,
+        gain: float = 0.02,
+        deadband: float = 0.05,
+        initial_probability: float = 0.0,
+    ) -> None:
+        if target_bps <= 0:
+            raise ValueError(f"target must be positive: {target_bps}")
+        if gain <= 0:
+            raise ValueError(f"gain must be positive: {gain}")
+        if not 0.0 <= deadband < 1.0:
+            raise ValueError(f"deadband out of [0,1): {deadband}")
+        if not 0.0 <= initial_probability <= 1.0:
+            raise ValueError(f"initial probability out of [0,1]: {initial_probability}")
+        self.target_bps = target_bps
+        self.gain = gain
+        self.deadband = deadband
+        self._probability = initial_probability
+        self.observations = 0
+
+    @classmethod
+    def mbps(cls, target_mbps: float, **kwargs) -> "TargetRateController":
+        return cls(target_bps=target_mbps * 1e6, **kwargs)
+
+    def probability(self, throughput: float) -> float:
+        """One control step: observe ``throughput``, return updated P_d."""
+        self.observations += 1
+        error = (throughput - self.target_bps) / self.target_bps
+        if abs(error) > self.deadband:
+            self._probability = min(1.0, max(0.0, self._probability + self.gain * error))
+        return self._probability
+
+    @property
+    def current_probability(self) -> float:
+        """The controller state without feeding an observation."""
+        return self._probability
+
+    def reset(self, probability: float = 0.0) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability out of [0,1]: {probability}")
+        self._probability = probability
+        self.observations = 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"TargetRateController(target={self.target_bps / 1e6:.1f} Mbps, "
+            f"P_d={self._probability:.3f})"
+        )

@@ -1,0 +1,321 @@
+"""The {k×N}-bitmap filter — the paper's core contribution (section 4).
+
+Structure (Figure 7): ``k`` bit vectors of ``N = 2^n`` bits sharing ``m``
+hash functions.
+
+* **mark** (outbound packet): hash the outbound socket pair and set the
+  resulting ``m`` bits in *all* ``k`` vectors (Algorithm 2, lines 1-5).
+* **look up** (inbound packet): hash the *inverse* of the inbound socket
+  pair and test the bits in the *current* vector only (lines 6-15); a miss
+  means the packet is dropped with probability ``P_d``.
+* **clean up** (``b.rotate``, Algorithm 1): every ``Δt`` seconds advance the
+  current index and wipe the vector it left behind.
+
+Because a mark touches all vectors and the current vector is wiped last
+(k rotations after the mark), a marked pair stays visible for between
+``(k-1)·Δt`` and ``k·Δt`` seconds — the effective expiry timer
+``T_e = k·Δt`` of section 4.3.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.bitvector import BitVector
+from repro.core.hashing import make_hash_family
+from repro.net.packet import Direction, SocketPair
+
+
+class FieldMode(enum.Enum):
+    """Which socket-pair fields feed the hash functions.
+
+    ``HOLE_PUNCHING`` (the paper's default suggestion) omits the *remote
+    port*: outbound packets hash ``{protocol, source-address, source-port,
+    destination-address}`` and inbound packets hash ``{protocol,
+    destination-address, destination-port, source-address}``.  An outbound
+    packet to peer P therefore opens the door for inbound packets from *any
+    port* of P — which is exactly what NAT hole-punching needs.
+
+    ``STRICT`` hashes the full five-tuple; only exact reverse-path packets
+    match.  "The support to hole-punching can be enabled or disabled
+    depending on the network administrator's choice."
+    """
+
+    STRICT = "strict"
+    HOLE_PUNCHING = "hole-punching"
+
+
+@dataclass
+class BitmapFilterConfig:
+    """Parameters of a bitmap filter (section 4.3 naming).
+
+    The paper's evaluation configuration is the default: ``N = 2^20``,
+    ``k = 4``, ``Δt = 5`` s (so ``T_e = 20`` s), ``m = 3``.
+    """
+
+    size: int = 2 ** 20  # N — bits per vector, must be a power of two
+    vectors: int = 4  # k — number of bit vectors
+    hashes: int = 3  # m — hash functions
+    rotate_interval: float = 5.0  # Δt — seconds between b.rotate calls
+    field_mode: FieldMode = FieldMode.STRICT
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0 or self.size & (self.size - 1):
+            raise ValueError(f"N must be a power of two, got {self.size}")
+        if self.vectors < 2:
+            raise ValueError(f"need k >= 2 vectors, got {self.vectors}")
+        if self.hashes < 1:
+            raise ValueError(f"need m >= 1 hash functions, got {self.hashes}")
+        if self.rotate_interval <= 0:
+            raise ValueError(f"Δt must be positive, got {self.rotate_interval}")
+
+    @property
+    def expiry_time(self) -> float:
+        """T_e = k·Δt — how long a marked pair is guaranteed-ish visible."""
+        return self.vectors * self.rotate_interval
+
+    @property
+    def memory_bytes(self) -> int:
+        """Total bitmap storage, ``k·N/8`` bytes (512 KiB at defaults)."""
+        return self.vectors * self.size // 8
+
+
+@dataclass
+class BitmapFilterStats:
+    """Operation counters, useful for reports and invariant tests."""
+
+    outbound_marked: int = 0
+    inbound_hits: int = 0
+    inbound_misses: int = 0
+    inbound_dropped: int = 0
+    rotations: int = 0
+
+    @property
+    def inbound_total(self) -> int:
+        return self.inbound_hits + self.inbound_misses
+
+    def as_dict(self) -> dict:
+        return {
+            "outbound_marked": self.outbound_marked,
+            "inbound_hits": self.inbound_hits,
+            "inbound_misses": self.inbound_misses,
+            "inbound_dropped": self.inbound_dropped,
+            "rotations": self.rotations,
+        }
+
+
+class BitmapFilter:
+    """The {k×N}-bitmap filter state machine.
+
+    This class is deliberately clock-free: callers drive rotation either
+    directly (:meth:`rotate`) or by timestamp (:meth:`advance_to`), so the
+    same object serves live operation, trace replay and unit tests.
+    Dropping randomness comes from an injectable :class:`random.Random` for
+    reproducibility.
+    """
+
+    def __init__(
+        self,
+        config: Optional[BitmapFilterConfig] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.config = config or BitmapFilterConfig()
+        self.vectors: List[BitVector] = [
+            BitVector(self.config.size) for _ in range(self.config.vectors)
+        ]
+        self.family = make_hash_family(
+            self.config.hashes, self.config.size, seed=self.config.seed
+        )
+        self.idx = 0  # index of the *current* bit vector
+        self.stats = BitmapFilterStats()
+        self._rng = rng or random.Random(self.config.seed)
+        self._next_rotation: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Field selection (section 4.2, hole-punching discussion)
+    # ------------------------------------------------------------------
+
+    def _key_fields(self, pair: SocketPair, direction: Direction) -> Tuple[int, ...]:
+        """Map a packet's socket pair to hash-input fields.
+
+        For inbound packets the paper hashes the *inverse* pair, which in
+        hole-punching mode is {protocol, destination-address,
+        destination-port, source-address} of the inbound packet — i.e. the
+        inner host's address/port plus the remote address.  Writing both
+        branches in terms of the *outbound-oriented* pair keeps them
+        symmetric: inbound packets are inverted first.
+        """
+        if direction is Direction.INBOUND:
+            pair = pair.inverse
+        if self.config.field_mode is FieldMode.HOLE_PUNCHING:
+            return (pair.protocol, pair.src_addr, pair.src_port, pair.dst_addr)
+        return (
+            pair.protocol,
+            pair.src_addr,
+            pair.src_port,
+            pair.dst_addr,
+            pair.dst_port,
+        )
+
+    # ------------------------------------------------------------------
+    # Algorithm 1 — b.rotate
+    # ------------------------------------------------------------------
+
+    def rotate(self) -> int:
+        """Advance the current index and wipe the vector it vacates.
+
+        Returns the new current index, exactly as Algorithm 1 does.
+        """
+        last = self.idx
+        self.idx = (self.idx + 1) % self.config.vectors
+        self.vectors[last].clear()
+        self.stats.rotations += 1
+        return self.idx
+
+    def advance_to(self, now: float) -> int:
+        """Run however many rotations a wall-clock time implies.
+
+        The first call anchors the rotation schedule; later calls perform
+        ``floor((now - anchor)/Δt)`` pending rotations.  Returns how many
+        rotations ran.  Time never goes backwards; stale timestamps are
+        ignored rather than raising, because replayed traces can carry
+        slight reordering.
+        """
+        if self._next_rotation is None:
+            self._next_rotation = now + self.config.rotate_interval
+            return 0
+        ran = 0
+        while now >= self._next_rotation:
+            self.rotate()
+            self._next_rotation += self.config.rotate_interval
+            ran += 1
+        return ran
+
+    # ------------------------------------------------------------------
+    # Algorithm 2 — b.filter
+    # ------------------------------------------------------------------
+
+    def mark_outbound(self, pair: SocketPair) -> None:
+        """Record an outbound packet: set its bits in *all* vectors."""
+        indices = self.family.indices(self._key_fields(pair, Direction.OUTBOUND))
+        for vector in self.vectors:
+            vector.set_many(indices)
+        self.stats.outbound_marked += 1
+
+    def lookup_inbound(self, pair: SocketPair) -> bool:
+        """Test an inbound packet against the *current* vector only."""
+        indices = self.family.indices(self._key_fields(pair, Direction.INBOUND))
+        hit = self.vectors[self.idx].test_all(indices)
+        if hit:
+            self.stats.inbound_hits += 1
+        else:
+            self.stats.inbound_misses += 1
+        return hit
+
+    def filter(
+        self, pair: SocketPair, direction: Direction, drop_probability: float = 1.0
+    ) -> bool:
+        """The full b.filter decision: True = PASS, False = DROP.
+
+        Outbound packets are marked and always pass.  Inbound packets that
+        miss the current vector are dropped with ``drop_probability``
+        (the paper's ``P_d``); in the paper's pseudocode the coin is
+        tossed once per missing bit, but since one miss suffices to reach
+        the coin and subsequent misses change nothing once dropped, a
+        single toss per packet is behaviourally identical and cheaper.
+        """
+        if direction is Direction.OUTBOUND:
+            self.mark_outbound(pair)
+            return True
+        if self.lookup_inbound(pair):
+            return True
+        if drop_probability >= 1.0 or self._rng.random() < drop_probability:
+            self.stats.inbound_dropped += 1
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def current_utilization(self) -> float:
+        """U = b/N of the current vector (drives Equation 2)."""
+        return self.vectors[self.idx].utilization
+
+    def penetration_probability(self) -> float:
+        """Measured p = U^m for a random (unmarked) inbound pair."""
+        return self.current_utilization ** self.config.hashes
+
+    def reset(self) -> None:
+        """Clear all state (bits, index, schedule, stats)."""
+        for vector in self.vectors:
+            vector.clear()
+        self.idx = 0
+        self.stats = BitmapFilterStats()
+        self._next_rotation = None
+
+    # ------------------------------------------------------------------
+    # Persistence — restart the filter without losing the positive list
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Serializable filter state (config + bits + rotation phase).
+
+        A router restart with a cold filter would drop every in-flight
+        connection's return traffic for up to T_e seconds; restoring a
+        snapshot avoids that.  The snapshot is plain data (ints/bytes),
+        safe for json/pickle/msgpack as the deployment prefers.
+        """
+        return {
+            "size": self.config.size,
+            "vectors": self.config.vectors,
+            "hashes": self.config.hashes,
+            "rotate_interval": self.config.rotate_interval,
+            "field_mode": self.config.field_mode.value,
+            "seed": self.config.seed,
+            "idx": self.idx,
+            "next_rotation": self._next_rotation,
+            "bits": [vector.to_bytes() for vector in self.vectors],
+        }
+
+    @classmethod
+    def restore(cls, snapshot: dict, rng: Optional[random.Random] = None) -> "BitmapFilter":
+        """Rebuild a filter from :meth:`snapshot` output.
+
+        The hash seed is part of the snapshot — bits are meaningless under
+        a different hash family.
+        """
+        config = BitmapFilterConfig(
+            size=snapshot["size"],
+            vectors=snapshot["vectors"],
+            hashes=snapshot["hashes"],
+            rotate_interval=snapshot["rotate_interval"],
+            field_mode=FieldMode(snapshot["field_mode"]),
+            seed=snapshot["seed"],
+        )
+        filt = cls(config, rng=rng)
+        if len(snapshot["bits"]) != config.vectors:
+            raise ValueError(
+                f"snapshot has {len(snapshot['bits'])} vectors, config says "
+                f"{config.vectors}"
+            )
+        filt.vectors = [
+            BitVector.from_bytes(data, config.size) for data in snapshot["bits"]
+        ]
+        filt.idx = snapshot["idx"]
+        if not 0 <= filt.idx < config.vectors:
+            raise ValueError(f"snapshot index out of range: {filt.idx}")
+        filt._next_rotation = snapshot["next_rotation"]
+        return filt
+
+    def __repr__(self) -> str:  # pragma: no cover
+        cfg = self.config
+        return (
+            f"BitmapFilter(N=2^{cfg.size.bit_length() - 1}, k={cfg.vectors}, "
+            f"m={cfg.hashes}, Δt={cfg.rotate_interval}, idx={self.idx})"
+        )

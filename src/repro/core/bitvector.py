@@ -1,0 +1,178 @@
+"""A fixed-size bit vector backed by a single Python integer.
+
+Each column of the {k×N}-bitmap is one bit vector (paper Figure 7).  A
+Python ``int`` gives O(1) amortized set/test via shifts and masks, and —
+crucially for ``b.rotate`` — a true O(1) *clear* (rebind to zero), which is
+even cheaper than the paper's O(N) memset.  A ``bytearray`` variant is kept
+for the memory-layout benchmarks in ``bench_sec52_performance``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+
+class BitVector:
+    """``size``-bit vector with set / test / clear and popcount."""
+
+    __slots__ = ("size", "_bits")
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        self.size = size
+        self._bits = 0
+
+    def set(self, index: int) -> None:
+        """Mark bit ``index`` as 1."""
+        if not 0 <= index < self.size:
+            raise IndexError(f"bit {index} out of range [0, {self.size})")
+        self._bits |= 1 << index
+
+    def set_many(self, indices: Iterable[int]) -> None:
+        mask = 0
+        size = self.size
+        for index in indices:
+            if not 0 <= index < size:
+                raise IndexError(f"bit {index} out of range [0, {size})")
+            mask |= 1 << index
+        self._bits |= mask
+
+    def test(self, index: int) -> bool:
+        """True when bit ``index`` is marked."""
+        if not 0 <= index < self.size:
+            raise IndexError(f"bit {index} out of range [0, {self.size})")
+        return bool((self._bits >> index) & 1)
+
+    def test_all(self, indices: Iterable[int]) -> bool:
+        """True when *every* index is marked (the Bloom membership test)."""
+        bits = self._bits
+        for index in indices:
+            if not (bits >> index) & 1:
+                return False
+        return True
+
+    def clear(self) -> None:
+        """Reset every bit to zero (``b.rotate``'s per-vector wipe)."""
+        self._bits = 0
+
+    def popcount(self) -> int:
+        """Number of marked bits — the ``b`` of Equation 2's ``U = b/N``."""
+        return bin(self._bits).count("1")
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of marked bits, ``U = b/N``."""
+        return self.popcount() / self.size
+
+    def copy(self) -> "BitVector":
+        clone = BitVector(self.size)
+        clone._bits = self._bits
+        return clone
+
+    def union_update(self, other: "BitVector") -> None:
+        if other.size != self.size:
+            raise ValueError("size mismatch")
+        self._bits |= other._bits
+
+    def to_bytes(self) -> bytes:
+        """Little-endian byte serialization (for persistence/inspection)."""
+        return self._bits.to_bytes((self.size + 7) // 8, "little")
+
+    @classmethod
+    def from_bytes(cls, data: bytes, size: int) -> "BitVector":
+        vector = cls(size)
+        value = int.from_bytes(data, "little")
+        if value >> size:
+            raise ValueError("data has bits beyond the declared size")
+        vector._bits = value
+        return vector
+
+    def iter_set_bits(self) -> Iterator[int]:
+        """Yield the indices of marked bits in increasing order."""
+        bits = self._bits
+        index = 0
+        while bits:
+            if bits & 1:
+                yield index
+            bits >>= 1
+            index += 1
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitVector):
+            return NotImplemented
+        return self.size == other.size and self._bits == other._bits
+
+    def __hash__(self) -> int:  # pragma: no cover - not used as dict key
+        return hash((self.size, self._bits))
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"BitVector(size={self.size}, popcount={self.popcount()})"
+
+
+class ByteArrayBitVector:
+    """The same interface backed by a ``bytearray``.
+
+    This mirrors a C implementation's memory layout: clear really is an
+    O(N) wipe, as the paper's complexity analysis (section 5.2) assumes.
+    Used by the performance benchmarks to compare both layouts.
+    """
+
+    __slots__ = ("size", "_buf")
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        self.size = size
+        self._buf = bytearray((size + 7) // 8)
+
+    def set(self, index: int) -> None:
+        if not 0 <= index < self.size:
+            raise IndexError(f"bit {index} out of range [0, {self.size})")
+        self._buf[index >> 3] |= 1 << (index & 7)
+
+    def set_many(self, indices: Iterable[int]) -> None:
+        for index in indices:
+            self.set(index)
+
+    def test(self, index: int) -> bool:
+        if not 0 <= index < self.size:
+            raise IndexError(f"bit {index} out of range [0, {self.size})")
+        return bool(self._buf[index >> 3] & (1 << (index & 7)))
+
+    def test_all(self, indices: Iterable[int]) -> bool:
+        buf = self._buf
+        for index in indices:
+            if not buf[index >> 3] & (1 << (index & 7)):
+                return False
+        return True
+
+    def clear(self) -> None:
+        self._buf = bytearray(len(self._buf))
+
+    def popcount(self) -> int:
+        return sum(bin(byte).count("1") for byte in self._buf)
+
+    @property
+    def utilization(self) -> float:
+        return self.popcount() / self.size
+
+    def __len__(self) -> int:
+        return self.size
+
+
+def vector_stats(vectors: List[BitVector]) -> dict:
+    """Summarize a stack of bit vectors (used in reports and debugging)."""
+    if not vectors:
+        raise ValueError("no vectors")
+    pops = [vector.popcount() for vector in vectors]
+    return {
+        "count": len(vectors),
+        "size": vectors[0].size,
+        "popcounts": pops,
+        "max_utilization": max(pops) / vectors[0].size,
+        "min_utilization": min(pops) / vectors[0].size,
+    }

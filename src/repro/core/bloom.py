@@ -1,0 +1,98 @@
+"""A classic Bloom filter (Bloom, CACM 1970) — the paper's reference [9].
+
+The bitmap filter is "a composite of k bloom filters of equal size
+N = 2^n bits" (section 4.2); this module provides the single-filter
+substrate plus the standard closed-form accounting that section 5.1 builds
+on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence, Union
+
+from repro.core.bitvector import BitVector
+from repro.core.hashing import make_hash_family
+
+Key = Union[bytes, Sequence[int]]
+
+
+class BloomFilter:
+    """Approximate-membership set over byte-string or int-tuple keys.
+
+    ``size`` must be a power of two (the paper truncates hash outputs to
+    n bits).  ``add`` marks m bits; ``__contains__`` tests the same m bits.
+    False positives happen; false negatives never do.
+    """
+
+    def __init__(self, size: int, hashes: int, seed: int = 0) -> None:
+        self.vector = BitVector(size)
+        self.family = make_hash_family(hashes, size, seed=seed)
+        self.added = 0
+
+    @property
+    def size(self) -> int:
+        return self.vector.size
+
+    @property
+    def hashes(self) -> int:
+        return self.family.m
+
+    def _indices(self, key: Key) -> Iterable[int]:
+        if isinstance(key, (bytes, bytearray)):
+            return self.family.indices_bytes(bytes(key))
+        return self.family.indices(key)
+
+    def add(self, key: Key) -> None:
+        self.vector.set_many(self._indices(key))
+        self.added += 1
+
+    def __contains__(self, key: Key) -> bool:
+        return self.vector.test_all(self._indices(key))
+
+    def clear(self) -> None:
+        self.vector.clear()
+        self.added = 0
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of marked bits (``U = b/N``, Equation 2)."""
+        return self.vector.utilization
+
+    def false_positive_rate(self) -> float:
+        """The paper's penetration probability for *this* filter state:
+        ``p = U^m`` (Equation 2), using the measured utilization."""
+        return self.utilization ** self.hashes
+
+    def __len__(self) -> int:
+        return self.added
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"BloomFilter(size={self.size}, hashes={self.hashes}, "
+            f"added={self.added}, utilization={self.utilization:.4f})"
+        )
+
+
+def theoretical_fpr(size: int, hashes: int, items: int) -> float:
+    """Classic Bloom false-positive rate ``(1 - e^{-km/N})^m``.
+
+    The paper's simplified Equation 3 assumes low utilization (few hash
+    collisions), approximating this as ``(c*m/N)^m``; both are provided so
+    tests can check the approximation regime.
+    """
+    if size <= 0 or hashes <= 0 or items < 0:
+        raise ValueError("size/hashes must be positive, items non-negative")
+    return (1.0 - math.exp(-hashes * items / size)) ** hashes
+
+
+def optimal_hashes_classic(size: int, items: int) -> float:
+    """The textbook optimum ``m = (N/c) ln 2`` for a standard Bloom filter.
+
+    Note the paper derives a different optimum, ``m = N/(e*c)``, because it
+    optimizes its *approximate* Equation 3 rather than the exact rate; see
+    :func:`repro.core.analysis.optimal_hash_count`.
+    """
+    if items <= 0:
+        raise ValueError("items must be positive")
+    return (size / items) * math.log(2.0)

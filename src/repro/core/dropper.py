@@ -1,0 +1,102 @@
+"""Drop-probability policies — Equation 1 and variants.
+
+The paper generates the conditional drop probability ``P_d`` "in a similar
+form to the random early detection (RED) algorithm": zero below a low
+threshold ``L``, one above a high threshold ``H``, linear in between, driven
+by the measured uplink throughput ``b``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Tuple
+
+
+class DropPolicy(ABC):
+    """Maps an uplink-throughput indicator to a drop probability in [0, 1]."""
+
+    @abstractmethod
+    def probability(self, throughput: float) -> float:
+        """``P_d`` for the given throughput (same units as the thresholds)."""
+
+
+class RedDropPolicy(DropPolicy):
+    """Equation 1: RED-style linear ramp between ``low`` and ``high``.
+
+    ::
+
+        P_d = 0                    if b <= L
+        P_d = (b - L) / (H - L)    if L < b < H
+        P_d = 1                    if b >= H
+    """
+
+    def __init__(self, low: float, high: float) -> None:
+        if low < 0:
+            raise ValueError(f"low threshold must be non-negative, got {low}")
+        if high <= low:
+            raise ValueError(f"need high > low, got low={low}, high={high}")
+        self.low = low
+        self.high = high
+
+    def probability(self, throughput: float) -> float:
+        if throughput <= self.low:
+            return 0.0
+        if throughput >= self.high:
+            return 1.0
+        return (throughput - self.low) / (self.high - self.low)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"RedDropPolicy(low={self.low}, high={self.high})"
+
+
+class StaticDropPolicy(DropPolicy):
+    """A constant ``P_d`` regardless of throughput.
+
+    ``StaticDropPolicy(1.0)`` reproduces the Figure 8 configuration:
+    "drop all inbound packets without states".
+    """
+
+    def __init__(self, probability: float) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability out of [0,1]: {probability}")
+        self._probability = probability
+
+    def probability(self, throughput: float) -> float:
+        return self._probability
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"StaticDropPolicy({self._probability})"
+
+
+class SteppedDropPolicy(DropPolicy):
+    """A piecewise-constant schedule: ``[(threshold, P_d), ...]``.
+
+    The probability of the highest threshold not exceeding the throughput
+    applies; below the first threshold ``P_d = 0``.  An operator-friendly
+    alternative the paper's "can be dynamically adjusted" remark allows.
+    """
+
+    def __init__(self, steps: List[Tuple[float, float]]) -> None:
+        if not steps:
+            raise ValueError("need at least one step")
+        ordered = sorted(steps)
+        if ordered != steps:
+            raise ValueError("steps must be sorted by threshold")
+        for threshold, probability in steps:
+            if threshold < 0:
+                raise ValueError(f"negative threshold: {threshold}")
+            if not 0.0 <= probability <= 1.0:
+                raise ValueError(f"probability out of [0,1]: {probability}")
+        self.steps = steps
+
+    def probability(self, throughput: float) -> float:
+        current = 0.0
+        for threshold, probability in self.steps:
+            if throughput >= threshold:
+                current = probability
+            else:
+                break
+        return current
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SteppedDropPolicy({self.steps})"

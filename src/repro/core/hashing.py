@@ -1,0 +1,121 @@
+"""Hash families for the bitmap filter.
+
+The paper requires ``m`` hash functions that "should only output an n-bit
+value.  An output that exceeds n-bit should be truncated."  We provide a
+family built from double hashing (Kirsch & Mitzenmacher: two independent
+base hashes combine into arbitrarily many), with FNV-1a and a multiply-shift
+mix as the bases.  Double hashing preserves Bloom-filter false-positive
+asymptotics while costing two real hash evaluations per key regardless of
+``m`` — important because the filter runs per packet.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+# Odd 64-bit constants for the multiply-shift mixer (splitmix64 finalizer).
+_MIX_MUL1 = 0xBF58476D1CE4E5B9
+_MIX_MUL2 = 0x94D049BB133111EB
+
+
+def fnv1a_64(data: bytes, seed: int = 0) -> int:
+    """64-bit FNV-1a over ``data``, optionally seeded."""
+    value = (_FNV_OFFSET ^ seed) & _MASK64
+    for byte in data:
+        value ^= byte
+        value = (value * _FNV_PRIME) & _MASK64
+    return value
+
+
+def splitmix64(value: int) -> int:
+    """The splitmix64 finalizer: a fast, well-distributed 64-bit mixer."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * _MIX_MUL1) & _MASK64
+    value = ((value ^ (value >> 27)) * _MIX_MUL2) & _MASK64
+    return value ^ (value >> 31)
+
+
+def mix_tuple(fields: Sequence[int], seed: int = 0) -> int:
+    """Hash a tuple of integers (socket-pair fields) to 64 bits.
+
+    This is the hot path: the bitmap filter hashes four or five small
+    integers per packet.  Avoiding byte-string construction keeps it cheap.
+    """
+    value = splitmix64(seed ^ 0x2545F4914F6CDD1D)
+    for field in fields:
+        value = splitmix64(value ^ field)
+    return value
+
+
+class HashFamily:
+    """``m`` n-bit hash functions derived from two base hashes.
+
+    ``indices(fields)`` returns the ``m`` bit positions for a key, each in
+    ``[0, 2**n)``.  Functions are h_i(x) = h1(x) + i*h2(x) mod 2^n with h2
+    forced odd so it is invertible modulo a power of two (all positions
+    reachable).
+    """
+
+    def __init__(self, m: int, n_bits: int, seed: int = 0) -> None:
+        if m <= 0:
+            raise ValueError(f"need at least one hash function, got {m}")
+        if not 1 <= n_bits <= 32:
+            raise ValueError(f"n_bits out of range: {n_bits}")
+        self.m = m
+        self.n_bits = n_bits
+        self.mask = (1 << n_bits) - 1
+        self.seed = seed
+        self._seed1 = splitmix64(seed)
+        self._seed2 = splitmix64(seed ^ 0xA5A5A5A5A5A5A5A5)
+
+    def base_hashes(self, fields: Sequence[int]) -> Tuple[int, int]:
+        """The two independent 64-bit base hashes of a key."""
+        return mix_tuple(fields, self._seed1), mix_tuple(fields, self._seed2)
+
+    def indices(self, fields: Sequence[int]) -> List[int]:
+        """The m bit positions (n-bit truncated) for a key."""
+        h1, h2 = self.base_hashes(fields)
+        h2 |= 1  # odd => full-period stepping mod 2**n
+        mask = self.mask
+        return [(h1 + i * h2) & mask for i in range(self.m)]
+
+    def indices_bytes(self, data: bytes) -> List[int]:
+        """As :meth:`indices` but for byte-string keys."""
+        h1 = fnv1a_64(data, self._seed1)
+        h2 = fnv1a_64(data, self._seed2) | 1
+        mask = self.mask
+        return [(h1 + i * h2) & mask for i in range(self.m)]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"HashFamily(m={self.m}, n_bits={self.n_bits}, seed={self.seed})"
+
+
+def make_hash_family(m: int, size: int, seed: int = 0) -> HashFamily:
+    """Build a family of ``m`` hashes onto a table of ``size = 2**n`` bits.
+
+    ``size`` must be a power of two, matching the paper's ``N = 2^n``.
+    """
+    if size <= 0 or size & (size - 1):
+        raise ValueError(f"size must be a power of two, got {size}")
+    return HashFamily(m, size.bit_length() - 1, seed=seed)
+
+
+def uniformity_chi2(samples: Iterable[int], buckets: int) -> float:
+    """Chi-square statistic of hash outputs against a uniform distribution.
+
+    A helper for the test suite: values near ``buckets - 1`` (the degrees of
+    freedom) indicate good uniformity.
+    """
+    counts = [0] * buckets
+    total = 0
+    for sample in samples:
+        counts[sample % buckets] += 1
+        total += 1
+    if total == 0:
+        raise ValueError("no samples")
+    expected = total / buckets
+    return sum((count - expected) ** 2 / expected for count in counts)

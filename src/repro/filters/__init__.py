@@ -1,0 +1,38 @@
+"""Packet filters under a common interface.
+
+Three filters implement the paper's positive-listing idea at different
+cost/fidelity points:
+
+* :class:`SPIFilter` — exact per-flow state (the Linux-conntrack-style
+  baseline of sections 2 and 5.3); O(flows) memory.
+* :class:`NaiveTimerFilter` — the section 4.2 "naïve solution": a per-
+  socket-pair countdown timer; exact, O(pairs) memory.
+* :class:`BitmapPacketFilter` — the paper's contribution; constant memory.
+
+All consume :class:`repro.net.packet.Packet` objects with directions set
+and return a :class:`Verdict`.
+"""
+
+from repro.filters.base import AcceptAllFilter, FilterStats, PacketFilter, Verdict
+from repro.filters.spi import SPIFilter
+from repro.filters.naive import NaiveTimerFilter
+from repro.filters.bitmap import BitmapPacketFilter
+from repro.filters.blocklist import BlockedConnectionStore
+from repro.filters.chain import FilterChain
+from repro.filters.counting import CountingBitmapFilter
+from repro.filters.ratelimit import RedPolicerFilter, TokenBucketFilter
+
+__all__ = [
+    "Verdict",
+    "FilterStats",
+    "PacketFilter",
+    "AcceptAllFilter",
+    "SPIFilter",
+    "NaiveTimerFilter",
+    "BitmapPacketFilter",
+    "CountingBitmapFilter",
+    "TokenBucketFilter",
+    "RedPolicerFilter",
+    "BlockedConnectionStore",
+    "FilterChain",
+]

@@ -1,0 +1,108 @@
+"""The packet-filter interface shared by SPI, naïve and bitmap filters."""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.net.packet import Direction, Packet
+
+
+class Verdict(enum.Enum):
+    """Outcome of filtering one packet (Algorithm 2 returns PASS or DROP)."""
+
+    PASS = "pass"
+    DROP = "drop"
+
+
+@dataclass
+class FilterStats:
+    """Per-direction pass/drop accounting for any filter."""
+
+    passed: Dict[Direction, int] = field(
+        default_factory=lambda: {Direction.OUTBOUND: 0, Direction.INBOUND: 0}
+    )
+    dropped: Dict[Direction, int] = field(
+        default_factory=lambda: {Direction.OUTBOUND: 0, Direction.INBOUND: 0}
+    )
+    passed_bytes: Dict[Direction, int] = field(
+        default_factory=lambda: {Direction.OUTBOUND: 0, Direction.INBOUND: 0}
+    )
+    dropped_bytes: Dict[Direction, int] = field(
+        default_factory=lambda: {Direction.OUTBOUND: 0, Direction.INBOUND: 0}
+    )
+
+    def account(self, packet: Packet, verdict: Verdict) -> None:
+        direction = packet.direction
+        if direction is None:
+            raise ValueError("packet has no direction set")
+        if verdict is Verdict.PASS:
+            self.passed[direction] += 1
+            self.passed_bytes[direction] += packet.size
+        else:
+            self.dropped[direction] += 1
+            self.dropped_bytes[direction] += packet.size
+
+    @property
+    def total(self) -> int:
+        return sum(self.passed.values()) + sum(self.dropped.values())
+
+    def drop_rate(self, direction: Direction = Direction.INBOUND) -> float:
+        """Fraction of packets dropped in a direction (Figure 8's metric)."""
+        seen = self.passed[direction] + self.dropped[direction]
+        if seen == 0:
+            return 0.0
+        return self.dropped[direction] / seen
+
+    def overall_drop_rate(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return sum(self.dropped.values()) / self.total
+
+    def as_dict(self) -> dict:
+        return {
+            "passed_outbound": self.passed[Direction.OUTBOUND],
+            "passed_inbound": self.passed[Direction.INBOUND],
+            "dropped_outbound": self.dropped[Direction.OUTBOUND],
+            "dropped_inbound": self.dropped[Direction.INBOUND],
+            "inbound_drop_rate": self.drop_rate(Direction.INBOUND),
+        }
+
+
+class PacketFilter(ABC):
+    """A stateful packet filter at the edge of a client network.
+
+    Subclasses implement :meth:`decide`; :meth:`process` wraps it with
+    statistics.  Filters receive packets in timestamp order; any internal
+    timers are driven by packet timestamps (trace time), never wall-clock.
+    """
+
+    name = "filter"
+
+    def __init__(self) -> None:
+        self.stats = FilterStats()
+
+    @abstractmethod
+    def decide(self, packet: Packet) -> Verdict:
+        """Return PASS or DROP for one packet, updating internal state."""
+
+    def process(self, packet: Packet) -> Verdict:
+        """Decide and account one packet."""
+        verdict = self.decide(packet)
+        self.stats.account(packet, verdict)
+        return verdict
+
+    def reset(self) -> None:
+        """Forget all per-flow state and statistics."""
+        self.stats = FilterStats()
+
+
+class AcceptAllFilter(PacketFilter):
+    """Pass everything — the 'no filtering' control for comparisons."""
+
+    name = "accept-all"
+
+    def decide(self, packet: Packet) -> Verdict:
+        return Verdict.PASS

@@ -1,0 +1,58 @@
+"""The bitmap filter packaged as a :class:`PacketFilter`.
+
+Wraps :class:`repro.core.bitmap_filter.BitmapFilter` with timestamp-driven
+rotation and throughput-driven ``P_d`` so it drops into the same replay
+harness as the SPI and naïve baselines.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.core.bitmap_filter import BitmapFilter, BitmapFilterConfig
+from repro.filters.base import PacketFilter, Verdict
+from repro.filters.policy import DropController
+from repro.net.packet import Direction, Packet
+
+
+class BitmapPacketFilter(PacketFilter):
+    """Constant-memory positive-listing filter (the paper's contribution)."""
+
+    name = "bitmap"
+
+    def __init__(
+        self,
+        config: Optional[BitmapFilterConfig] = None,
+        drop_controller: Optional[DropController] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        super().__init__()
+        self.core = BitmapFilter(config, rng=rng or random.Random(0))
+        self.drop_controller = drop_controller or DropController.always_drop()
+
+    @property
+    def config(self) -> BitmapFilterConfig:
+        return self.core.config
+
+    def decide(self, packet: Packet) -> Verdict:
+        now = packet.timestamp
+        self.core.advance_to(now)
+
+        if packet.direction is Direction.OUTBOUND:
+            self.core.mark_outbound(packet.pair)
+            self.drop_controller.record_upload(now, packet.size)
+            return Verdict.PASS
+
+        probability = self.drop_controller.probability(now)
+        passed = self.core.filter(packet.pair, Direction.INBOUND, probability)
+        return Verdict.PASS if passed else Verdict.DROP
+
+    @property
+    def memory_bytes(self) -> int:
+        """Fixed bitmap footprint — independent of flow count, unlike SPI."""
+        return self.config.memory_bytes
+
+    def reset(self) -> None:
+        super().reset()
+        self.core.reset()

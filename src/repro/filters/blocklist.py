@@ -1,0 +1,81 @@
+"""Blocked-connection persistence for trace replay (section 5.3).
+
+"To simulate a blocked connection, when an inbound packet is decided to be
+dropped by the bitmap filter, the socket pair σ of that packet is stored
+and all the future packets that match any stored σ or σ̄ are all dropped
+without checking the bitmap."
+
+This models what happens in a live network — a dropped connection attempt
+never establishes, so none of its later packets exist — which a passive
+replay cannot otherwise express.  Entries age out after ``retention``
+seconds so a peer retrying much later is treated as a fresh attempt.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.net.packet import Packet, SocketPair
+
+
+class BlockedConnectionStore:
+    """Remembers dropped connections so their later packets stay dropped."""
+
+    def __init__(self, retention: Optional[float] = 3600.0, gc_interval: float = 300.0):
+        if retention is not None and retention <= 0:
+            raise ValueError(f"retention must be positive or None: {retention}")
+        self.retention = retention
+        self._blocked: Dict[SocketPair, float] = {}
+        self._gc_interval = gc_interval
+        self._next_gc: Optional[float] = None
+        self.suppressed_packets = 0
+        self.suppressed_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._blocked)
+
+    def block(self, pair: SocketPair, now: float) -> None:
+        """Record a dropped connection (stored under its canonical form so
+        σ and σ̄ both match)."""
+        self._blocked[pair.canonical] = now
+
+    def is_blocked(self, pair: SocketPair, now: float) -> bool:
+        stamped = self._blocked.get(pair.canonical)
+        if stamped is None:
+            return False
+        if self.retention is not None and now - stamped > self.retention:
+            del self._blocked[pair.canonical]
+            return False
+        return True
+
+    def suppress(self, packet: Packet) -> bool:
+        """True when the packet belongs to a blocked connection; accounts
+        it and refreshes the block timestamp (an active retry keeps the
+        connection blocked)."""
+        self._maybe_gc(packet.timestamp)
+        if not self.is_blocked(packet.pair, packet.timestamp):
+            return False
+        self._blocked[packet.pair.canonical] = packet.timestamp
+        self.suppressed_packets += 1
+        self.suppressed_bytes += packet.size
+        return True
+
+    def _maybe_gc(self, now: float) -> None:
+        if self.retention is None:
+            return
+        if self._next_gc is None:
+            self._next_gc = now + self._gc_interval
+            return
+        if now < self._next_gc:
+            return
+        self._next_gc = now + self._gc_interval
+        horizon = now - self.retention
+        stale = [pair for pair, stamped in self._blocked.items() if stamped < horizon]
+        for pair in stale:
+            del self._blocked[pair]
+
+    def clear(self) -> None:
+        self._blocked.clear()
+        self.suppressed_packets = 0
+        self.suppressed_bytes = 0
+        self._next_gc = None

@@ -1,0 +1,43 @@
+"""Filter composition.
+
+A :class:`FilterChain` runs packets through a sequence of filters with
+first-DROP-wins semantics, so deployments can stack e.g. a static ACL in
+front of the bitmap filter.  Each member filter keeps its own statistics;
+the chain aggregates a combined verdict count.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.filters.base import FilterStats, PacketFilter, Verdict
+from repro.net.packet import Packet
+
+
+class FilterChain(PacketFilter):
+    """Sequential composition of packet filters (first DROP wins)."""
+
+    name = "chain"
+
+    def __init__(self, filters: Iterable[PacketFilter]) -> None:
+        super().__init__()
+        self.filters: List[PacketFilter] = list(filters)
+        if not self.filters:
+            raise ValueError("a chain needs at least one filter")
+
+    def decide(self, packet: Packet) -> Verdict:
+        for packet_filter in self.filters:
+            if packet_filter.process(packet) is Verdict.DROP:
+                return Verdict.DROP
+        return Verdict.PASS
+
+    def reset(self) -> None:
+        super().reset()
+        for packet_filter in self.filters:
+            packet_filter.reset()
+
+    def member_stats(self) -> List[FilterStats]:
+        return [packet_filter.stats for packet_filter in self.filters]
+
+    def __len__(self) -> int:
+        return len(self.filters)

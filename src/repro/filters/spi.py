@@ -1,0 +1,149 @@
+"""Stateful packet inspection (SPI) baseline filter.
+
+The exact-state comparator of sections 2 and 5.3: a per-flow table keyed by
+the canonical socket pair.  Outbound packets install or refresh state and
+always pass; inbound packets pass when matching state exists, otherwise they
+are dropped with probability ``P_d``.  Idle entries expire after
+``idle_timeout`` seconds — the paper sets 240 s, "the default TIME_WAIT
+timeout used in the Microsoft Windows operating system".
+
+Unlike the bitmap filter, SPI sees TCP control flags, so it "knows the exact
+time of closed connections and can therefore drop packets more precisely":
+an RST removes state immediately and a FIN exchange retires it after the
+close completes.  Memory and lookup structures grow with the number of live
+flows — the O(n) cost the bitmap filter exists to avoid.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.filters.base import PacketFilter, Verdict
+from repro.filters.policy import DropController
+from repro.net.inet import IPPROTO_TCP
+from repro.net.packet import Direction, Packet, SocketPair
+
+
+class _FlowState:
+    """One tracked flow: last activity plus TCP close progress."""
+
+    __slots__ = ("last_seen", "fin_fwd", "fin_rev", "expires_at")
+
+    def __init__(self, now: float) -> None:
+        self.last_seen = now
+        self.fin_fwd = False
+        self.fin_rev = False
+        #: Hard deadline once the flow enters TIME_WAIT (None = idle rule).
+        self.expires_at: Optional[float] = None
+
+    @property
+    def closing(self) -> bool:
+        return self.fin_fwd and self.fin_rev
+
+
+class SPIFilter(PacketFilter):
+    """Exact per-flow positive-listing filter."""
+
+    name = "spi"
+
+    def __init__(
+        self,
+        idle_timeout: float = 240.0,
+        time_wait: float = 10.0,
+        drop_controller: Optional[DropController] = None,
+        rng: Optional[random.Random] = None,
+        gc_interval: float = 30.0,
+    ) -> None:
+        super().__init__()
+        if idle_timeout <= 0:
+            raise ValueError(f"idle_timeout must be positive: {idle_timeout}")
+        if time_wait < 0:
+            raise ValueError(f"time_wait must be non-negative: {time_wait}")
+        if gc_interval <= 0:
+            raise ValueError(f"gc_interval must be positive: {gc_interval}")
+        self.idle_timeout = idle_timeout
+        #: How long a FIN-closed flow lingers so the close handshake's own
+        #: trailing segments still match state (TIME_WAIT).
+        self.time_wait = time_wait
+        self.drop_controller = drop_controller or DropController.always_drop()
+        self._rng = rng or random.Random(0)
+        self._table: Dict[SocketPair, _FlowState] = {}
+        self._gc_interval = gc_interval
+        self._next_gc: Optional[float] = None
+
+    @property
+    def tracked_flows(self) -> int:
+        """Current state-table size — the baseline's O(n) footprint."""
+        return len(self._table)
+
+    def decide(self, packet: Packet) -> Verdict:
+        now = packet.timestamp
+        self._maybe_gc(now)
+        key = packet.pair.canonical
+
+        if packet.direction is Direction.OUTBOUND:
+            state = self._table.get(key)
+            if state is None or packet.is_syn:
+                # New flow, or a fresh SYN reusing a five-tuple: (re)install.
+                state = _FlowState(now)
+                self._table[key] = state
+            else:
+                state.last_seen = now
+            self._track_close(state, packet, key, forward=True)
+            self.drop_controller.record_upload(now, packet.size)
+            return Verdict.PASS
+
+        state = self._table.get(key)
+        if state is not None and self._alive(state, now):
+            state.last_seen = now
+            self._track_close(state, packet, key, forward=False)
+            return Verdict.PASS
+        if state is not None:
+            # Idle past the timeout (or TIME_WAIT elapsed): drop the entry.
+            del self._table[key]
+        probability = self.drop_controller.probability(now)
+        if probability >= 1.0 or self._rng.random() < probability:
+            return Verdict.DROP
+        return Verdict.PASS
+
+    def _alive(self, state: _FlowState, now: float) -> bool:
+        if state.expires_at is not None:
+            return now <= state.expires_at
+        return now - state.last_seen <= self.idle_timeout
+
+    def _track_close(
+        self, state: _FlowState, packet: Packet, key: SocketPair, forward: bool
+    ) -> None:
+        if packet.pair.protocol != IPPROTO_TCP:
+            return
+        if packet.is_rst:
+            # Abortive close: the connection is gone immediately.
+            self._table.pop(key, None)
+            return
+        if packet.is_fin:
+            if forward:
+                state.fin_fwd = True
+            else:
+                state.fin_rev = True
+            if state.closing:
+                # Orderly close: linger in TIME_WAIT so the handshake's
+                # trailing ACK still matches, then expire hard.
+                state.expires_at = packet.timestamp + self.time_wait
+
+    def _maybe_gc(self, now: float) -> None:
+        """Periodically evict idle flows so the table tracks live state."""
+        if self._next_gc is None:
+            self._next_gc = now + self._gc_interval
+            return
+        if now < self._next_gc:
+            return
+        self._next_gc = now + self._gc_interval
+        stale = [key for key, state in self._table.items() if not self._alive(state, now)]
+        for key in stale:
+            del self._table[key]
+
+    def reset(self) -> None:
+        super().reset()
+        self._table.clear()
+        self._next_gc = None

@@ -1,0 +1,50 @@
+"""Packet-level substrate: addresses, headers, packets, pcap I/O and flows.
+
+The paper's evaluation replays packet traces through filters at the edge of a
+client network.  This subpackage provides everything needed to represent,
+serialize and parse such traces without external dependencies (scapy is far
+too slow for million-packet replays; see DESIGN.md, substitution table).
+"""
+
+from repro.net.inet import (
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    format_ipv4,
+    internet_checksum,
+    parse_ipv4,
+)
+from repro.net.packet import Direction, Packet, SocketPair
+from repro.net.headers import (
+    IPv4Header,
+    TCPFlags,
+    TCPHeader,
+    UDPHeader,
+    decode_packet,
+    encode_packet,
+)
+from repro.net.pcap import PcapReader, PcapWriter, read_pcap, write_pcap
+from repro.net.flows import ConnectionTable, FlowRecord, TCPState
+
+__all__ = [
+    "IPPROTO_TCP",
+    "IPPROTO_UDP",
+    "format_ipv4",
+    "parse_ipv4",
+    "internet_checksum",
+    "Direction",
+    "Packet",
+    "SocketPair",
+    "IPv4Header",
+    "TCPFlags",
+    "TCPHeader",
+    "UDPHeader",
+    "decode_packet",
+    "encode_packet",
+    "PcapReader",
+    "PcapWriter",
+    "read_pcap",
+    "write_pcap",
+    "ConnectionTable",
+    "FlowRecord",
+    "TCPState",
+]

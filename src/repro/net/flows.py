@@ -1,0 +1,189 @@
+"""Connection tracking: flow records and a connection table.
+
+The traffic analyzer (paper section 3.2) "first classifies packets into
+connections" keyed by the five-tuple socket pair, where a pair and its
+inverse identify the same connection.  It then logs per-connection
+properties: direction, packets and bytes per direction, lifetime, and
+out-in packet delays.  :class:`ConnectionTable` implements that bookkeeping.
+
+TCP lifetimes are "counted from the first TCP-SYN packet to the appearance
+of a valid TCP-FIN or TCP-RST packet" (section 3.3); UDP flows are bounded
+by an idle timeout.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterator, List, Optional
+
+from repro.net.inet import IPPROTO_TCP
+from repro.net.packet import Direction, Packet, SocketPair
+
+
+class TCPState(enum.Enum):
+    """Coarse TCP connection lifecycle, enough for lifetime accounting."""
+
+    SYN_SEEN = "syn-seen"
+    ESTABLISHED = "established"
+    CLOSED = "closed"
+
+
+class FlowRecord:
+    """Accumulated state for one connection (both directions)."""
+
+    __slots__ = (
+        "pair",
+        "direction",
+        "first_seen",
+        "last_seen",
+        "syn_time",
+        "close_time",
+        "state",
+        "packets_fwd",
+        "packets_rev",
+        "bytes_fwd",
+        "bytes_rev",
+        "application",
+        "saw_syn",
+    )
+
+    def __init__(self, pair: SocketPair, direction: Optional[Direction], now: float):
+        #: The socket pair of the *first* packet observed; "forward" below
+        #: means packets matching this orientation.
+        self.pair = pair
+        #: Direction of the connection == direction of its first packet
+        #: (who initiated it, from the client network's point of view).
+        self.direction = direction
+        self.first_seen = now
+        self.last_seen = now
+        self.syn_time: Optional[float] = None
+        self.close_time: Optional[float] = None
+        self.state: Optional[TCPState] = None
+        self.packets_fwd = 0
+        self.packets_rev = 0
+        self.bytes_fwd = 0
+        self.bytes_rev = 0
+        #: Filled in by the analyzer's classifier; None = not yet identified.
+        self.application: Optional[str] = None
+        self.saw_syn = False
+
+    # -- derived properties -------------------------------------------------
+
+    @property
+    def packets(self) -> int:
+        """Total packets in both directions."""
+        return self.packets_fwd + self.packets_rev
+
+    @property
+    def bytes(self) -> int:
+        """Total bytes in both directions."""
+        return self.bytes_fwd + self.bytes_rev
+
+    @property
+    def lifetime(self) -> Optional[float]:
+        """SYN-to-FIN/RST lifetime for cleanly observed TCP connections,
+        first-to-last packet span otherwise."""
+        if self.pair.protocol == IPPROTO_TCP:
+            if self.syn_time is None:
+                return None
+            end = self.close_time if self.close_time is not None else self.last_seen
+            return end - self.syn_time
+        return self.last_seen - self.first_seen
+
+    def observe(self, packet: Packet, forward: bool) -> None:
+        """Fold one packet into the record."""
+        self.last_seen = packet.timestamp
+        if forward:
+            self.packets_fwd += 1
+            self.bytes_fwd += packet.size
+        else:
+            self.packets_rev += 1
+            self.bytes_rev += packet.size
+        if self.pair.protocol != IPPROTO_TCP:
+            return
+        if packet.is_syn and self.syn_time is None:
+            self.syn_time = packet.timestamp
+            self.state = TCPState.SYN_SEEN
+            self.saw_syn = True
+        elif packet.is_synack and self.state is TCPState.SYN_SEEN:
+            self.state = TCPState.ESTABLISHED
+        if (packet.is_fin or packet.is_rst) and self.close_time is None:
+            self.close_time = packet.timestamp
+            self.state = TCPState.CLOSED
+
+
+class ConnectionTable:
+    """Map packets to connections, keyed by the canonical socket pair.
+
+    ``udp_timeout`` bounds how long an idle UDP "connection" stays alive;
+    the paper has no explicit close signal for UDP so idleness defines the
+    flow boundary.  Closed/expired flows are moved to :attr:`finished` so
+    reports can iterate everything observed.
+    """
+
+    def __init__(self, udp_timeout: float = 120.0, tcp_timeout: float = 3600.0):
+        if udp_timeout <= 0 or tcp_timeout <= 0:
+            raise ValueError("timeouts must be positive")
+        self.udp_timeout = udp_timeout
+        self.tcp_timeout = tcp_timeout
+        self.active: Dict[SocketPair, FlowRecord] = {}
+        self.finished: List[FlowRecord] = []
+        self._last_expiry_scan = 0.0
+        #: How often to sweep for idle flows (seconds of trace time).
+        self.expiry_scan_interval = 30.0
+
+    def __len__(self) -> int:
+        return len(self.active)
+
+    @property
+    def total_flows(self) -> int:
+        """Active plus finished flows."""
+        return len(self.active) + len(self.finished)
+
+    def observe(self, packet: Packet) -> FlowRecord:
+        """Record a packet; returns its (possibly new) flow record.
+
+        A closed TCP flow lingers in the table (TIME_WAIT-style) so the
+        tail of the FIN handshake attaches to the same record; only a
+        fresh SYN on the same five-tuple (port reuse) starts a new flow.
+        """
+        key = packet.pair.canonical
+        record = self.active.get(key)
+        if record is not None and record.state is TCPState.CLOSED and packet.is_syn:
+            self.finished.append(record)
+            record = None
+        if record is None:
+            record = FlowRecord(packet.pair, packet.direction, packet.timestamp)
+            self.active[key] = record
+        forward = packet.pair == record.pair
+        record.observe(packet, forward)
+        if packet.timestamp - self._last_expiry_scan >= self.expiry_scan_interval:
+            self.expire_idle(packet.timestamp)
+        return record
+
+    def expire_idle(self, now: float) -> int:
+        """Retire flows idle past their timeout; returns how many expired."""
+        self._last_expiry_scan = now
+        expired = [
+            key
+            for key, record in self.active.items()
+            if now - record.last_seen
+            > (self.tcp_timeout if record.pair.protocol == IPPROTO_TCP else self.udp_timeout)
+        ]
+        for key in expired:
+            self.finished.append(self.active.pop(key))
+        return len(expired)
+
+    def flush(self) -> None:
+        """Move every remaining active flow to :attr:`finished` (end of trace)."""
+        self.finished.extend(self.active.values())
+        self.active.clear()
+
+    def all_flows(self) -> Iterator[FlowRecord]:
+        """Iterate finished then still-active flows."""
+        yield from self.finished
+        yield from self.active.values()
+
+    def lookup(self, pair: SocketPair) -> Optional[FlowRecord]:
+        """Find the active flow for a socket pair (or its inverse)."""
+        return self.active.get(pair.canonical)

@@ -1,0 +1,216 @@
+"""IPv4 / TCP / UDP header encoding and decoding.
+
+The trace generator emits real wire-format packets (so traces round-trip
+through pcap files and third-party tools), and the pcap reader parses them
+back into :class:`repro.net.packet.Packet` objects.  Only the fields the
+paper's systems consume are modelled; IP options and TCP options are
+supported structurally (header-length fields are honoured) but not
+interpreted.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from typing import NamedTuple, Optional, Tuple
+
+from repro.net.inet import (
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    internet_checksum,
+    pseudo_header,
+)
+from repro.net.packet import Packet, SocketPair
+
+IPV4_MIN_HEADER = 20
+TCP_MIN_HEADER = 20
+UDP_HEADER = 8
+
+
+class TCPFlags(enum.IntFlag):
+    """TCP control bits (low octet of offset/flags word)."""
+
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+    URG = 0x20
+
+
+class IPv4Header(NamedTuple):
+    """IPv4 header fields (no options) with checksummed encoding."""
+
+    src: int
+    dst: int
+    protocol: int
+    total_length: int
+    ttl: int = 64
+    ident: int = 0
+
+    def encode(self) -> bytes:
+        """Serialize with a correct header checksum."""
+        header = struct.pack(
+            "!BBHHHBBHII",
+            (4 << 4) | 5,  # version 4, IHL 5 (no options)
+            0,  # DSCP/ECN
+            self.total_length,
+            self.ident,
+            0,  # flags/fragment offset
+            self.ttl,
+            self.protocol,
+            0,  # checksum placeholder
+            self.src,
+            self.dst,
+        )
+        checksum = internet_checksum(header)
+        return header[:10] + struct.pack("!H", checksum) + header[12:]
+
+
+class TCPHeader(NamedTuple):
+    """TCP header fields (no options) with pseudo-header checksumming."""
+
+    src_port: int
+    dst_port: int
+    seq: int
+    ack: int
+    flags: int
+    window: int = 65535
+
+    def encode(self, src: int, dst: int, payload: bytes) -> bytes:
+        """Serialize with a correct pseudo-header checksum."""
+        header = struct.pack(
+            "!HHIIBBHHH",
+            self.src_port,
+            self.dst_port,
+            self.seq & 0xFFFFFFFF,
+            self.ack & 0xFFFFFFFF,
+            5 << 4,  # data offset 5 words, no options
+            self.flags & 0xFF,
+            self.window,
+            0,  # checksum placeholder
+            0,  # urgent pointer
+        )
+        segment = header + payload
+        pseudo = pseudo_header(src, dst, IPPROTO_TCP, len(segment))
+        checksum = internet_checksum(pseudo + segment)
+        return segment[:16] + struct.pack("!H", checksum) + segment[18:]
+
+
+class UDPHeader(NamedTuple):
+    """UDP header fields with pseudo-header checksumming."""
+
+    src_port: int
+    dst_port: int
+
+    def encode(self, src: int, dst: int, payload: bytes) -> bytes:
+        """Serialize with a correct pseudo-header checksum."""
+        length = UDP_HEADER + len(payload)
+        header = struct.pack("!HHHH", self.src_port, self.dst_port, length, 0)
+        datagram = header + payload
+        pseudo = pseudo_header(src, dst, IPPROTO_UDP, length)
+        checksum = internet_checksum(pseudo + datagram)
+        if checksum == 0:
+            checksum = 0xFFFF  # RFC 768: transmitted as all-ones
+        return datagram[:6] + struct.pack("!H", checksum) + datagram[8:]
+
+
+class HeaderError(ValueError):
+    """Raised when a buffer cannot be parsed as the expected header."""
+
+
+def encode_packet(
+    pair: SocketPair,
+    payload: bytes = b"",
+    flags: int = 0,
+    seq: int = 0,
+    ack: int = 0,
+    pad_to: Optional[int] = None,
+) -> bytes:
+    """Build a full IPv4 wire-format packet for a socket pair.
+
+    ``pad_to`` extends the payload with zero bytes so synthetic packets can
+    carry a realistic wire size without fabricating content (used for bulk
+    data packets whose payload bytes are irrelevant to every consumer).
+    """
+    if pad_to is not None and pad_to > len(payload):
+        payload = payload + b"\x00" * (pad_to - len(payload))
+    if pair.protocol == IPPROTO_TCP:
+        transport = TCPHeader(
+            pair.src_port, pair.dst_port, seq=seq, ack=ack, flags=flags
+        ).encode(pair.src_addr, pair.dst_addr, payload)
+    elif pair.protocol == IPPROTO_UDP:
+        transport = UDPHeader(pair.src_port, pair.dst_port).encode(
+            pair.src_addr, pair.dst_addr, payload
+        )
+    else:
+        transport = payload
+    total = IPV4_MIN_HEADER + len(transport)
+    ip = IPv4Header(pair.src_addr, pair.dst_addr, pair.protocol, total)
+    return ip.encode() + transport
+
+
+def decode_packet(
+    data: bytes, timestamp: float = 0.0, verify_checksums: bool = False
+) -> Packet:
+    """Parse an IPv4 wire-format packet into a :class:`Packet`.
+
+    Raises :class:`HeaderError` on malformed input.  With
+    ``verify_checksums`` the IPv4 header checksum is validated and bad
+    packets are rejected, mirroring the paper's analyzer behaviour.
+    """
+    ip_header, protocol, src, dst, payload_and_transport = _decode_ipv4(data)
+    if verify_checksums and internet_checksum(ip_header) != 0:
+        raise HeaderError("bad IPv4 header checksum")
+
+    if protocol == IPPROTO_TCP:
+        sport, dport, flags, payload = _decode_tcp(payload_and_transport)
+    elif protocol == IPPROTO_UDP:
+        sport, dport, payload = _decode_udp(payload_and_transport)
+        flags = 0
+    else:
+        sport = dport = 0
+        flags = 0
+        payload = payload_and_transport
+
+    pair = SocketPair(protocol, src, sport, dst, dport)
+    return Packet(timestamp, pair, size=len(data), flags=flags, payload=payload)
+
+
+def _decode_ipv4(data: bytes) -> Tuple[bytes, int, int, int, bytes]:
+    if len(data) < IPV4_MIN_HEADER:
+        raise HeaderError(f"truncated IPv4 header ({len(data)} bytes)")
+    version_ihl = data[0]
+    if version_ihl >> 4 != 4:
+        raise HeaderError(f"not IPv4 (version {version_ihl >> 4})")
+    ihl = (version_ihl & 0x0F) * 4
+    if ihl < IPV4_MIN_HEADER or len(data) < ihl:
+        raise HeaderError(f"bad IHL {ihl}")
+    total_length = struct.unpack_from("!H", data, 2)[0]
+    if total_length < ihl:
+        raise HeaderError("total length shorter than header")
+    protocol = data[9]
+    src, dst = struct.unpack_from("!II", data, 12)
+    body = data[ihl:total_length] if total_length <= len(data) else data[ihl:]
+    return data[:ihl], protocol, src, dst, body
+
+
+def _decode_tcp(data: bytes) -> Tuple[int, int, int, bytes]:
+    if len(data) < TCP_MIN_HEADER:
+        raise HeaderError(f"truncated TCP header ({len(data)} bytes)")
+    sport, dport = struct.unpack_from("!HH", data, 0)
+    offset_flags = struct.unpack_from("!H", data, 12)[0]
+    data_offset = ((offset_flags >> 12) & 0x0F) * 4
+    flags = offset_flags & 0x3F
+    if data_offset < TCP_MIN_HEADER or data_offset > len(data):
+        raise HeaderError(f"bad TCP data offset {data_offset}")
+    return sport, dport, flags, data[data_offset:]
+
+
+def _decode_udp(data: bytes) -> Tuple[int, int, bytes]:
+    if len(data) < UDP_HEADER:
+        raise HeaderError(f"truncated UDP header ({len(data)} bytes)")
+    sport, dport, length = struct.unpack_from("!HHH", data, 0)
+    if length < UDP_HEADER:
+        raise HeaderError(f"bad UDP length {length}")
+    return sport, dport, data[UDP_HEADER:length] if length <= len(data) else data[UDP_HEADER:]

@@ -1,0 +1,108 @@
+"""Internet primitives: IPv4 address helpers, protocol numbers, checksums.
+
+Addresses are represented as plain ``int`` (host byte order) throughout the
+library.  Integers hash and compare faster than strings or tuples, which
+matters when a replay pushes millions of packets through a filter.
+"""
+
+from __future__ import annotations
+
+import struct
+
+# IANA assigned protocol numbers.  The traffic analyzer (paper section 3.2)
+# "focuses only on TCP and UDP traffic for that these two are the major data
+# transmission protocols used over Internet".
+IPPROTO_ICMP = 1
+IPPROTO_TCP = 6
+IPPROTO_UDP = 17
+
+PROTO_NAMES = {
+    IPPROTO_ICMP: "icmp",
+    IPPROTO_TCP: "tcp",
+    IPPROTO_UDP: "udp",
+}
+
+#: Maximum value of a 16-bit port number.
+MAX_PORT = 0xFFFF
+
+#: Maximum value of an IPv4 address as an integer.
+MAX_IPV4 = 0xFFFFFFFF
+
+
+def parse_ipv4(text: str) -> int:
+    """Parse dotted-quad notation into an integer address.
+
+    >>> hex(parse_ipv4("10.0.0.1"))
+    '0xa000001'
+    """
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not a dotted quad: {text!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ipv4(addr: int) -> str:
+    """Render an integer address in dotted-quad notation.
+
+    >>> format_ipv4(0x0A000001)
+    '10.0.0.1'
+    """
+    if not 0 <= addr <= MAX_IPV4:
+        raise ValueError(f"address out of range: {addr}")
+    return ".".join(str((addr >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def ipv4_network(addr: int, prefix_len: int) -> int:
+    """Return the network part of ``addr`` under a ``prefix_len`` mask."""
+    if not 0 <= prefix_len <= 32:
+        raise ValueError(f"prefix length out of range: {prefix_len}")
+    if prefix_len == 0:
+        return 0
+    mask = (MAX_IPV4 << (32 - prefix_len)) & MAX_IPV4
+    return addr & mask
+
+
+def in_network(addr: int, network: int, prefix_len: int) -> bool:
+    """True when ``addr`` falls inside ``network/prefix_len``."""
+    return ipv4_network(addr, prefix_len) == ipv4_network(network, prefix_len)
+
+
+def internet_checksum(data: bytes, initial: int = 0) -> int:
+    """RFC 1071 Internet checksum (one's-complement sum of 16-bit words).
+
+    Used for IPv4 header checksums and the TCP/UDP pseudo-header checksums.
+    The analyzer discards packets with bad checksums, exactly as the paper's
+    analyzer does ("Packets with incorrect checksum values are not considered
+    for examination").
+    """
+    total = initial
+    length = len(data)
+    # Sum 16-bit big-endian words.
+    for (word,) in struct.iter_unpack("!H", data[: length & ~1]):
+        total += word
+    if length & 1:
+        total += data[-1] << 8
+    # Fold carries.
+    while total > 0xFFFF:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def pseudo_header(src: int, dst: int, proto: int, length: int) -> bytes:
+    """Build the IPv4 pseudo-header used in TCP/UDP checksum computation."""
+    return struct.pack("!IIBBH", src, dst, 0, proto, length)
+
+
+def is_private(addr: int) -> bool:
+    """True for RFC 1918 private address space."""
+    return (
+        in_network(addr, parse_ipv4("10.0.0.0"), 8)
+        or in_network(addr, parse_ipv4("172.16.0.0"), 12)
+        or in_network(addr, parse_ipv4("192.168.0.0"), 16)
+    )

@@ -1,0 +1,149 @@
+"""Minimal pcap(4) file reader and writer.
+
+The paper collects traces with tcpdump and stores header-only traces "using
+the same format as the tcpdump program".  This module implements that format
+(the classic microsecond-resolution pcap container) so synthetic traces can
+be written to disk, snapped to headers only, and replayed — without libpcap.
+
+Only ``LINKTYPE_RAW`` (IPv4 directly in the capture, value 101) and
+``LINKTYPE_NULL``/``LINKTYPE_EN10MB`` unwrapping are supported; the trace
+generator writes LINKTYPE_RAW.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, Iterable, Iterator, List, NamedTuple, Union
+
+PCAP_MAGIC = 0xA1B2C3D4
+PCAP_MAGIC_SWAPPED = 0xD4C3B2A1
+PCAP_VERSION = (2, 4)
+
+LINKTYPE_NULL = 0
+LINKTYPE_EN10MB = 1
+LINKTYPE_RAW = 101
+
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+_ETHERNET_HEADER_LEN = 14
+
+
+class PcapError(ValueError):
+    """Raised on malformed pcap input."""
+
+
+class PcapRecord(NamedTuple):
+    """One captured packet: timestamp (float seconds), original length on
+    the wire, and the (possibly snapped) captured bytes."""
+
+    timestamp: float
+    orig_len: int
+    data: bytes
+
+
+class PcapWriter:
+    """Stream pcap records to a binary file object.
+
+    ``snaplen`` both declares the capture length in the global header and
+    truncates written records — passing e.g. 64 stores layer-3/4 headers
+    only, the paper's space-saving trick for long traces.
+    """
+
+    def __init__(
+        self,
+        fileobj: BinaryIO,
+        linktype: int = LINKTYPE_RAW,
+        snaplen: int = 65535,
+    ) -> None:
+        if snaplen <= 0:
+            raise ValueError(f"snaplen must be positive: {snaplen}")
+        self._file = fileobj
+        self.linktype = linktype
+        self.snaplen = snaplen
+        self._file.write(
+            _GLOBAL_HEADER.pack(
+                PCAP_MAGIC, PCAP_VERSION[0], PCAP_VERSION[1], 0, 0, snaplen, linktype
+            )
+        )
+        self.count = 0
+
+    def write(self, timestamp: float, data: bytes, orig_len: int = -1) -> None:
+        """Append one record, truncating to the snaplen."""
+        if orig_len < 0:
+            orig_len = len(data)
+        captured = data[: self.snaplen]
+        seconds = int(timestamp)
+        micros = int(round((timestamp - seconds) * 1_000_000))
+        if micros >= 1_000_000:  # guard against float rounding to 1.0s
+            seconds += 1
+            micros -= 1_000_000
+        self._file.write(_RECORD_HEADER.pack(seconds, micros, len(captured), orig_len))
+        self._file.write(captured)
+        self.count += 1
+
+
+class PcapReader:
+    """Iterate :class:`PcapRecord` objects from a pcap file object.
+
+    Handles both native and byte-swapped magic, and strips Ethernet framing
+    when the link type is EN10MB so callers always receive IP packets.
+    """
+
+    def __init__(self, fileobj: BinaryIO) -> None:
+        self._file = fileobj
+        header = fileobj.read(_GLOBAL_HEADER.size)
+        if len(header) < _GLOBAL_HEADER.size:
+            raise PcapError("truncated pcap global header")
+        magic = struct.unpack("<I", header[:4])[0]
+        if magic == PCAP_MAGIC:
+            self._fmt = "<"
+        elif magic == PCAP_MAGIC_SWAPPED:
+            self._fmt = ">"
+        else:
+            raise PcapError(f"bad pcap magic {magic:#x}")
+        fields = struct.unpack(self._fmt + "IHHiIII", header)
+        self.snaplen = fields[5]
+        self.linktype = fields[6]
+
+    def __iter__(self) -> Iterator[PcapRecord]:
+        record = struct.Struct(self._fmt + "IIII")
+        while True:
+            head = self._file.read(record.size)
+            if not head:
+                return
+            if len(head) < record.size:
+                raise PcapError("truncated pcap record header")
+            seconds, micros, cap_len, orig_len = record.unpack(head)
+            data = self._file.read(cap_len)
+            if len(data) < cap_len:
+                raise PcapError("truncated pcap record body")
+            if self.linktype == LINKTYPE_EN10MB:
+                data = data[_ETHERNET_HEADER_LEN:]
+            elif self.linktype == LINKTYPE_NULL:
+                data = data[4:]
+            yield PcapRecord(seconds + micros / 1_000_000, orig_len, data)
+
+
+def write_pcap(
+    path: str,
+    records: Iterable[Union[PcapRecord, tuple]],
+    linktype: int = LINKTYPE_RAW,
+    snaplen: int = 65535,
+) -> int:
+    """Write an iterable of ``(timestamp, data)`` or :class:`PcapRecord` to
+    ``path``; returns the number of records written."""
+    with open(path, "wb") as fileobj:
+        writer = PcapWriter(fileobj, linktype=linktype, snaplen=snaplen)
+        for record in records:
+            if isinstance(record, PcapRecord):
+                writer.write(record.timestamp, record.data, record.orig_len)
+            else:
+                timestamp, data = record
+                writer.write(timestamp, data)
+        return writer.count
+
+
+def read_pcap(path: str) -> List[PcapRecord]:
+    """Read every record of a pcap file into memory."""
+    with open(path, "rb") as fileobj:
+        return list(PcapReader(fileobj))

@@ -1,0 +1,15 @@
+"""Text rendering of the paper's figures.
+
+Terminal-friendly plots (CDF curves, time series, histograms) so the
+benchmark harness and examples can *show* the reproduced figures, not just
+assert on their statistics.
+"""
+
+from repro.report.figures import (
+    render_cdf,
+    render_histogram,
+    render_scatter,
+    render_series,
+)
+
+__all__ = ["render_cdf", "render_histogram", "render_scatter", "render_series"]

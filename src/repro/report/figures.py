@@ -1,0 +1,160 @@
+"""ASCII plot rendering.
+
+Nothing here affects measurements — these functions turn the data
+structures produced by :mod:`repro.analyzer.report` and
+:mod:`repro.sim.metrics` into fixed-width text blocks for terminals,
+logs and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+DEFAULT_WIDTH = 64
+DEFAULT_HEIGHT = 16
+
+
+def _scale(value: float, low: float, high: float, steps: int) -> int:
+    if high <= low:
+        return 0
+    position = (value - low) / (high - low)
+    return max(0, min(steps - 1, int(position * (steps - 1) + 0.5)))
+
+
+def render_series(
+    points: Sequence[Tuple[float, float]],
+    title: str = "",
+    width: int = DEFAULT_WIDTH,
+    height: int = DEFAULT_HEIGHT,
+    y_label: str = "",
+    hline: Optional[float] = None,
+) -> str:
+    """Plot a (x, y) time series as a column chart.
+
+    ``hline`` draws a horizontal reference (e.g. the Figure 9 H threshold).
+    """
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_high = max(max(ys), hline or 0.0) or 1.0
+
+    # Bucket x into columns, averaging y.
+    columns: List[List[float]] = [[] for _ in range(width)]
+    for x, y in points:
+        columns[_scale(x, x_low, x_high, width)].append(y)
+    heights = [
+        (sum(column) / len(column)) if column else 0.0 for column in columns
+    ]
+
+    rows = []
+    hline_row = _scale(hline, 0.0, y_high, height) if hline is not None else None
+    for row in range(height - 1, -1, -1):
+        threshold = y_high * (row + 0.5) / height
+        cells = []
+        for value in heights:
+            if value >= threshold:
+                cells.append("#")
+            elif hline_row is not None and row == hline_row:
+                cells.append("-")
+            else:
+                cells.append(" ")
+        label = f"{y_high * (row + 1) / height:8.2f}" if row in (0, height - 1) else " " * 8
+        rows.append(f"{label} |{''.join(cells)}|")
+    footer = f"{'':8} +{'-' * width}+"
+    x_axis = f"{'':9}{x_low:<10.0f}{'':{max(0, width - 20)}}{x_high:>10.0f}"
+    header = f"{title}" + (f"   [y: {y_label}]" if y_label else "")
+    return "\n".join([header] + rows + [footer, x_axis])
+
+
+def render_cdf(
+    curves: Dict[str, List[Tuple[float, float]]],
+    title: str = "",
+    width: int = DEFAULT_WIDTH,
+    height: int = DEFAULT_HEIGHT,
+    x_log: bool = False,
+) -> str:
+    """Overlay several CDF curves, one symbol per curve (Figures 2/3/5)."""
+    if not curves:
+        return f"{title}\n(no data)"
+    symbols = "*o+x@%&"
+    all_x = [x for points in curves.values() for x, _ in points if x > 0 or not x_log]
+    if not all_x:
+        return f"{title}\n(no data)"
+    x_low, x_high = min(all_x), max(all_x)
+    if x_log:
+        x_low = max(x_low, 1e-9)
+
+    def x_column(x: float) -> int:
+        if x_log:
+            return _scale(math.log10(max(x, x_low)), math.log10(x_low),
+                          math.log10(x_high), width)
+        return _scale(x, x_low, x_high, width)
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for (name, points), symbol in zip(curves.items(), symbols):
+        legend.append(f"{symbol}={name}")
+        # Interpolate the curve at each column for a continuous line.
+        column_values: Dict[int, float] = {}
+        for x, y in points:
+            column_values[x_column(x)] = max(column_values.get(x_column(x), 0.0), y)
+        running = 0.0
+        for column in range(width):
+            running = column_values.get(column, running)
+            if running > 0:
+                grid[height - 1 - _scale(running, 0.0, 1.0, height)][column] = symbol
+
+    rows = [f"{1.0 - row / (height - 1):5.2f} |{''.join(grid[row])}|" for row in range(height)]
+    footer = f"{'':5} +{'-' * width}+"
+    scale_note = "log-x" if x_log else "linear-x"
+    x_axis = f"{'':6}{x_low:<12.4g}{'':{max(0, width - 24)}}{x_high:>12.4g} ({scale_note})"
+    return "\n".join([f"{title}   {'  '.join(legend)}"] + rows + [footer, x_axis])
+
+
+def render_histogram(
+    bins: Sequence[Tuple[float, int]],
+    title: str = "",
+    width: int = 50,
+    max_rows: int = 24,
+    bin_label: str = "s",
+) -> str:
+    """Horizontal-bar histogram (Figures 4 and 5-a)."""
+    if not bins:
+        return f"{title}\n(no data)"
+    shown = list(bins[:max_rows])
+    peak = max(count for _, count in shown) or 1
+    lines = [title]
+    for start, count in shown:
+        bar = "#" * max(1 if count else 0, int(width * count / peak))
+        lines.append(f"{start:>8.1f}{bin_label} |{bar:<{width}}| {count}")
+    if len(bins) > max_rows:
+        remainder = sum(count for _, count in bins[max_rows:])
+        lines.append(f"{'...':>9} | ({remainder} in {len(bins) - max_rows} more bins)")
+    return "\n".join(lines)
+
+
+def render_scatter(
+    points: Sequence[Tuple[float, float]],
+    title: str = "",
+    size: int = 24,
+    diagonal: bool = True,
+) -> str:
+    """Square scatter plot with an optional identity line (Figure 8)."""
+    if not points:
+        return f"{title}\n(no data)"
+    high = max(max(x for x, _ in points), max(y for _, y in points)) or 1.0
+    grid = [[" "] * size for _ in range(size)]
+    if diagonal:
+        for index in range(size):
+            grid[size - 1 - index][index] = "."
+    for x, y in points:
+        column = _scale(x, 0.0, high, size)
+        row = size - 1 - _scale(y, 0.0, high, size)
+        grid[row][column] = "*"
+    rows = [f"|{''.join(line)}|" for line in grid]
+    return "\n".join(
+        [f"{title}   (axes 0..{high:.3g}, '.' = slope 1.0)"] + rows + ["+" + "-" * size + "+"]
+    )

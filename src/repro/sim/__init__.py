@@ -1,0 +1,25 @@
+"""Trace-replay evaluation harness (paper section 5.3).
+
+Feeds timestamp-ordered packets through an edge router hosting a filter,
+with the blocked-connection persistence the paper uses to emulate live
+blocking during replay, and collects throughput / drop-rate series that
+regenerate Figures 8 and 9.
+"""
+
+from repro.sim.engine import EventScheduler
+from repro.sim.metrics import DropRateSampler, ThroughputSeries
+from repro.sim.router import EdgeRouter
+from repro.sim.replay import ReplayResult, compare_drop_rates, replay
+from repro.sim.closedloop import ClosedLoopResult, ClosedLoopSimulator
+
+__all__ = [
+    "EventScheduler",
+    "ThroughputSeries",
+    "DropRateSampler",
+    "EdgeRouter",
+    "ReplayResult",
+    "replay",
+    "compare_drop_rates",
+    "ClosedLoopSimulator",
+    "ClosedLoopResult",
+]

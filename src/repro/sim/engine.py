@@ -1,0 +1,58 @@
+"""A minimal discrete-event scheduler.
+
+Replay is packet-driven, but periodic work (throughput sampling, rotation
+audits, custom probes) needs a clock.  :class:`EventScheduler` keeps a heap
+of timed callbacks and is advanced by the replay loop as packet timestamps
+progress — trace time, never wall-clock time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+Callback = Callable[[float], None]
+
+
+class EventScheduler:
+    """Heap-based one-shot and periodic event scheduling in trace time."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Callback, Optional[float]]] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+        self.fired = 0
+
+    def at(self, when: float, callback: Callback) -> None:
+        """Run ``callback(when)`` once at trace time ``when``."""
+        heapq.heappush(self._heap, (when, next(self._counter), callback, None))
+
+    def every(self, interval: float, callback: Callback, start: Optional[float] = None) -> None:
+        """Run ``callback`` every ``interval`` seconds, first at ``start``
+        (defaults to one interval from now)."""
+        if interval <= 0:
+            raise ValueError(f"interval must be positive: {interval}")
+        first = start if start is not None else self.now + interval
+        heapq.heappush(self._heap, (first, next(self._counter), callback, interval))
+
+    def advance_to(self, now: float) -> int:
+        """Fire everything scheduled up to and including ``now``; returns
+        the number of callbacks fired.  Time never moves backwards."""
+        fired = 0
+        while self._heap and self._heap[0][0] <= now:
+            when, _, callback, interval = heapq.heappop(self._heap)
+            self.now = max(self.now, when)
+            callback(when)
+            fired += 1
+            if interval is not None:
+                heapq.heappush(
+                    self._heap, (when + interval, next(self._counter), callback, interval)
+                )
+        self.now = max(self.now, now)
+        self.fired += fired
+        return fired
+
+    def pending(self) -> int:
+        """Events still scheduled."""
+        return len(self._heap)

@@ -1,0 +1,152 @@
+"""Measurement series collected during replay.
+
+:class:`ThroughputSeries` bins passed bytes per direction into fixed
+intervals — the data behind Figure 9's uplink/downlink bands.
+:class:`DropRateSampler` bins verdicts per interval — the data behind
+Figure 8's per-window drop-rate scatter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.net.packet import Direction, Packet
+
+
+class ThroughputSeries:
+    """Per-interval byte counters for each direction."""
+
+    def __init__(self, interval: float = 1.0) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive: {interval}")
+        self.interval = interval
+        self._bins: Dict[Direction, Dict[int, int]] = {
+            Direction.OUTBOUND: {},
+            Direction.INBOUND: {},
+        }
+
+    def record(self, packet: Packet) -> None:
+        """Account one passed packet into its time bin."""
+        if packet.direction is None:
+            raise ValueError("packet has no direction set")
+        index = int(packet.timestamp / self.interval)
+        bins = self._bins[packet.direction]
+        bins[index] = bins.get(index, 0) + packet.size
+
+    def series_mbps(self, direction: Direction) -> List[Tuple[float, float]]:
+        """(time, Mbps) points, one per non-empty interval."""
+        bins = self._bins[direction]
+        return [
+            (index * self.interval, count * 8.0 / self.interval / 1e6)
+            for index, count in sorted(bins.items())
+        ]
+
+    def mean_mbps(self, direction: Direction) -> float:
+        """Mean rate over the observed span (first to last busy bin)."""
+        bins = self._bins[direction]
+        if not bins:
+            return 0.0
+        span = (max(bins) - min(bins) + 1) * self.interval
+        return sum(bins.values()) * 8.0 / span / 1e6
+
+    def peak_mbps(self, direction: Direction) -> float:
+        """Rate of the busiest interval."""
+        bins = self._bins[direction]
+        if not bins:
+            return 0.0
+        return max(bins.values()) * 8.0 / self.interval / 1e6
+
+    def quantile_mbps(self, direction: Direction, q: float) -> float:
+        """q-quantile of per-interval rates (0.95 is robust to replay
+        warm-up spikes when checking the Figure 9 bound)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile out of [0,1]: {q}")
+        bins = self._bins[direction]
+        if not bins:
+            return 0.0
+        rates = sorted(count * 8.0 / self.interval / 1e6 for count in bins.values())
+        return rates[min(len(rates) - 1, int(q * len(rates)))]
+
+    def total_bytes(self, direction: Direction) -> int:
+        """All bytes recorded for a direction."""
+        return sum(self._bins[direction].values())
+
+
+@dataclass
+class DropRateSample:
+    """One time window's packet accounting for one filter."""
+
+    window_start: float
+    packets: int
+    dropped: int
+
+    @property
+    def drop_rate(self) -> float:
+        return self.dropped / self.packets if self.packets else 0.0
+
+
+class DropRateSampler:
+    """Per-window drop rates (inbound), for Figure 8 scatter plots."""
+
+    def __init__(self, window: float = 10.0) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive: {window}")
+        self.window = window
+        self._packets: Dict[int, int] = {}
+        self._dropped: Dict[int, int] = {}
+
+    def record(self, timestamp: float, dropped: bool) -> None:
+        """Account one inbound verdict into its window."""
+        index = int(timestamp / self.window)
+        self._packets[index] = self._packets.get(index, 0) + 1
+        if dropped:
+            self._dropped[index] = self._dropped.get(index, 0) + 1
+
+    def samples(self) -> List[DropRateSample]:
+        """Per-window samples in time order."""
+        return [
+            DropRateSample(
+                window_start=index * self.window,
+                packets=count,
+                dropped=self._dropped.get(index, 0),
+            )
+            for index, count in sorted(self._packets.items())
+        ]
+
+    def overall_drop_rate(self) -> float:
+        """Aggregate drop rate across all windows."""
+        total = sum(self._packets.values())
+        if total == 0:
+            return 0.0
+        return sum(self._dropped.values()) / total
+
+
+def scatter_points(
+    a: DropRateSampler, b: DropRateSampler, min_packets: int = 1
+) -> List[Tuple[float, float]]:
+    """Pair two samplers' windows into (rate_a, rate_b) scatter points —
+    the Figure 8 plot of SPI vs bitmap drop rates.
+
+    ``min_packets`` discards near-empty windows (e.g. the trace tail where
+    one straggler packet yields a meaningless 50 % "rate").
+    """
+    a_samples = {s.window_start: s for s in a.samples()}
+    b_samples = {s.window_start: s for s in b.samples()}
+    points = []
+    for start in sorted(set(a_samples) & set(b_samples)):
+        sample_a, sample_b = a_samples[start], b_samples[start]
+        if min(sample_a.packets, sample_b.packets) < min_packets:
+            continue
+        points.append((sample_a.drop_rate, sample_b.drop_rate))
+    return points
+
+
+def least_squares_slope(points: List[Tuple[float, float]]) -> float:
+    """Slope of the best-fit line through the origin — the paper notes the
+    Figure 8 reference line "has a slope of 1.0"."""
+    numerator = sum(x * y for x, y in points)
+    denominator = sum(x * x for x, _ in points)
+    if denominator == 0:
+        raise ValueError("degenerate scatter (all x are zero)")
+    return numerator / denominator

@@ -1,0 +1,212 @@
+"""Calibration targets from the paper, and measurement helpers.
+
+Section 3.3 publishes the aggregate characteristics of the 7.5-hour campus
+trace; the synthetic generator aims at these shapes (not the absolute
+scale — a laptop replay cannot push 146.7 Mbps × 7.5 h through pytest).
+``measure_trace`` computes the same aggregates for any packet iterable so
+tests can assert the generator stays inside tolerance bands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.net.inet import IPPROTO_TCP
+from repro.net.packet import Direction, Packet
+from repro.workload.apps import (
+    APP_BITTORRENT,
+    APP_DNS,
+    APP_EDONKEY,
+    APP_FTP,
+    APP_GNUTELLA,
+    APP_HTTP,
+    APP_OTHER,
+    APP_UNKNOWN,
+    ConnectionSpec,
+    Initiator,
+)
+
+
+@dataclass(frozen=True)
+class CalibrationTargets:
+    """The paper's published trace aggregates (section 3.3 + Table 2)."""
+
+    #: Fraction of all connections that are TCP (paper: 29.8 %).
+    tcp_connection_fraction: float = 0.298
+    #: Fraction of bytes carried over TCP (paper: 99.5 %).
+    tcp_byte_fraction: float = 0.995
+    #: Fraction of bytes that are upload/outbound (paper: 89.8 %).
+    upload_byte_fraction: float = 0.898
+    #: Of outbound bytes, fraction sent inside inbound-initiated
+    #: connections (paper: 80 %).
+    upload_on_inbound_connections: float = 0.80
+    #: Mean connection lifetime in seconds (paper: 45.84).
+    mean_lifetime: float = 45.84
+    #: Lifetime quantiles: 90 % < 45 s, 95 % < 240 s, 99 % < 810 s.
+    lifetime_q90: float = 45.0
+    lifetime_q95: float = 240.0
+    lifetime_q99: float = 810.0
+    #: Out-in delay: 99 % under 2.8 s.
+    outin_q99: float = 2.8
+    #: Table 2 — share of connections per protocol.
+    connection_share: Dict[str, float] = field(
+        default_factory=lambda: {
+            APP_HTTP: 0.0217,
+            APP_BITTORRENT: 0.4790,
+            APP_GNUTELLA: 0.0756,
+            APP_EDONKEY: 0.2200,
+            APP_UNKNOWN: 0.1755,
+            "others": 0.0282,
+        }
+    )
+    #: Table 2 — share of bytes ("utilizations") per protocol.
+    byte_share: Dict[str, float] = field(
+        default_factory=lambda: {
+            APP_HTTP: 0.05,
+            APP_BITTORRENT: 0.18,
+            APP_GNUTELLA: 0.16,
+            APP_EDONKEY: 0.21,
+            APP_UNKNOWN: 0.35,
+            "others": 0.05,
+        }
+    )
+
+
+PAPER_TARGETS = CalibrationTargets()
+
+#: Default application mix (probability an arrival belongs to each app).
+#: FTP arrivals spawn two connections (control + data), so its weight is
+#: kept small inside the paper's 2.82 % "others" budget.
+DEFAULT_APP_MIX: Dict[str, float] = {
+    APP_BITTORRENT: 0.4790,
+    APP_EDONKEY: 0.2200,
+    APP_UNKNOWN: 0.1755,
+    APP_GNUTELLA: 0.0756,
+    APP_HTTP: 0.0217,
+    APP_DNS: 0.0140,
+    APP_OTHER: 0.0112,
+    APP_FTP: 0.0030,
+}
+
+#: Apps folded into Table 2's "Others" row.
+OTHERS_GROUP = frozenset({APP_DNS, APP_OTHER, APP_FTP, "ftp-data", "smtp", "ssh", "imap"})
+
+
+def table2_group(app: str) -> str:
+    """Map a concrete app label to its Table 2 row."""
+    if app in (APP_HTTP, APP_BITTORRENT, APP_GNUTELLA, APP_EDONKEY, APP_UNKNOWN):
+        return app
+    return "others"
+
+
+@dataclass
+class TraceMeasurement:
+    """Aggregates of a (synthetic or real) trace, aligned with section 3.3."""
+
+    connections: int = 0
+    tcp_connections: int = 0
+    udp_connections: int = 0
+    total_bytes: int = 0
+    tcp_bytes: int = 0
+    upload_bytes: int = 0
+    download_bytes: int = 0
+    upload_bytes_on_inbound_conns: int = 0
+    duration: float = 0.0
+    connection_share: Dict[str, float] = field(default_factory=dict)
+    byte_share: Dict[str, float] = field(default_factory=dict)
+    mean_lifetime: float = 0.0
+    lifetime_quantiles: Dict[float, float] = field(default_factory=dict)
+
+    @property
+    def tcp_connection_fraction(self) -> float:
+        return self.tcp_connections / self.connections if self.connections else 0.0
+
+    @property
+    def tcp_byte_fraction(self) -> float:
+        return self.tcp_bytes / self.total_bytes if self.total_bytes else 0.0
+
+    @property
+    def upload_byte_fraction(self) -> float:
+        return self.upload_bytes / self.total_bytes if self.total_bytes else 0.0
+
+    @property
+    def upload_on_inbound_fraction(self) -> float:
+        if self.upload_bytes == 0:
+            return 0.0
+        return self.upload_bytes_on_inbound_conns / self.upload_bytes
+
+    @property
+    def mean_throughput_mbps(self) -> float:
+        if self.duration <= 0:
+            return 0.0
+        return self.total_bytes * 8.0 / self.duration / 1e6
+
+
+def measure_specs(specs: List[ConnectionSpec], packets: Iterable[Packet]) -> TraceMeasurement:
+    """Measure a synthetic trace against the calibration targets.
+
+    Uses ground-truth specs for per-connection attribution (app label,
+    initiator) and the packet stream for byte/direction accounting.
+    """
+    result = TraceMeasurement()
+    result.connections = len(specs)
+    per_group_conns: Dict[str, int] = {}
+    per_group_bytes: Dict[str, float] = {}
+    lifetimes: List[float] = []
+    spec_by_pair: Dict[tuple, ConnectionSpec] = {}
+
+    for spec in specs:
+        if spec.protocol == IPPROTO_TCP:
+            result.tcp_connections += 1
+        else:
+            result.udp_connections += 1
+        group = table2_group(spec.app)
+        per_group_conns[group] = per_group_conns.get(group, 0) + 1
+        if spec.protocol == IPPROTO_TCP:
+            # Figure 4 measures TCP lifetimes (SYN to FIN/RST) only.
+            lifetimes.append(spec.duration)
+        spec_by_pair[spec.pair_from_client.canonical] = spec
+
+    first_ts = None
+    last_ts = 0.0
+    for packet in packets:
+        if first_ts is None:
+            first_ts = packet.timestamp
+        last_ts = packet.timestamp
+        result.total_bytes += packet.size
+        if packet.pair.protocol == IPPROTO_TCP:
+            result.tcp_bytes += packet.size
+        spec = spec_by_pair.get(packet.pair.canonical)
+        if packet.direction is Direction.OUTBOUND:
+            result.upload_bytes += packet.size
+            if spec is not None and spec.initiator is Initiator.REMOTE:
+                result.upload_bytes_on_inbound_conns += packet.size
+        else:
+            result.download_bytes += packet.size
+        if spec is not None:
+            group = table2_group(spec.app)
+            per_group_bytes[group] = per_group_bytes.get(group, 0) + packet.size
+
+    result.duration = (last_ts - first_ts) if first_ts is not None else 0.0
+    if result.connections:
+        result.connection_share = {
+            group: count / result.connections for group, count in per_group_conns.items()
+        }
+    if result.total_bytes:
+        result.byte_share = {
+            group: size / result.total_bytes for group, size in per_group_bytes.items()
+        }
+    if lifetimes:
+        ordered = sorted(lifetimes)
+        result.mean_lifetime = sum(ordered) / len(ordered)
+        result.lifetime_quantiles = {
+            q: ordered[min(len(ordered) - 1, int(q * len(ordered)))] for q in (0.5, 0.9, 0.95, 0.99)
+        }
+    return result
+
+
+def share_error(measured: Dict[str, float], target: Dict[str, float]) -> float:
+    """Largest absolute deviation between measured and target shares."""
+    keys = set(measured) | set(target)
+    return max(abs(measured.get(key, 0.0) - target.get(key, 0.0)) for key in keys)

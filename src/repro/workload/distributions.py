@@ -1,0 +1,147 @@
+"""Random distributions used by the workload models.
+
+Everything takes an explicit :class:`random.Random` so traces are fully
+reproducible from a seed.  The shapes are chosen to match the paper's
+measured marginals:
+
+* connection lifetimes — heavy-tailed: 90 % under 45 s, 95 % under 240 s,
+  fewer than 1 % over 810 s, mean ≈ 46 s (Figure 4);
+* out-in packet delays — 99 % under 2.8 s with a sub-second mode
+  (Figure 5);
+* P2P listen ports — "a great deal of random ports between port 10000 and
+  port 40000" (Figure 2).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Sequence, Tuple
+
+
+def bounded_pareto(rng: random.Random, alpha: float, low: float, high: float) -> float:
+    """Pareto sample truncated to ``[low, high]`` by inverse transform."""
+    if not low < high:
+        raise ValueError(f"need low < high, got {low}, {high}")
+    if alpha <= 0:
+        raise ValueError(f"alpha must be positive: {alpha}")
+    u = rng.random()
+    ha = (low / high) ** alpha
+    return low / ((1.0 - u * (1.0 - ha)) ** (1.0 / alpha))
+
+
+def lognormal(rng: random.Random, median: float, sigma: float) -> float:
+    """Log-normal sample parameterized by its median."""
+    if median <= 0:
+        raise ValueError(f"median must be positive: {median}")
+    return median * math.exp(sigma * rng.gauss(0.0, 1.0))
+
+
+def connection_lifetime(rng: random.Random) -> float:
+    """Lifetime matching Figure 4's quantiles.
+
+    A mixture: the mass of short request/response connections (log-normal,
+    median ≈ 4 s), a mid tail, and a thin long tail capped at six hours
+    (the paper's observed maximum).
+    """
+    u = rng.random()
+    if u < 0.91:
+        # Short interactive connections: the 90 % mass under 45 s (a hair
+        # over 0.90 so the empirical 90th percentile sits below the knee).
+        value = lognormal(rng, median=7.0, sigma=1.35)
+        return min(value, 44.0)
+    if u < 0.955:
+        # Medium: up to the 4-minute knee (95th percentile at 240 s).
+        return rng.uniform(44.0, 240.0)
+    if u < 0.992:
+        # Long: up to the 810 s knee (<1 % exceed it).
+        return rng.uniform(240.0, 810.0)
+    # Very long tail, capped at six hours (the paper's observed maximum).
+    return bounded_pareto(rng, alpha=1.8, low=810.0, high=21600.0)
+
+
+def out_in_delay(rng: random.Random) -> float:
+    """Network round-trip component of the out-in packet delay.
+
+    99 % below 2.8 s (Figure 5-c): mostly tens-to-hundreds of milliseconds
+    with a delayed-ACK / queueing tail.
+    """
+    u = rng.random()
+    if u < 0.90:
+        return rng.uniform(0.005, 0.45)
+    if u < 0.99:
+        return rng.uniform(0.45, 2.8)
+    return rng.uniform(2.8, 12.0)
+
+
+def p2p_listen_port(rng: random.Random, well_known: Sequence[int], well_known_weight: float) -> int:
+    """A P2P service port: occasionally a well-known default, otherwise a
+    random high port in [10000, 40000]."""
+    if well_known and rng.random() < well_known_weight:
+        return rng.choice(list(well_known))
+    return rng.randint(10000, 40000)
+
+
+def zipf_choice(rng: random.Random, items: Sequence, skew: float = 1.2) -> object:
+    """Pick from ``items`` with Zipf-like preference for the head."""
+    if not items:
+        raise ValueError("no items")
+    weights = [1.0 / (rank + 1) ** skew for rank in range(len(items))]
+    return rng.choices(list(items), weights=weights, k=1)[0]
+
+
+def poisson_arrivals(
+    rng: random.Random, rate: float, duration: float, start: float = 0.0
+) -> List[float]:
+    """Arrival times of a Poisson process over ``[start, start+duration)``."""
+    if rate < 0 or duration < 0:
+        raise ValueError("rate and duration must be non-negative")
+    times = []
+    now = start
+    end = start + duration
+    if rate == 0:
+        return times
+    while True:
+        now += rng.expovariate(rate)
+        if now >= end:
+            return times
+        times.append(now)
+
+
+def diurnal_rate(base_rate: float, time_of_day: float, amplitude: float = 0.3) -> float:
+    """A mild sinusoidal day/night modulation of an arrival rate.
+
+    ``time_of_day`` in seconds; period 24 h.  The campus trace spans 7.5
+    daytime hours, so the default amplitude is gentle.
+    """
+    if base_rate < 0:
+        raise ValueError("base_rate must be non-negative")
+    phase = 2.0 * math.pi * (time_of_day % 86400.0) / 86400.0
+    return base_rate * (1.0 + amplitude * math.sin(phase))
+
+
+def split_bytes(
+    rng: random.Random, total: int, mean_packet: int, jitter: float = 0.3
+) -> List[int]:
+    """Chop ``total`` payload bytes into packet-sized chunks around
+    ``mean_packet`` (≤ 1460, a TCP MSS)."""
+    if total < 0:
+        raise ValueError(f"negative total: {total}")
+    mean_packet = min(mean_packet, 1460)
+    chunks: List[int] = []
+    remaining = total
+    while remaining > 0:
+        size = int(mean_packet * (1.0 + jitter * (rng.random() * 2.0 - 1.0)))
+        size = max(1, min(size, 1460, remaining))
+        chunks.append(size)
+        remaining -= size
+    return chunks
+
+
+def weighted_mix(rng: random.Random, mix: Sequence[Tuple[object, float]]) -> object:
+    """Pick one item from ``[(item, weight), ...]``."""
+    if not mix:
+        raise ValueError("empty mix")
+    items = [item for item, _ in mix]
+    weights = [weight for _, weight in mix]
+    return rng.choices(items, weights=weights, k=1)[0]

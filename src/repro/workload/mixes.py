@@ -1,0 +1,121 @@
+"""Preset traffic mixes — the paper's campus network and counterfactuals.
+
+The paper evaluates on one trace with one application mix.  A natural
+robustness question: does the bitmap filter's behaviour depend on that
+mix?  These presets span the regimes an ISP actually sees, so the
+`bench_ext_mixes.py` ablation can answer it:
+
+* ``CAMPUS_2007`` — the paper's Table 2 mix (the default everywhere).
+* ``WEB_ENTERPRISE`` — client/server-dominated: HTTP and traditional
+  services, little P2P.  The filter should be nearly invisible here
+  (almost everything is client-initiated).
+* ``P2P_SATURATED`` — a worst-case swarm-heavy network; the filter's
+  reason to exist.
+* ``BALANCED`` — an even split, the crossover regime.
+
+Each preset also carries the connection rate multiplier that keeps the
+offered *byte* load comparable across mixes (P2P connections average far
+fewer bytes than web fetches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.workload.apps import (
+    APP_BITTORRENT,
+    APP_DNS,
+    APP_EDONKEY,
+    APP_FTP,
+    APP_GNUTELLA,
+    APP_HTTP,
+    APP_OTHER,
+    APP_UNKNOWN,
+)
+from repro.workload.calibrate import DEFAULT_APP_MIX
+from repro.workload.generator import TraceConfig
+
+
+@dataclass(frozen=True)
+class MixPreset:
+    """A named application mix with a load-normalising rate factor."""
+
+    name: str
+    description: str
+    app_mix: Dict[str, float] = field(default_factory=dict)
+    #: Multiply a baseline connection rate by this to hold byte load
+    #: roughly constant across presets.
+    rate_factor: float = 1.0
+
+    def config(
+        self, duration: float = 120.0, base_rate: float = 15.0, seed: int = 2
+    ) -> TraceConfig:
+        return TraceConfig(
+            duration=duration,
+            connection_rate=base_rate * self.rate_factor,
+            seed=seed,
+            app_mix=dict(self.app_mix),
+        )
+
+
+CAMPUS_2007 = MixPreset(
+    name="campus-2007",
+    description="the paper's Table 2 mix: P2P-dominated campus clients",
+    app_mix=dict(DEFAULT_APP_MIX),
+    rate_factor=1.0,
+)
+
+WEB_ENTERPRISE = MixPreset(
+    name="web-enterprise",
+    description="client/server traffic: web, mail, ssh; trace P2P only",
+    app_mix={
+        APP_HTTP: 0.62,
+        APP_DNS: 0.20,
+        APP_OTHER: 0.10,
+        APP_FTP: 0.02,
+        APP_BITTORRENT: 0.03,
+        APP_UNKNOWN: 0.03,
+    },
+    # Web fetches carry ~6x the bytes of an average campus connection.
+    rate_factor=0.35,
+)
+
+P2P_SATURATED = MixPreset(
+    name="p2p-saturated",
+    description="worst case: nothing but file-sharing swarms",
+    app_mix={
+        APP_BITTORRENT: 0.40,
+        APP_EDONKEY: 0.22,
+        APP_GNUTELLA: 0.10,
+        APP_UNKNOWN: 0.27,
+        APP_DNS: 0.01,
+    },
+    rate_factor=1.1,
+)
+
+BALANCED = MixPreset(
+    name="balanced",
+    description="half traditional services, half P2P",
+    app_mix={
+        APP_HTTP: 0.28,
+        APP_DNS: 0.10,
+        APP_OTHER: 0.06,
+        APP_FTP: 0.01,
+        APP_BITTORRENT: 0.25,
+        APP_EDONKEY: 0.12,
+        APP_GNUTELLA: 0.05,
+        APP_UNKNOWN: 0.13,
+    },
+    rate_factor=0.6,
+)
+
+ALL_PRESETS = (CAMPUS_2007, WEB_ENTERPRISE, P2P_SATURATED, BALANCED)
+
+
+def preset_by_name(name: str) -> MixPreset:
+    for preset in ALL_PRESETS:
+        if preset.name == name:
+            return preset
+    raise KeyError(f"no preset named {name!r} "
+                   f"(have: {', '.join(p.name for p in ALL_PRESETS)})")

@@ -1,0 +1,97 @@
+"""Additional analyzer behaviours: edge cases the main suites skip."""
+
+from repro.analyzer.classifier import ClassifierStats, ConnectionClassifier, TrafficAnalyzer
+from repro.net.flows import ConnectionTable
+from repro.net.headers import TCPFlags
+
+from tests.conftest import in_packet, out_packet, tcp_pair, udp_pair
+
+
+class Harness:
+    def __init__(self):
+        self.table = ConnectionTable()
+        self.classifier = ConnectionClassifier()
+
+    def feed(self, packet):
+        record = self.table.observe(packet)
+        self.classifier.observe(packet, record)
+        return record
+
+    def finish(self):
+        self.table.flush()
+        self.classifier.finalize(self.table)
+        return self.table.finished
+
+
+class TestMidStreamCapture:
+    def test_mid_stream_tcp_falls_back_to_ports(self):
+        """A connection captured mid-stream (no SYN seen) cannot be
+        payload-matched, only port-matched — the paper's SYN rule."""
+        harness = Harness()
+        pair = tcp_pair(dport=80)
+        harness.feed(out_packet(pair=pair, t=0.0, flags=TCPFlags.ACK,
+                                payload=b"GET / HTTP/1.1\r\n"))
+        flows = harness.finish()
+        assert flows[0].application == "http"  # via port 80, not payload
+
+    def test_mid_stream_unknown_port_is_unknown(self):
+        harness = Harness()
+        pair = tcp_pair(dport=23999)
+        harness.feed(out_packet(pair=pair, t=0.0, flags=TCPFlags.ACK,
+                                payload=b"GET / HTTP/1.1\r\n"))
+        flows = harness.finish()
+        assert flows[0].application == "unknown"
+
+
+class TestClassifierStats:
+    def test_stats_accumulate(self):
+        harness = Harness()
+        pair = tcp_pair(dport=8000)
+        harness.feed(out_packet(pair=pair, t=0.0, flags=TCPFlags.SYN))
+        harness.feed(out_packet(pair=pair, t=0.1,
+                                payload=b"GET / HTTP/1.1\r\nHost: x\r\n"))
+        harness.finish()
+        stats = harness.classifier.stats
+        assert stats.payload_identified >= 1
+
+    def test_stats_as_dict(self):
+        stats = ClassifierStats(payload_identified=3, unidentified=2)
+        data = stats.as_dict()
+        assert data["payload"] == 3
+        assert data["unknown"] == 2
+
+
+class TestUdpClassification:
+    def test_udp_second_datagram_can_identify(self):
+        """UDP payloads are matched per datagram — a later identifiable
+        datagram classifies a so-far-unknown connection."""
+        harness = Harness()
+        pair = udp_pair(dport=31000)
+        harness.feed(out_packet(pair=pair, t=0.0, payload=b"\x00" * 30))
+        record = harness.feed(
+            out_packet(pair=pair, t=0.2, payload=b"GND\x02" + b"\x01" * 10)
+        )
+        assert record.application == "gnutella"
+
+    def test_udp_inbound_first(self):
+        harness = Harness()
+        pair = udp_pair(dport=6881).inverse
+        record = harness.feed(in_packet(pair=pair, t=0.0,
+                                        payload=b"d1:ad2:id20:" + b"A" * 20))
+        assert record.application == "bittorrent"
+
+
+class TestAnalyzerConfigs:
+    def test_outin_tracking_optional(self, small_trace):
+        analyzer = TrafficAnalyzer(track_outin=False)
+        for packet in small_trace[:2000]:
+            analyzer.observe(packet)
+        assert analyzer.outin is None
+
+    def test_bytes_accounted(self, small_trace):
+        analyzer = TrafficAnalyzer().analyze(small_trace[:1000])
+        assert analyzer.bytes_seen == sum(p.size for p in small_trace[:1000])
+
+    def test_flows_property_after_finalize(self, small_trace):
+        analyzer = TrafficAnalyzer().analyze(small_trace[:5000])
+        assert analyzer.flows == analyzer.table.finished

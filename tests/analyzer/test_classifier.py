@@ -1,0 +1,267 @@
+"""Tests for the two-stage connection classifier."""
+
+from repro.analyzer.classifier import (
+    MAX_TCP_DATA_PACKETS,
+    ConnectionClassifier,
+    TrafficAnalyzer,
+    parse_ftp_endpoints,
+)
+from repro.net.flows import ConnectionTable
+from repro.net.headers import TCPFlags
+from repro.net.inet import IPPROTO_TCP
+from repro.net.packet import SocketPair
+from repro.workload import apps
+
+from tests.conftest import (
+    CLIENT_ADDR,
+    REMOTE_ADDR,
+    in_packet,
+    out_packet,
+    tcp_pair,
+    udp_pair,
+)
+
+
+class Harness:
+    """Feed packets through table+classifier like the analyzer does."""
+
+    def __init__(self):
+        self.table = ConnectionTable()
+        self.classifier = ConnectionClassifier()
+
+    def feed(self, packet):
+        record = self.table.observe(packet)
+        self.classifier.observe(packet, record)
+        return record
+
+    def finish(self):
+        self.table.flush()
+        self.classifier.finalize(self.table)
+        return self.table.finished
+
+
+def tcp_handshake(harness, pair, t=0.0):
+    harness.feed(out_packet(pair=pair, t=t, flags=TCPFlags.SYN))
+    harness.feed(in_packet(pair=pair.inverse, t=t + 0.01,
+                           flags=TCPFlags.SYN | TCPFlags.ACK))
+    harness.feed(out_packet(pair=pair, t=t + 0.02, flags=TCPFlags.ACK))
+
+
+class TestPayloadIdentification:
+    def test_http_by_request(self):
+        harness = Harness()
+        pair = tcp_pair(dport=8000)  # non-well-known: payload must decide
+        tcp_handshake(harness, pair)
+        record = harness.feed(
+            out_packet(pair=pair, t=0.1, payload=b"GET /x HTTP/1.1\r\nHost: h\r\n\r\n")
+        )
+        assert record.application == "http"
+
+    def test_ftp_by_server_banner(self):
+        # The identifying payload comes from the *responder* stream.
+        harness = Harness()
+        pair = tcp_pair(dport=2121)
+        tcp_handshake(harness, pair)
+        record = harness.feed(in_packet(pair=pair.inverse, t=0.1, payload=apps.ftp_banner()))
+        assert record.application == "ftp"
+
+    def test_udp_each_datagram_examined(self):
+        harness = Harness()
+        pair = udp_pair(dport=30000)
+        harness.feed(out_packet(pair=pair, t=0.0, payload=b"\x00" * 8))
+        record = harness.feed(
+            out_packet(pair=pair, t=0.1, payload=b"d1:ad2:id20:" + b"A" * 20)
+        )
+        assert record.application == "bittorrent"
+
+    def test_tcp_without_syn_not_payload_matched(self):
+        # "we only examine TCP connections with an explicitly TCP-SYN packet"
+        harness = Harness()
+        pair = tcp_pair(dport=9000)
+        record = harness.feed(
+            out_packet(pair=pair, t=0.0, flags=TCPFlags.ACK,
+                       payload=b"GET / HTTP/1.1\r\n")
+        )
+        assert record.application != "http"
+
+    def test_stream_concatenation_across_packets(self):
+        # The pattern spans two data packets: only the concatenated stream
+        # matches.
+        harness = Harness()
+        pair = tcp_pair(dport=9000)
+        tcp_handshake(harness, pair)
+        harness.feed(out_packet(pair=pair, t=0.1, payload=b"GET /index.html"))
+        record = harness.feed(out_packet(pair=pair, t=0.2, payload=b" HTTP/1.1\r\n"))
+        assert record.application == "http"
+
+    def test_concatenation_limit_four_packets(self):
+        harness = Harness()
+        pair = tcp_pair(dport=9000)
+        tcp_handshake(harness, pair)
+        for i in range(MAX_TCP_DATA_PACKETS):
+            harness.feed(out_packet(pair=pair, t=0.1 + i * 0.1, payload=b"junk"))
+        # The 5th data packet would match, but is beyond the limit.
+        record = harness.feed(
+            out_packet(pair=pair, t=1.0, payload=b"\x13BitTorrent protocol")
+        )
+        assert record.application != "bittorrent"
+
+
+class TestPortFallback:
+    def test_tcp_port_fallback_at_close(self):
+        harness = Harness()
+        pair = tcp_pair(dport=80)
+        tcp_handshake(harness, pair)
+        harness.feed(out_packet(pair=pair, t=1.0, flags=TCPFlags.FIN | TCPFlags.ACK))
+        flows = harness.finish()
+        assert flows[0].application == "http"
+
+    def test_udp_port_fallback(self):
+        harness = Harness()
+        harness.feed(out_packet(pair=udp_pair(dport=53), payload=b"\x12\x34"))
+        flows = harness.finish()
+        assert flows[0].application == "dns"
+
+    def test_unknown_when_nothing_matches(self):
+        harness = Harness()
+        pair = tcp_pair(dport=23456)
+        tcp_handshake(harness, pair)
+        harness.feed(out_packet(pair=pair, t=0.1, payload=b"\x99\x88\x77" * 10))
+        flows = harness.finish()
+        assert flows[0].application == "unknown"
+
+    def test_payload_beats_port(self):
+        # BitTorrent handshake on port 80 is bittorrent, not http.
+        harness = Harness()
+        pair = tcp_pair(dport=80)
+        tcp_handshake(harness, pair)
+        record = harness.feed(
+            out_packet(pair=pair, t=0.1, payload=b"\x13BitTorrent protocol" + b"\x00" * 20)
+        )
+        assert record.application == "bittorrent"
+
+
+class TestP2PEndpointPropagation:
+    def test_future_connections_to_same_endpoint(self):
+        harness = Harness()
+        first = tcp_pair(sport=4001, dport=31337)
+        tcp_handshake(harness, first)
+        record = harness.feed(
+            out_packet(pair=first, t=0.1,
+                       payload=b"\x13BitTorrent protocol" + b"\x00" * 20)
+        )
+        assert record.application == "bittorrent"
+        # A later connection from a different client port to B:y, carrying
+        # no identifiable payload, inherits the classification immediately.
+        second = tcp_pair(sport=4999, dport=31337)
+        record2 = harness.feed(out_packet(pair=second, t=5.0, flags=TCPFlags.SYN))
+        assert record2.application == "bittorrent"
+        assert harness.classifier.stats.endpoint_identified == 1
+
+    def test_non_p2p_not_propagated(self):
+        harness = Harness()
+        first = tcp_pair(sport=4001, dport=8888)
+        tcp_handshake(harness, first)
+        harness.feed(out_packet(pair=first, t=0.1, payload=b"GET / HTTP/1.1\r\n"))
+        second = tcp_pair(sport=4999, dport=8888)
+        record = harness.feed(out_packet(pair=second, t=5.0, flags=TCPFlags.SYN))
+        assert record.application is None  # undecided until payload/ports
+
+
+class TestFTPDataTracking:
+    def test_pasv_data_connection_identified(self):
+        harness = Harness()
+        control = tcp_pair(sport=3000, dport=21)
+        tcp_handshake(harness, control)
+        harness.feed(in_packet(pair=control.inverse, t=0.1, payload=apps.ftp_banner()))
+        # Server announces passive endpoint 203.0.113.7:19,137 -> port 5001.
+        pasv = b"227 Entering Passive Mode (203,0,113,7,19,137)\r\n"
+        harness.feed(in_packet(pair=control.inverse, t=0.2, payload=pasv))
+        data_pair = SocketPair(IPPROTO_TCP, CLIENT_ADDR, 3100, REMOTE_ADDR, 19 * 256 + 137)
+        record = harness.feed(out_packet(pair=data_pair, t=0.5, flags=TCPFlags.SYN))
+        assert record.application == "ftp-data"
+
+    def test_port_command_data_connection_identified(self):
+        harness = Harness()
+        control = tcp_pair(sport=3000, dport=21)
+        tcp_handshake(harness, control)
+        harness.feed(in_packet(pair=control.inverse, t=0.1, payload=apps.ftp_banner()))
+        port_cmd = b"PORT 10,1,0,5,15,177\r\n"  # client announces 10.1.0.5:4017
+        harness.feed(out_packet(pair=control, t=0.2, payload=port_cmd))
+        data_pair = SocketPair(IPPROTO_TCP, REMOTE_ADDR, 20, CLIENT_ADDR, 15 * 256 + 177)
+        record = harness.feed(in_packet(pair=data_pair, t=0.5, flags=TCPFlags.SYN))
+        assert record.application == "ftp-data"
+
+    def test_expected_endpoint_consumed_once(self):
+        harness = Harness()
+        control = tcp_pair(sport=3000, dport=21)
+        tcp_handshake(harness, control)
+        harness.feed(in_packet(pair=control.inverse, t=0.1, payload=apps.ftp_banner()))
+        harness.feed(in_packet(pair=control.inverse, t=0.2,
+                               payload=b"227 Entering Passive Mode (203,0,113,7,19,137)\r\n"))
+        endpoint_port = 19 * 256 + 137
+        first = SocketPair(IPPROTO_TCP, CLIENT_ADDR, 3100, REMOTE_ADDR, endpoint_port)
+        harness.feed(out_packet(pair=first, t=0.5, flags=TCPFlags.SYN))
+        # A second, unrelated connection to the same endpoint is NOT
+        # automatically ftp-data.
+        second = SocketPair(IPPROTO_TCP, CLIENT_ADDR, 3200, REMOTE_ADDR, endpoint_port)
+        record = harness.feed(out_packet(pair=second, t=9.0, flags=TCPFlags.SYN))
+        assert record.application != "ftp-data"
+
+
+class TestParseFtpEndpoints:
+    def test_port_command(self):
+        [(addr, port)] = parse_ftp_endpoints(b"PORT 10,1,0,5,19,137\r\n")
+        assert addr == (10 << 24) | (1 << 16) | 5
+        assert port == 19 * 256 + 137
+
+    def test_pasv_reply(self):
+        [(addr, port)] = parse_ftp_endpoints(
+            b"227 Entering Passive Mode (192,168,1,2,4,1).\r\n"
+        )
+        assert port == 4 * 256 + 1
+
+    def test_rejects_overflowing_octets(self):
+        assert parse_ftp_endpoints(b"PORT 999,1,0,5,19,137\r\n") == []
+
+    def test_rejects_port_zero(self):
+        assert parse_ftp_endpoints(b"PORT 10,1,0,5,0,0\r\n") == []
+
+    def test_no_match(self):
+        assert parse_ftp_endpoints(b"RETR file.iso\r\n") == []
+
+    def test_multiple_commands(self):
+        payload = b"PORT 10,0,0,1,1,1\r\nPORT 10,0,0,1,2,2\r\n"
+        assert len(parse_ftp_endpoints(payload)) == 2
+
+
+class TestTrafficAnalyzer:
+    def test_end_to_end_counts(self, small_trace):
+        analyzer = TrafficAnalyzer().analyze(small_trace)
+        assert analyzer.packets_seen == len(small_trace)
+        assert analyzer.flows
+        assert all(flow.application is not None for flow in analyzer.flows)
+
+    def test_classification_accuracy_against_ground_truth(
+        self, small_trace, small_trace_specs
+    ):
+        analyzer = TrafficAnalyzer().analyze(small_trace)
+        truth = {spec.pair_from_client.canonical: spec.app for spec in small_trace_specs}
+        total = 0
+        correct = 0
+        for flow in analyzer.flows:
+            expected = truth.get(flow.pair.canonical)
+            if expected is None:
+                continue
+            total += 1
+            got = flow.application
+            if expected in ("smtp", "ssh", "imap", "other"):
+                matched = got in ("smtp", "ssh", "imap", "pop3")
+            else:
+                matched = got == expected
+            if matched:
+                correct += 1
+        assert total > 100
+        # Payload prefixes identify the overwhelming majority; encrypted
+        # 'unknown' traffic classifies as unknown by construction.
+        assert correct / total > 0.9

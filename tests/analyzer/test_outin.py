@@ -1,0 +1,108 @@
+"""Tests for out-in packet delay measurement (section 3.3 procedure)."""
+
+import pytest
+
+from repro.analyzer.outin import OutInDelayMeter
+
+from tests.conftest import in_packet, out_packet, tcp_pair
+
+
+class TestBasicMeasurement:
+    def test_basic_delay(self):
+        meter = OutInDelayMeter()
+        meter.observe(out_packet(t=1.0))
+        delay = meter.observe(in_packet(t=1.25))
+        assert delay == pytest.approx(0.25)
+        assert meter.delays == [pytest.approx(0.25)]
+
+    def test_inbound_without_prior_outbound(self):
+        meter = OutInDelayMeter()
+        assert meter.observe(in_packet(t=1.0)) is None
+        assert not meter.delays
+
+    def test_outbound_refreshes_timestamp(self):
+        meter = OutInDelayMeter()
+        meter.observe(out_packet(t=1.0))
+        meter.observe(out_packet(t=2.0))
+        assert meter.observe(in_packet(t=2.1)) == pytest.approx(0.1)
+
+    def test_different_pairs_independent(self):
+        meter = OutInDelayMeter()
+        meter.observe(out_packet(pair=tcp_pair(sport=1000), t=1.0))
+        assert meter.observe(in_packet(pair=tcp_pair(sport=2000).inverse, t=1.5)) is None
+
+    def test_repeated_inbound_measures_each_time(self):
+        # Step 2 reads t0 without deleting: a burst of inbound packets all
+        # measure against the last outbound packet.
+        meter = OutInDelayMeter()
+        meter.observe(out_packet(t=1.0))
+        meter.observe(in_packet(t=1.1))
+        meter.observe(in_packet(t=1.2))
+        assert len(meter.delays) == 2
+
+
+class TestExpiry:
+    def test_expired_entry_not_measured(self):
+        meter = OutInDelayMeter(expiry=600.0)
+        meter.observe(out_packet(t=0.0))
+        assert meter.observe(in_packet(t=700.0)) is None
+
+    def test_port_reuse_artifact_within_expiry(self):
+        # A reused five-tuple within T_e yields a bogus large 'delay' equal
+        # to the reuse gap — the Figure 5-a peaks.
+        meter = OutInDelayMeter(expiry=600.0)
+        meter.observe(out_packet(t=0.0))
+        delay = meter.observe(in_packet(t=120.3))
+        assert delay == pytest.approx(120.3)
+
+    def test_short_expiry_suppresses_artifact(self):
+        meter = OutInDelayMeter(expiry=20.0)
+        meter.observe(out_packet(t=0.0))
+        assert meter.observe(in_packet(t=120.3)) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OutInDelayMeter(expiry=0.0)
+
+
+class TestReporting:
+    def fill(self):
+        meter = OutInDelayMeter()
+        for i in range(100):
+            meter.observe(out_packet(pair=tcp_pair(sport=1000 + i), t=float(i)))
+            meter.observe(
+                in_packet(pair=tcp_pair(sport=1000 + i).inverse, t=i + (i + 1) / 100.0)
+            )
+        return meter
+
+    def test_quantile(self):
+        meter = self.fill()
+        assert meter.quantile(0.5) == pytest.approx(0.51, abs=0.02)
+        assert meter.quantile(0.99) == pytest.approx(1.0, abs=0.02)
+
+    def test_cdf_at(self):
+        meter = self.fill()
+        assert meter.cdf_at(0.5) == pytest.approx(0.5, abs=0.02)
+        assert meter.cdf_at(10.0) == 1.0
+
+    def test_histogram(self):
+        meter = self.fill()
+        histogram = meter.histogram(bin_width=0.25)
+        assert sum(count for _, count in histogram) == 100
+        assert histogram[0][0] == 0.0
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            self.fill().quantile(1.5)
+        with pytest.raises(ValueError):
+            OutInDelayMeter().quantile(0.5)
+
+    def test_len(self):
+        assert len(self.fill()) == 100
+
+    def test_direction_required(self):
+        from repro.net.packet import Packet
+
+        meter = OutInDelayMeter()
+        with pytest.raises(ValueError):
+            meter.observe(Packet(0.0, tcp_pair(), 40))

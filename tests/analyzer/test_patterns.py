@@ -1,0 +1,157 @@
+"""Tests for the Table 1 identification patterns."""
+
+import random
+
+import pytest
+
+from repro.analyzer.patterns import (
+    MATCH_LIMIT,
+    WELL_KNOWN_TCP_PORTS,
+    WELL_KNOWN_UDP_PORTS,
+    match_payload,
+    port_application,
+)
+from repro.workload import apps
+
+
+@pytest.fixture
+def rng():
+    return random.Random(77)
+
+
+class TestBittorrent:
+    def test_handshake(self, rng):
+        assert match_payload(apps.bittorrent_handshake(rng)) == "bittorrent"
+
+    def test_handshake_literal(self):
+        assert match_payload(b"\x13BitTorrent protocol" + b"\x00" * 48) == "bittorrent"
+
+    def test_dht_query(self, rng):
+        assert match_payload(apps.bittorrent_dht_query(rng)) == "bittorrent"
+
+    def test_tracker_scrape_beats_http(self):
+        # Tunnelled over HTTP but must classify as bittorrent.
+        assert match_payload(b"GET /scrape?info_hash=abc HTTP/1.1\r\n") == "bittorrent"
+
+    def test_tracker_announce(self):
+        assert match_payload(b"GET /announce?info_hash=xyz HTTP/1.0\r\n") == "bittorrent"
+
+
+class TestEdonkey:
+    def test_tcp_hello(self, rng):
+        assert match_payload(apps.edonkey_hello(rng)) == "edonkey"
+
+    def test_udp_ping(self, rng):
+        assert match_payload(apps.edonkey_udp_ping(rng)) == "edonkey"
+
+    def test_literal_frame(self):
+        # 0xe3 protocol, 4-byte length, opcode 0x01 (hello).
+        frame = b"\xe3\x10\x00\x00\x00\x01" + b"\x00" * 16
+        assert match_payload(frame) == "edonkey"
+
+    def test_plain_text_not_edonkey(self):
+        assert match_payload(b"hello world, this is text") != "edonkey"
+
+
+class TestGnutella:
+    def test_connect(self):
+        assert match_payload(apps.gnutella_connect()) == "gnutella"
+
+    def test_ok_response(self):
+        assert match_payload(apps.gnutella_ok()) == "gnutella"
+
+    def test_udp_gnd(self, rng):
+        assert match_payload(apps.gnutella_udp(rng)) == "gnutella"
+
+    def test_uri_res_beats_http(self):
+        payload = b"GET /uri-res/N2R?urn:sha1:ABCDEF HTTP/1.1\r\n"
+        assert match_payload(payload) == "gnutella"
+
+    def test_giv_upload(self):
+        assert match_payload(b"GIV 42:abcdef0123456789/file.mp3\n\n") == "gnutella"
+
+
+class TestFasttrack:
+    def test_hash_request(self, rng):
+        assert match_payload(apps.fasttrack_get(rng)) == "fasttrack"
+
+    def test_supernode(self):
+        assert match_payload(b"GET /.supernode HTTP/1.0") == "fasttrack"
+
+
+class TestHttpFtp:
+    def test_http_get(self, rng):
+        assert match_payload(apps.http_get(rng)) == "http"
+
+    def test_http_response(self):
+        assert match_payload(apps.http_response()) == "http"
+
+    def test_http_post(self):
+        assert match_payload(b"POST /form HTTP/1.1\r\nHost: x\r\n") == "http"
+
+    def test_ftp_banner(self):
+        assert match_payload(apps.ftp_banner()) == "ftp"
+
+    def test_ftp_requires_ftp_string(self):
+        # An SMTP 220 banner must not classify as FTP.
+        assert match_payload(b"220 mail.example.com ESMTP Postfix\r\n") != "ftp"
+
+    def test_ssh_banner(self):
+        assert match_payload(b"SSH-2.0-OpenSSH_4.3\r\n") == "ssh"
+
+    def test_smtp_banner(self):
+        assert match_payload(b"220 mail.example.com ESMTP Postfix\r\n") == "smtp"
+
+    def test_imap_greeting(self):
+        assert match_payload(b"* OK IMAP4rev1 server ready\r\n") == "imap"
+
+
+class TestMatcherMechanics:
+    def test_empty_stream(self):
+        assert match_payload(b"") is None
+
+    def test_unmatched_text(self):
+        assert match_payload(b"just some random text here") is None
+
+    def test_match_anchored_at_start(self):
+        # Patterns are start-anchored: mid-stream occurrences don't match.
+        assert match_payload(b"xxxx\x13BitTorrent protocol") is None
+
+    def test_match_limit_bounds_work(self):
+        long_stream = b"A" * (MATCH_LIMIT + 100) + b"\x13BitTorrent protocol"
+        assert match_payload(long_stream) is None
+
+    def test_case_insensitive(self):
+        assert match_payload(b"get / http/1.1\r\n") == "http"
+        assert match_payload(b"GNUTELLA CONNECT/0.6\r\n") == "gnutella"
+
+
+class TestPortFallback:
+    def test_tcp_http_ports(self):
+        for port in (80, 8080, 3128, 443):
+            assert port_application(True, 0, port) == "http"
+
+    def test_tcp_ftp(self):
+        assert port_application(True, 0, 21) == "ftp"
+        assert port_application(True, 0, 20) == "ftp-data"
+
+    def test_tcp_p2p_ports(self):
+        assert port_application(True, 0, 4662) == "edonkey"
+        assert port_application(True, 0, 6881) == "bittorrent"
+        assert port_application(True, 0, 6346) == "gnutella"
+
+    def test_tcp_unknown_port(self):
+        assert port_application(True, 0, 23456) is None
+
+    def test_udp_either_port(self):
+        assert port_application(False, 53, 40000) == "dns"
+        assert port_application(False, 40000, 53) == "dns"
+        assert port_application(False, 4672, 31000) == "edonkey"
+
+    def test_udp_unknown(self):
+        assert port_application(False, 30000, 31000) is None
+
+    def test_tables_disjoint_semantics(self):
+        # TCP table must include the web/ftp ports; UDP must include DNS.
+        assert 80 in WELL_KNOWN_TCP_PORTS
+        assert 53 in WELL_KNOWN_UDP_PORTS

@@ -1,0 +1,313 @@
+"""Tests for the {k×N}-bitmap filter (Algorithms 1 and 2)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitmap_filter import BitmapFilter, BitmapFilterConfig, FieldMode
+from repro.net.inet import IPPROTO_TCP, IPPROTO_UDP
+from repro.net.packet import Direction, SocketPair
+
+from tests.conftest import CLIENT_ADDR, REMOTE_ADDR, tcp_pair, udp_pair
+
+
+def small_filter(**overrides) -> BitmapFilter:
+    defaults = dict(size=2 ** 12, vectors=4, hashes=3, rotate_interval=5.0)
+    defaults.update(overrides)
+    return BitmapFilter(BitmapFilterConfig(**defaults))
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        config = BitmapFilterConfig()
+        assert config.size == 2 ** 20
+        assert config.vectors == 4
+        assert config.hashes == 3
+        assert config.rotate_interval == 5.0
+
+    def test_expiry_time_is_k_delta_t(self):
+        config = BitmapFilterConfig(vectors=4, rotate_interval=5.0)
+        assert config.expiry_time == 20.0
+
+    def test_memory_matches_paper_example(self):
+        # "the memory space required by the bitmap filter is only
+        #  (k × N)/8 = 512K bytes"
+        config = BitmapFilterConfig(size=2 ** 20, vectors=4)
+        assert config.memory_bytes == 512 * 1024
+
+    def test_size_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            BitmapFilterConfig(size=1000)
+
+    def test_needs_two_vectors(self):
+        with pytest.raises(ValueError):
+            BitmapFilterConfig(vectors=1)
+
+    def test_needs_one_hash(self):
+        with pytest.raises(ValueError):
+            BitmapFilterConfig(hashes=0)
+
+    def test_positive_interval(self):
+        with pytest.raises(ValueError):
+            BitmapFilterConfig(rotate_interval=0)
+
+
+class TestMarkAndLookup:
+    def test_marked_pair_is_found(self):
+        filt = small_filter()
+        pair = tcp_pair()
+        filt.mark_outbound(pair)
+        assert filt.lookup_inbound(pair.inverse)
+
+    def test_unmarked_pair_is_missed(self):
+        filt = small_filter()
+        filt.mark_outbound(tcp_pair(sport=1111))
+        assert not filt.lookup_inbound(tcp_pair(sport=2222).inverse)
+
+    def test_mark_sets_all_vectors(self):
+        filt = small_filter()
+        filt.mark_outbound(tcp_pair())
+        pops = [vector.popcount() for vector in filt.vectors]
+        assert all(pop > 0 for pop in pops)
+        assert len(set(pops)) == 1
+
+    def test_lookup_only_checks_current_vector(self):
+        filt = small_filter()
+        pair = tcp_pair()
+        filt.mark_outbound(pair)
+        # Manually wipe only the current vector: lookup must now miss even
+        # though the other vectors still carry the mark.
+        filt.vectors[filt.idx].clear()
+        assert not filt.lookup_inbound(pair.inverse)
+
+    def test_udp_pairs_supported(self):
+        filt = small_filter()
+        pair = udp_pair()
+        filt.mark_outbound(pair)
+        assert filt.lookup_inbound(pair.inverse)
+
+    def test_protocol_distinguishes_pairs(self):
+        filt = small_filter()
+        tcp = SocketPair(IPPROTO_TCP, CLIENT_ADDR, 5555, REMOTE_ADDR, 80)
+        udp = SocketPair(IPPROTO_UDP, CLIENT_ADDR, 5555, REMOTE_ADDR, 80)
+        filt.mark_outbound(tcp)
+        assert not filt.lookup_inbound(udp.inverse)
+
+    def test_stats_counters(self):
+        filt = small_filter()
+        pair = tcp_pair()
+        filt.mark_outbound(pair)
+        filt.lookup_inbound(pair.inverse)
+        filt.lookup_inbound(tcp_pair(sport=9999).inverse)
+        assert filt.stats.outbound_marked == 1
+        assert filt.stats.inbound_hits == 1
+        assert filt.stats.inbound_misses == 1
+
+
+class TestRotation:
+    def test_rotate_advances_index(self):
+        filt = small_filter(vectors=3)
+        assert filt.idx == 0
+        assert filt.rotate() == 1
+        assert filt.rotate() == 2
+        assert filt.rotate() == 0  # wraps mod k
+
+    def test_rotate_clears_vacated_vector(self):
+        filt = small_filter()
+        filt.mark_outbound(tcp_pair())
+        old = filt.idx
+        filt.rotate()
+        assert filt.vectors[old].popcount() == 0
+
+    def test_mark_survives_k_minus_1_rotations(self):
+        filt = small_filter(vectors=4)
+        pair = tcp_pair()
+        filt.mark_outbound(pair)
+        for _ in range(3):  # k-1 rotations
+            filt.rotate()
+            assert filt.lookup_inbound(pair.inverse)
+
+    def test_mark_gone_after_k_rotations(self):
+        filt = small_filter(vectors=4)
+        pair = tcp_pair()
+        filt.mark_outbound(pair)
+        for _ in range(4):
+            filt.rotate()
+        assert not filt.lookup_inbound(pair.inverse)
+
+    def test_advance_to_runs_pending_rotations(self):
+        filt = small_filter(rotate_interval=5.0)
+        filt.advance_to(0.0)  # anchors the schedule
+        assert filt.advance_to(4.9) == 0
+        assert filt.advance_to(5.0) == 1
+        assert filt.advance_to(20.0) == 3
+
+    def test_advance_to_ignores_time_going_backwards(self):
+        filt = small_filter(rotate_interval=5.0)
+        filt.advance_to(0.0)
+        filt.advance_to(12.0)
+        assert filt.advance_to(3.0) == 0
+
+    def test_refresh_extends_visibility(self):
+        # Re-marking (an active connection's next packet) keeps the pair
+        # alive indefinitely, like the naive solution's timer reset.
+        filt = small_filter(vectors=4)
+        pair = tcp_pair()
+        for _ in range(10):
+            filt.mark_outbound(pair)
+            filt.rotate()
+            assert filt.lookup_inbound(pair.inverse)
+
+
+class TestFilterDecision:
+    def test_outbound_always_passes(self):
+        filt = small_filter()
+        assert filt.filter(tcp_pair(), Direction.OUTBOUND) is True
+
+    def test_inbound_hit_passes(self):
+        filt = small_filter()
+        pair = tcp_pair()
+        filt.filter(pair, Direction.OUTBOUND)
+        assert filt.filter(pair.inverse, Direction.INBOUND) is True
+
+    def test_inbound_miss_dropped_at_p1(self):
+        filt = small_filter()
+        assert filt.filter(tcp_pair().inverse, Direction.INBOUND, 1.0) is False
+        assert filt.stats.inbound_dropped == 1
+
+    def test_inbound_miss_passes_at_p0(self):
+        filt = small_filter()
+        assert filt.filter(tcp_pair().inverse, Direction.INBOUND, 0.0) is True
+        assert filt.stats.inbound_dropped == 0
+
+    def test_intermediate_probability(self):
+        filt = BitmapFilter(
+            BitmapFilterConfig(size=2 ** 12, vectors=4, hashes=3),
+            rng=random.Random(99),
+        )
+        drops = sum(
+            not filt.filter(tcp_pair(sport=1024 + i).inverse, Direction.INBOUND, 0.3)
+            for i in range(2000)
+        )
+        assert drops / 2000 == pytest.approx(0.3, abs=0.05)
+
+    def test_reset(self):
+        filt = small_filter()
+        filt.filter(tcp_pair(), Direction.OUTBOUND)
+        filt.rotate()
+        filt.reset()
+        assert filt.idx == 0
+        assert filt.stats.outbound_marked == 0
+        assert all(vector.popcount() == 0 for vector in filt.vectors)
+
+
+class TestFieldModes:
+    def test_strict_requires_exact_reverse_path(self):
+        filt = small_filter(field_mode=FieldMode.STRICT)
+        pair = tcp_pair(sport=4000, dport=6881)
+        filt.mark_outbound(pair)
+        assert filt.lookup_inbound(pair.inverse)
+        # Same remote host, different remote port: must miss.
+        other = SocketPair(IPPROTO_TCP, REMOTE_ADDR, 7000, CLIENT_ADDR, 4000)
+        assert not filt.lookup_inbound(other)
+
+    def test_hole_punching_ignores_remote_port(self):
+        # An outbound packet to peer P opens the door for inbound packets
+        # from *any* port of P toward the same local endpoint.
+        filt = small_filter(field_mode=FieldMode.HOLE_PUNCHING)
+        pair = udp_pair(sport=4000, dport=6881)
+        filt.mark_outbound(pair)
+        from_other_port = SocketPair(IPPROTO_UDP, REMOTE_ADDR, 12345, CLIENT_ADDR, 4000)
+        assert filt.lookup_inbound(from_other_port)
+
+    def test_hole_punching_still_checks_remote_address(self):
+        filt = small_filter(field_mode=FieldMode.HOLE_PUNCHING)
+        pair = udp_pair(sport=4000, dport=6881)
+        filt.mark_outbound(pair)
+        from_other_host = SocketPair(IPPROTO_UDP, REMOTE_ADDR + 1, 6881, CLIENT_ADDR, 4000)
+        assert not filt.lookup_inbound(from_other_host)
+
+    def test_hole_punching_still_checks_local_port(self):
+        filt = small_filter(field_mode=FieldMode.HOLE_PUNCHING)
+        pair = udp_pair(sport=4000, dport=6881)
+        filt.mark_outbound(pair)
+        to_other_local_port = SocketPair(IPPROTO_UDP, REMOTE_ADDR, 6881, CLIENT_ADDR, 4001)
+        assert not filt.lookup_inbound(to_other_local_port)
+
+
+class TestPenetration:
+    def test_utilization_reported(self):
+        filt = small_filter()
+        assert filt.current_utilization == 0.0
+        filt.mark_outbound(tcp_pair())
+        assert filt.current_utilization > 0.0
+
+    def test_penetration_probability_is_u_to_m(self):
+        filt = small_filter(hashes=3)
+        for i in range(50):
+            filt.mark_outbound(tcp_pair(sport=1024 + i))
+        assert filt.penetration_probability() == pytest.approx(
+            filt.current_utilization ** 3
+        )
+
+    def test_empirical_penetration_matches_equation(self):
+        # Fill to a known utilization, probe with random unseen pairs.
+        filt = BitmapFilter(
+            BitmapFilterConfig(size=2 ** 12, vectors=2, hashes=3, seed=4)
+        )
+        rng = random.Random(8)
+        for _ in range(300):
+            filt.mark_outbound(
+                SocketPair(IPPROTO_TCP, rng.getrandbits(32), rng.getrandbits(16),
+                           rng.getrandbits(32), rng.getrandbits(16))
+            )
+        predicted = filt.penetration_probability()
+        probes = 20_000
+        hits = sum(
+            filt.lookup_inbound(
+                SocketPair(IPPROTO_TCP, rng.getrandbits(32), rng.getrandbits(16),
+                           rng.getrandbits(32), rng.getrandbits(16))
+            )
+            for _ in range(probes)
+        )
+        assert hits / probes == pytest.approx(predicted, rel=0.25, abs=0.01)
+
+
+# ---------------------------------------------------------------------------
+# The core correctness property: within (k-1)·Δt of a mark, lookups always
+# hit — the bitmap filter has no false negatives inside its guaranteed
+# window, regardless of rotation phase.
+# ---------------------------------------------------------------------------
+
+
+@given(
+    mark_time=st.floats(min_value=0.0, max_value=100.0),
+    gap=st.floats(min_value=0.0, max_value=14.9),
+    anchor=st.floats(min_value=0.0, max_value=5.0),
+)
+@settings(max_examples=200, deadline=None)
+def test_no_false_negative_within_guaranteed_window(mark_time, gap, anchor):
+    filt = small_filter(vectors=4, rotate_interval=5.0)  # (k-1)·Δt = 15 s
+    filt.advance_to(anchor)
+    mark_time = anchor + mark_time
+    filt.advance_to(mark_time)
+    pair = tcp_pair()
+    filt.mark_outbound(pair)
+    filt.advance_to(mark_time + gap)
+    assert filt.lookup_inbound(pair.inverse)
+
+
+@given(gap=st.floats(min_value=20.01, max_value=200.0))
+@settings(max_examples=100, deadline=None)
+def test_mark_always_expired_after_te(gap):
+    # Beyond T_e = k·Δt the mark must be gone (absent hash collisions;
+    # with a nearly-empty 4096-bit map and one mark, collisions are
+    # impossible for the same 3 bits to all reappear).
+    filt = small_filter(vectors=4, rotate_interval=5.0)
+    filt.advance_to(0.0)
+    pair = tcp_pair()
+    filt.mark_outbound(pair)
+    filt.advance_to(gap)
+    assert not filt.lookup_inbound(pair.inverse)

@@ -1,0 +1,190 @@
+"""Tests for the bit-vector substrate (one bitmap column)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitvector import BitVector, ByteArrayBitVector, vector_stats
+
+
+class TestBitVectorBasics:
+    def test_starts_empty(self):
+        vector = BitVector(64)
+        assert vector.popcount() == 0
+        assert not vector.test(0)
+        assert not vector.test(63)
+
+    def test_set_and_test(self):
+        vector = BitVector(64)
+        vector.set(5)
+        assert vector.test(5)
+        assert not vector.test(4)
+        assert not vector.test(6)
+
+    def test_set_many(self):
+        vector = BitVector(128)
+        vector.set_many([0, 64, 127])
+        assert vector.test(0) and vector.test(64) and vector.test(127)
+        assert vector.popcount() == 3
+
+    def test_set_idempotent(self):
+        vector = BitVector(32)
+        vector.set(10)
+        vector.set(10)
+        assert vector.popcount() == 1
+
+    def test_test_all(self):
+        vector = BitVector(32)
+        vector.set_many([1, 2, 3])
+        assert vector.test_all([1, 2, 3])
+        assert not vector.test_all([1, 2, 4])
+        assert vector.test_all([])  # vacuous truth
+
+    def test_clear(self):
+        vector = BitVector(32)
+        vector.set_many(range(32))
+        vector.clear()
+        assert vector.popcount() == 0
+
+    def test_utilization(self):
+        vector = BitVector(100)
+        vector.set_many(range(25))
+        assert vector.utilization == pytest.approx(0.25)
+
+    def test_len(self):
+        assert len(BitVector(77)) == 77
+
+
+class TestBitVectorBounds:
+    def test_negative_index(self):
+        with pytest.raises(IndexError):
+            BitVector(8).set(-1)
+
+    def test_index_at_size(self):
+        with pytest.raises(IndexError):
+            BitVector(8).set(8)
+
+    def test_test_out_of_range(self):
+        with pytest.raises(IndexError):
+            BitVector(8).test(8)
+
+    def test_set_many_out_of_range(self):
+        with pytest.raises(IndexError):
+            BitVector(8).set_many([3, 9])
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            BitVector(0)
+
+
+class TestBitVectorSerde:
+    def test_roundtrip(self):
+        vector = BitVector(70)
+        vector.set_many([0, 13, 69])
+        clone = BitVector.from_bytes(vector.to_bytes(), 70)
+        assert clone == vector
+
+    def test_from_bytes_rejects_overflow(self):
+        vector = BitVector(16)
+        vector.set(15)
+        with pytest.raises(ValueError):
+            BitVector.from_bytes(vector.to_bytes(), 8)
+
+    def test_copy_is_independent(self):
+        vector = BitVector(16)
+        vector.set(3)
+        clone = vector.copy()
+        clone.set(4)
+        assert not vector.test(4)
+        assert clone.test(3)
+
+    def test_union_update(self):
+        a = BitVector(16)
+        b = BitVector(16)
+        a.set(1)
+        b.set(2)
+        a.union_update(b)
+        assert a.test(1) and a.test(2)
+
+    def test_union_size_mismatch(self):
+        with pytest.raises(ValueError):
+            BitVector(8).union_update(BitVector(16))
+
+    def test_iter_set_bits(self):
+        vector = BitVector(40)
+        vector.set_many([3, 17, 39])
+        assert list(vector.iter_set_bits()) == [3, 17, 39]
+
+    def test_equality(self):
+        a, b = BitVector(8), BitVector(8)
+        a.set(2)
+        b.set(2)
+        assert a == b
+        b.set(3)
+        assert a != b
+
+
+class TestByteArrayBitVector:
+    """The C-layout variant must agree with the int-backed one."""
+
+    def test_agrees_with_int_backed(self):
+        import random
+
+        rng = random.Random(3)
+        a = BitVector(512)
+        b = ByteArrayBitVector(512)
+        indices = [rng.randrange(512) for _ in range(100)]
+        a.set_many(indices)
+        b.set_many(indices)
+        for index in range(512):
+            assert a.test(index) == b.test(index)
+        assert a.popcount() == b.popcount()
+
+    def test_clear(self):
+        vector = ByteArrayBitVector(64)
+        vector.set_many([0, 63])
+        vector.clear()
+        assert vector.popcount() == 0
+
+    def test_bounds(self):
+        with pytest.raises(IndexError):
+            ByteArrayBitVector(8).set(8)
+        with pytest.raises(ValueError):
+            ByteArrayBitVector(0)
+
+    def test_test_all(self):
+        vector = ByteArrayBitVector(32)
+        vector.set_many([4, 5])
+        assert vector.test_all([4, 5])
+        assert not vector.test_all([4, 6])
+
+
+class TestVectorStats:
+    def test_summary(self):
+        vectors = [BitVector(10) for _ in range(3)]
+        vectors[0].set_many([0, 1])
+        stats = vector_stats(vectors)
+        assert stats["count"] == 3
+        assert stats["max_utilization"] == pytest.approx(0.2)
+        assert stats["min_utilization"] == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            vector_stats([])
+
+
+@given(st.sets(st.integers(min_value=0, max_value=255), max_size=64))
+@settings(max_examples=200)
+def test_popcount_matches_set_size(indices):
+    vector = BitVector(256)
+    vector.set_many(indices)
+    assert vector.popcount() == len(indices)
+    assert set(vector.iter_set_bits()) == indices
+
+
+@given(st.sets(st.integers(min_value=0, max_value=127), min_size=1, max_size=30))
+@settings(max_examples=200)
+def test_serde_roundtrip_property(indices):
+    vector = BitVector(128)
+    vector.set_many(indices)
+    assert BitVector.from_bytes(vector.to_bytes(), 128) == vector

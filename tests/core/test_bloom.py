@@ -1,0 +1,125 @@
+"""Tests for the Bloom-filter substrate."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bloom import BloomFilter, optimal_hashes_classic, theoretical_fpr
+
+
+class TestBloomBasics:
+    def test_added_key_is_member(self):
+        bloom = BloomFilter(size=1024, hashes=3)
+        bloom.add(b"hello")
+        assert b"hello" in bloom
+
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(size=4096, hashes=4)
+        keys = [f"key-{i}".encode() for i in range(200)]
+        for key in keys:
+            bloom.add(key)
+        assert all(key in bloom for key in keys)
+
+    def test_absent_key_usually_absent(self):
+        bloom = BloomFilter(size=2 ** 16, hashes=3)
+        for i in range(100):
+            bloom.add((i, i + 1, i + 2))
+        misses = sum((i, 0, 0) in bloom for i in range(10_000, 11_000))
+        assert misses < 10  # fpr should be tiny at this utilization
+
+    def test_tuple_keys(self):
+        bloom = BloomFilter(size=1024, hashes=3)
+        bloom.add((6, 1, 2, 3, 4))
+        assert (6, 1, 2, 3, 4) in bloom
+
+    def test_clear(self):
+        bloom = BloomFilter(size=1024, hashes=3)
+        bloom.add(b"x")
+        bloom.clear()
+        assert b"x" not in bloom
+        assert len(bloom) == 0
+
+    def test_len_counts_adds(self):
+        bloom = BloomFilter(size=1024, hashes=3)
+        for i in range(5):
+            bloom.add((i,))
+        assert len(bloom) == 5
+
+    def test_utilization_grows(self):
+        bloom = BloomFilter(size=1024, hashes=3)
+        before = bloom.utilization
+        bloom.add(b"k")
+        assert bloom.utilization > before
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            BloomFilter(size=1000, hashes=3)
+
+    def test_seed_isolation(self):
+        a = BloomFilter(size=256, hashes=3, seed=1)
+        b = BloomFilter(size=256, hashes=3, seed=2)
+        a.add(b"k")
+        b.add(b"k")
+        assert a.vector != b.vector
+
+    def test_measured_fpr_tracks_equation2(self):
+        # p = U^m (Equation 2) against an empirical probe.
+        bloom = BloomFilter(size=2 ** 12, hashes=3, seed=9)
+        rng = random.Random(1)
+        for _ in range(400):
+            bloom.add((rng.getrandbits(32), rng.getrandbits(32)))
+        predicted = bloom.false_positive_rate()
+        probes = 20_000
+        hits = sum(
+            (rng.getrandbits(32), rng.getrandbits(32), 1) in bloom for _ in range(probes)
+        )
+        measured = hits / probes
+        assert measured == pytest.approx(predicted, abs=0.02)
+
+
+class TestTheory:
+    def test_theoretical_fpr_monotone_in_items(self):
+        rates = [theoretical_fpr(2 ** 16, 3, n) for n in (10, 100, 1000, 10000)]
+        assert rates == sorted(rates)
+
+    def test_theoretical_fpr_bounds(self):
+        assert theoretical_fpr(2 ** 16, 3, 0) == 0.0
+        assert 0.0 < theoretical_fpr(2 ** 10, 3, 500) < 1.0
+
+    def test_theoretical_fpr_validation(self):
+        with pytest.raises(ValueError):
+            theoretical_fpr(0, 3, 10)
+        with pytest.raises(ValueError):
+            theoretical_fpr(16, 0, 10)
+        with pytest.raises(ValueError):
+            theoretical_fpr(16, 3, -1)
+
+    def test_classic_optimum(self):
+        # m* = (N/c) ln 2: for N=1024, c=100 -> ~7.1
+        assert optimal_hashes_classic(1024, 100) == pytest.approx(7.097, abs=0.01)
+
+    def test_classic_optimum_rejects_zero_items(self):
+        with pytest.raises(ValueError):
+            optimal_hashes_classic(1024, 0)
+
+    def test_empirical_fpr_near_theory(self):
+        size, hashes, items = 2 ** 14, 4, 1500
+        bloom = BloomFilter(size=size, hashes=hashes, seed=3)
+        rng = random.Random(2)
+        for _ in range(items):
+            bloom.add((rng.getrandbits(40),))
+        expected = theoretical_fpr(size, hashes, items)
+        probes = 30_000
+        hits = sum((2 ** 50 + i,) in bloom for i in range(probes))
+        assert hits / probes == pytest.approx(expected, rel=0.35, abs=0.005)
+
+
+@given(st.lists(st.binary(min_size=1, max_size=20), min_size=1, max_size=50))
+@settings(max_examples=100)
+def test_never_false_negative_property(keys):
+    bloom = BloomFilter(size=2 ** 10, hashes=3)
+    for key in keys:
+        bloom.add(key)
+    assert all(key in bloom for key in keys)

@@ -1,0 +1,98 @@
+"""Tests for the section 5.2 analytical cost model."""
+
+import pytest
+
+from repro.core.bitmap_filter import BitmapFilterConfig
+from repro.core.costmodel import (
+    HARDWARE_ASIC,
+    SOFTWARE_2006,
+    HardwareProfile,
+    estimate,
+    spi_lookup_seconds,
+    spi_memory_bytes,
+    supports_line_rate,
+)
+
+PAPER_CONFIG = BitmapFilterConfig(size=2 ** 20, vectors=4, hashes=3, rotate_interval=5.0)
+
+
+class TestEstimate:
+    def test_inbound_cheaper_than_outbound(self):
+        # "Processing inbound packets is simpler than for outbound packets."
+        cost = estimate(PAPER_CONFIG, SOFTWARE_2006)
+        assert cost.inbound_seconds < cost.outbound_seconds
+
+    def test_outbound_scales_with_k(self):
+        small = estimate(BitmapFilterConfig(vectors=2), SOFTWARE_2006)
+        large = estimate(BitmapFilterConfig(vectors=8), SOFTWARE_2006)
+        assert large.outbound_seconds > small.outbound_seconds
+
+    def test_inbound_independent_of_k(self):
+        small = estimate(BitmapFilterConfig(vectors=2), SOFTWARE_2006)
+        large = estimate(BitmapFilterConfig(vectors=8), SOFTWARE_2006)
+        assert large.inbound_seconds == pytest.approx(small.inbound_seconds)
+
+    def test_both_scale_with_m(self):
+        small = estimate(BitmapFilterConfig(hashes=1), SOFTWARE_2006)
+        large = estimate(BitmapFilterConfig(hashes=6), SOFTWARE_2006)
+        assert large.inbound_seconds > small.inbound_seconds
+        assert large.outbound_seconds > small.outbound_seconds
+
+    def test_rotate_scales_with_n(self):
+        small = estimate(BitmapFilterConfig(size=2 ** 16), SOFTWARE_2006)
+        large = estimate(BitmapFilterConfig(size=2 ** 24), SOFTWARE_2006)
+        assert large.rotate_seconds == pytest.approx(small.rotate_seconds * 256)
+
+    def test_rotate_duty_cycle_tiny_at_paper_config(self):
+        # One 128 KiB memset every 5 s is noise.
+        cost = estimate(PAPER_CONFIG, SOFTWARE_2006)
+        assert cost.rotate_duty_cycle < 1e-3
+
+    def test_hardware_faster_than_software(self):
+        software = estimate(PAPER_CONFIG, SOFTWARE_2006)
+        hardware = estimate(PAPER_CONFIG, HARDWARE_ASIC)
+        assert hardware.line_rate_mbps() > software.line_rate_mbps() * 5
+
+
+class TestLineRate:
+    def test_software_covers_campus_trace(self):
+        # The paper's trace averaged 146.7 Mbps; a 2006 CPU keeps up.
+        assert supports_line_rate(PAPER_CONFIG, SOFTWARE_2006, 146.7)
+
+    def test_hardware_covers_10g(self):
+        assert supports_line_rate(PAPER_CONFIG, HARDWARE_ASIC, 10_000)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            supports_line_rate(PAPER_CONFIG, SOFTWARE_2006, 0)
+        with pytest.raises(ValueError):
+            supports_line_rate(PAPER_CONFIG, SOFTWARE_2006, 100, mean_packet_bytes=0)
+
+
+class TestProfiles:
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            HardwareProfile("bad", 0, 1e-9, 1e-9, 1e9)
+        with pytest.raises(ValueError):
+            HardwareProfile("bad", 1e-9, 1e-9, 1e-9, 0)
+
+
+class TestSpiModel:
+    def test_lookup_grows_with_load_factor(self):
+        fast = spi_lookup_seconds(1000, load_factor=0.5)
+        slow = spi_lookup_seconds(1000, load_factor=8.0)
+        assert slow > fast
+
+    def test_memory_linear_in_flows(self):
+        assert spi_memory_bytes(200_000) == 2 * spi_memory_bytes(100_000)
+
+    def test_paper_scale_comparison(self):
+        # "tens of thousands or even millions" of flows: at 1M flows SPI
+        # state dwarfs the 512 KiB bitmap.
+        assert spi_memory_bytes(1_000_000) > 100 * PAPER_CONFIG.memory_bytes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spi_lookup_seconds(-1)
+        with pytest.raises(ValueError):
+            spi_memory_bytes(10, bytes_per_flow=0)

@@ -1,0 +1,130 @@
+"""Tests for the counting Bloom filter substrate."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.counting_bloom import COUNTER_MAX, CountingBloomFilter
+
+
+class TestBasics:
+    def test_add_then_member(self):
+        cbf = CountingBloomFilter(size=1024, hashes=3)
+        cbf.add(b"key")
+        assert b"key" in cbf
+
+    def test_absent_not_member(self):
+        cbf = CountingBloomFilter(size=2 ** 16, hashes=3)
+        cbf.add(b"present")
+        assert b"absent" not in cbf
+
+    def test_remove_deletes(self):
+        cbf = CountingBloomFilter(size=1024, hashes=3)
+        cbf.add(b"key")
+        assert cbf.remove(b"key")
+        assert b"key" not in cbf
+
+    def test_remove_absent_is_safe_noop(self):
+        cbf = CountingBloomFilter(size=1024, hashes=3)
+        cbf.add(b"other")
+        assert not cbf.remove(b"missing")
+        assert b"other" in cbf
+
+    def test_multiset_semantics(self):
+        cbf = CountingBloomFilter(size=1024, hashes=3)
+        cbf.add(b"key")
+        cbf.add(b"key")
+        cbf.remove(b"key")
+        assert b"key" in cbf  # one copy remains
+        cbf.remove(b"key")
+        assert b"key" not in cbf
+
+    def test_remove_does_not_disturb_others(self):
+        cbf = CountingBloomFilter(size=2 ** 14, hashes=3)
+        keys = [f"k{i}".encode() for i in range(100)]
+        for key in keys:
+            cbf.add(key)
+        for key in keys[:50]:
+            cbf.remove(key)
+        assert all(key in cbf for key in keys[50:])
+
+    def test_tuple_keys(self):
+        cbf = CountingBloomFilter(size=1024, hashes=3)
+        cbf.add((6, 1, 2, 3, 4))
+        assert (6, 1, 2, 3, 4) in cbf
+        assert cbf.remove((6, 1, 2, 3, 4))
+
+    def test_len_tracks_live_entries(self):
+        cbf = CountingBloomFilter(size=1024, hashes=3)
+        for i in range(5):
+            cbf.add((i,))
+        cbf.remove((0,))
+        assert len(cbf) == 4
+
+
+class TestCounters:
+    def test_saturation(self):
+        cbf = CountingBloomFilter(size=64, hashes=1)
+        for _ in range(COUNTER_MAX + 5):
+            cbf.add(b"hot")
+        assert cbf.saturations > 0
+        assert b"hot" in cbf
+
+    def test_saturated_cell_never_decremented(self):
+        cbf = CountingBloomFilter(size=64, hashes=1)
+        for _ in range(COUNTER_MAX + 5):
+            cbf.add(b"hot")
+        for _ in range(COUNTER_MAX + 5):
+            cbf.remove(b"hot")
+        # Saturated cells are stranded at COUNTER_MAX — still a member.
+        assert b"hot" in cbf
+
+    def test_clear(self):
+        cbf = CountingBloomFilter(size=1024, hashes=3)
+        cbf.add(b"x")
+        cbf.clear()
+        assert b"x" not in cbf
+        assert len(cbf) == 0
+
+    def test_utilization(self):
+        cbf = CountingBloomFilter(size=1024, hashes=3)
+        assert cbf.utilization == 0.0
+        cbf.add(b"x")
+        assert 0.0 < cbf.utilization <= 3 / 1024
+
+    def test_memory_is_half_size_bytes(self):
+        cbf = CountingBloomFilter(size=2 ** 10, hashes=3)
+        assert cbf.memory_bytes == 2 ** 9
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            CountingBloomFilter(size=1000, hashes=3)
+
+
+class TestDeletionLowersUtilization:
+    def test_fpr_drops_after_removals(self):
+        rng = random.Random(7)
+        cbf = CountingBloomFilter(size=2 ** 12, hashes=3)
+        keys = [(rng.getrandbits(48),) for _ in range(600)]
+        for key in keys:
+            cbf.add(key)
+        before = cbf.false_positive_rate()
+        for key in keys[:500]:
+            cbf.remove(key)
+        after = cbf.false_positive_rate()
+        assert after < before * 0.3
+
+
+@given(st.sets(st.binary(min_size=1, max_size=12), min_size=1, max_size=40))
+@settings(max_examples=100)
+def test_add_remove_roundtrip_property(keys):
+    cbf = CountingBloomFilter(size=2 ** 12, hashes=3)
+    for key in keys:
+        cbf.add(key)
+    assert all(key in cbf for key in keys)
+    for key in keys:
+        assert cbf.remove(key)
+    # With distinct adds/removes and no saturation, everything clears.
+    assert cbf.utilization == 0.0

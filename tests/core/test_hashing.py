@@ -1,0 +1,171 @@
+"""Tests for the hash families feeding the bitmap filter."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hashing import (
+    HashFamily,
+    fnv1a_64,
+    make_hash_family,
+    mix_tuple,
+    splitmix64,
+    uniformity_chi2,
+)
+
+
+class TestFnv1a:
+    def test_known_empty(self):
+        # FNV-1a offset basis for empty input.
+        assert fnv1a_64(b"") == 0xCBF29CE484222325
+
+    def test_known_vector(self):
+        # 'a' -> documented FNV-1a 64-bit value.
+        assert fnv1a_64(b"a") == 0xAF63DC4C8601EC8C
+
+    def test_seed_changes_output(self):
+        assert fnv1a_64(b"hello", seed=0) != fnv1a_64(b"hello", seed=1)
+
+    def test_deterministic(self):
+        assert fnv1a_64(b"xyz") == fnv1a_64(b"xyz")
+
+    def test_fits_64_bits(self):
+        assert 0 <= fnv1a_64(b"\xff" * 100) < 2 ** 64
+
+
+class TestSplitmix64:
+    def test_fits_64_bits(self):
+        for value in (0, 1, 2 ** 64 - 1, 12345678901234567890 % 2 ** 64):
+            assert 0 <= splitmix64(value) < 2 ** 64
+
+    def test_zero_not_fixed_point(self):
+        assert splitmix64(0) != 0
+
+    def test_distinct_inputs_distinct_outputs(self):
+        outputs = {splitmix64(i) for i in range(1000)}
+        assert len(outputs) == 1000
+
+    def test_avalanche(self):
+        # Flipping one input bit should flip roughly half the output bits.
+        a = splitmix64(0x1234)
+        b = splitmix64(0x1235)
+        flipped = bin(a ^ b).count("1")
+        assert 16 <= flipped <= 48
+
+
+class TestMixTuple:
+    def test_deterministic(self):
+        fields = (6, 0x0A010005, 3333, 0xCB007107, 80)
+        assert mix_tuple(fields) == mix_tuple(fields)
+
+    def test_order_sensitive(self):
+        assert mix_tuple((1, 2)) != mix_tuple((2, 1))
+
+    def test_seed_sensitive(self):
+        assert mix_tuple((1, 2), seed=0) != mix_tuple((1, 2), seed=1)
+
+    def test_length_sensitive(self):
+        assert mix_tuple((1,)) != mix_tuple((1, 0))
+
+
+class TestHashFamily:
+    def test_indices_in_range(self):
+        family = HashFamily(m=5, n_bits=10)
+        for fields in [(1, 2, 3), (6, 7, 8, 9, 10)]:
+            for index in family.indices(fields):
+                assert 0 <= index < 1024
+
+    def test_m_indices_returned(self):
+        family = HashFamily(m=7, n_bits=12)
+        assert len(family.indices((1, 2, 3))) == 7
+
+    def test_deterministic(self):
+        family = HashFamily(m=3, n_bits=20)
+        assert family.indices((6, 1, 2, 3)) == family.indices((6, 1, 2, 3))
+
+    def test_distinct_keys_differ(self):
+        family = HashFamily(m=3, n_bits=20)
+        assert family.indices((6, 1, 2, 3)) != family.indices((6, 1, 2, 4))
+
+    def test_seeds_give_different_families(self):
+        a = HashFamily(m=3, n_bits=20, seed=1)
+        b = HashFamily(m=3, n_bits=20, seed=2)
+        assert a.indices((1, 2, 3)) != b.indices((1, 2, 3))
+
+    def test_bytes_and_tuple_apis_independent(self):
+        family = HashFamily(m=3, n_bits=16)
+        assert len(family.indices_bytes(b"some key")) == 3
+
+    def test_rejects_zero_hashes(self):
+        with pytest.raises(ValueError):
+            HashFamily(m=0, n_bits=10)
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            HashFamily(m=3, n_bits=0)
+        with pytest.raises(ValueError):
+            HashFamily(m=3, n_bits=33)
+
+    def test_n_bit_truncation(self):
+        # The paper: outputs exceeding n bits are truncated.
+        family = HashFamily(m=8, n_bits=4)
+        assert all(0 <= i < 16 for i in family.indices((9, 9, 9)))
+
+    def test_uniformity(self):
+        family = HashFamily(m=1, n_bits=16)
+        rng = random.Random(7)
+        samples = [
+            family.indices((rng.getrandbits(32), rng.getrandbits(16)))[0]
+            for _ in range(20000)
+        ]
+        chi2 = uniformity_chi2(samples, buckets=64)
+        # 63 degrees of freedom; p=0.001 critical value ~ 103.
+        assert chi2 < 110
+
+
+class TestMakeHashFamily:
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            make_hash_family(3, 1000)
+
+    def test_size_to_bits(self):
+        family = make_hash_family(3, 2 ** 20)
+        assert family.n_bits == 20
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            make_hash_family(3, 0)
+
+
+class TestUniformityChi2:
+    def test_perfectly_uniform(self):
+        samples = list(range(100)) * 10
+        assert uniformity_chi2(samples, buckets=100) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            uniformity_chi2([], buckets=4)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2 ** 32 - 1), min_size=1, max_size=6))
+@settings(max_examples=200)
+def test_indices_always_in_range(fields):
+    family = HashFamily(m=4, n_bits=14)
+    assert all(0 <= index < 2 ** 14 for index in family.indices(fields))
+
+
+@given(
+    st.tuples(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=2 ** 32 - 1),
+        st.integers(min_value=0, max_value=65535),
+        st.integers(min_value=0, max_value=2 ** 32 - 1),
+        st.integers(min_value=0, max_value=65535),
+    )
+)
+@settings(max_examples=200)
+def test_hash_family_deterministic_property(fields):
+    family = HashFamily(m=3, n_bits=20, seed=5)
+    assert family.indices(fields) == family.indices(fields)

@@ -1,0 +1,116 @@
+"""Tests for uplink-throughput estimators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.throughput import (
+    EwmaThroughputMeter,
+    SlidingWindowMeter,
+    from_mbps,
+    mbps,
+)
+
+
+class TestSlidingWindowMeter:
+    def test_empty_rate_is_zero(self):
+        meter = SlidingWindowMeter(window=1.0)
+        assert meter.rate_bps(10.0) == 0.0
+
+    def test_single_packet(self):
+        meter = SlidingWindowMeter(window=1.0)
+        meter.record(0.0, 125)  # 1000 bits in a 1s window
+        assert meter.rate_bps(0.5) == pytest.approx(1000.0)
+
+    def test_steady_stream(self):
+        meter = SlidingWindowMeter(window=1.0)
+        for i in range(100):
+            meter.record(i * 0.01, 1250)  # 1250 B every 10 ms = 1 Mbps
+        assert meter.rate_bps(1.0) == pytest.approx(1e6, rel=0.02)
+
+    def test_eviction(self):
+        meter = SlidingWindowMeter(window=1.0)
+        meter.record(0.0, 1000)
+        assert meter.rate_bps(2.5) == 0.0
+        assert len(meter) == 0
+
+    def test_partial_eviction(self):
+        meter = SlidingWindowMeter(window=1.0)
+        meter.record(0.0, 1000)
+        meter.record(0.9, 1000)
+        assert meter.rate_bps(1.5) == pytest.approx(8000.0)
+
+    def test_window_scaling(self):
+        short = SlidingWindowMeter(window=1.0)
+        long = SlidingWindowMeter(window=10.0)
+        for meter in (short, long):
+            meter.record(5.0, 1000)
+        assert short.rate_bps(5.0) == pytest.approx(10 * long.rate_bps(5.0))
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            SlidingWindowMeter(window=0)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            SlidingWindowMeter().record(0.0, -1)
+
+
+class TestEwmaMeter:
+    def test_initially_zero(self):
+        meter = EwmaThroughputMeter()
+        assert meter.rate_bps(0.0) == 0.0
+
+    def test_converges_to_steady_rate(self):
+        meter = EwmaThroughputMeter(tau=0.5)
+        # 1250 B per 10 ms = 1 Mbps steady.
+        for i in range(1, 1000):
+            meter.record(i * 0.01, 1250)
+        assert meter.rate_bps(10.0) == pytest.approx(1e6, rel=0.05)
+
+    def test_decays_during_silence(self):
+        meter = EwmaThroughputMeter(tau=1.0)
+        for i in range(1, 200):
+            meter.record(i * 0.01, 1250)
+        active = meter.rate_bps(2.0)
+        quiet = meter.rate_bps(10.0)
+        assert quiet < active * 0.01
+
+    def test_same_instant_burst_does_not_crash(self):
+        meter = EwmaThroughputMeter()
+        meter.record(1.0, 100)
+        meter.record(1.0, 100)
+        assert meter.rate_bps(1.0) >= 0.0
+
+    def test_rejects_bad_tau(self):
+        with pytest.raises(ValueError):
+            EwmaThroughputMeter(tau=0.0)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            EwmaThroughputMeter().record(0.0, -5)
+
+
+class TestUnits:
+    def test_mbps_roundtrip(self):
+        assert mbps(from_mbps(100.0)) == pytest.approx(100.0)
+
+    def test_mbps_value(self):
+        assert mbps(1e6) == 1.0
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100.0),
+            st.integers(min_value=0, max_value=10_000),
+        ),
+        max_size=50,
+    )
+)
+@settings(max_examples=100)
+def test_sliding_window_rate_never_negative(events):
+    meter = SlidingWindowMeter(window=2.0)
+    for timestamp, size in sorted(events):
+        meter.record(timestamp, size)
+        assert meter.rate_bps(timestamp) >= 0.0

@@ -1,0 +1,91 @@
+"""Tests for the bitmap filter behind the PacketFilter interface."""
+
+from repro.core.bitmap_filter import BitmapFilterConfig
+from repro.filters.base import Verdict
+from repro.filters.bitmap import BitmapPacketFilter
+from repro.filters.policy import DropController
+
+from tests.conftest import in_packet, out_packet, tcp_pair
+
+
+def small_bitmap(**kwargs) -> BitmapPacketFilter:
+    return BitmapPacketFilter(
+        BitmapFilterConfig(size=2 ** 14, vectors=4, hashes=3, rotate_interval=5.0),
+        **kwargs,
+    )
+
+
+class TestVerdicts:
+    def test_outbound_passes_and_marks(self):
+        filt = small_bitmap()
+        assert filt.process(out_packet(t=0.0)) is Verdict.PASS
+        assert filt.core.stats.outbound_marked == 1
+
+    def test_matched_inbound_passes(self):
+        filt = small_bitmap()
+        filt.process(out_packet(t=0.0))
+        assert filt.process(in_packet(t=1.0)) is Verdict.PASS
+
+    def test_unmatched_inbound_dropped(self):
+        filt = small_bitmap()
+        assert filt.process(in_packet(t=0.0)) is Verdict.DROP
+
+    def test_expiry_by_trace_time(self):
+        filt = small_bitmap()
+        filt.process(out_packet(t=0.0))
+        # Well past T_e = 20 s: rotations must have wiped the mark.
+        assert filt.process(in_packet(t=60.0)) is Verdict.DROP
+
+    def test_within_guaranteed_window(self):
+        filt = small_bitmap()
+        filt.process(out_packet(t=0.0))
+        assert filt.process(in_packet(t=14.0)) is Verdict.PASS
+
+
+class TestThroughputDrivenDropping:
+    def test_low_throughput_admits_unknown_inbound(self):
+        filt = small_bitmap(
+            drop_controller=DropController.red_mbps(low_mbps=50, high_mbps=100)
+        )
+        # No upload traffic at all -> P_d = 0 -> unknown inbound passes.
+        assert filt.process(in_packet(t=0.0)) is Verdict.PASS
+
+    def test_high_throughput_blocks_unknown_inbound(self):
+        filt = small_bitmap(
+            drop_controller=DropController.red_mbps(low_mbps=0.001, high_mbps=0.002)
+        )
+        # Push enough upload bytes to exceed H = 0.002 Mbps in the window.
+        for i in range(10):
+            filt.process(out_packet(pair=tcp_pair(sport=2000 + i), t=0.1 * i, size=1500))
+        assert filt.process(in_packet(pair=tcp_pair(sport=9999).inverse, t=1.0)) is Verdict.DROP
+
+    def test_known_inbound_passes_even_under_load(self):
+        filt = small_bitmap(
+            drop_controller=DropController.red_mbps(low_mbps=0.001, high_mbps=0.002)
+        )
+        for i in range(10):
+            filt.process(out_packet(pair=tcp_pair(sport=2000 + i), t=0.1 * i, size=1500))
+        # Response to a marked pair: must bypass P_d entirely.
+        assert filt.process(in_packet(pair=tcp_pair(sport=2003).inverse, t=1.0)) is Verdict.PASS
+
+
+class TestHousekeeping:
+    def test_memory_is_constant(self):
+        filt = small_bitmap()
+        before = filt.memory_bytes
+        for i in range(500):
+            filt.process(out_packet(pair=tcp_pair(sport=1024 + i), t=0.01 * i))
+        assert filt.memory_bytes == before
+        assert filt.memory_bytes == 4 * 2 ** 14 // 8
+
+    def test_reset(self):
+        filt = small_bitmap()
+        filt.process(out_packet(t=0.0))
+        filt.reset()
+        assert filt.core.stats.outbound_marked == 0
+        assert filt.process(in_packet(t=0.1)) is Verdict.DROP
+
+    def test_paper_default_config(self):
+        filt = BitmapPacketFilter()
+        assert filt.config.size == 2 ** 20
+        assert filt.memory_bytes == 512 * 1024

@@ -1,0 +1,76 @@
+"""Tests for blocked-connection persistence (section 5.3 replay rule)."""
+
+import pytest
+
+from repro.filters.blocklist import BlockedConnectionStore
+
+from tests.conftest import in_packet, out_packet, tcp_pair
+
+
+class TestBlocking:
+    def test_blocked_pair_suppressed(self):
+        store = BlockedConnectionStore()
+        store.block(tcp_pair().inverse, now=0.0)
+        assert store.suppress(in_packet(t=1.0))
+
+    def test_sigma_and_inverse_both_match(self):
+        # "all the future packets that match any stored σ or σ̄"
+        store = BlockedConnectionStore()
+        store.block(tcp_pair().inverse, now=0.0)
+        assert store.suppress(out_packet(t=1.0))
+        assert store.suppress(in_packet(t=2.0))
+
+    def test_unblocked_pair_untouched(self):
+        store = BlockedConnectionStore()
+        store.block(tcp_pair(sport=1).inverse, now=0.0)
+        assert not store.suppress(in_packet(t=1.0))
+
+    def test_accounting(self):
+        store = BlockedConnectionStore()
+        store.block(tcp_pair(), now=0.0)
+        store.suppress(in_packet(t=1.0, size=500))
+        store.suppress(in_packet(t=2.0, size=300))
+        assert store.suppressed_packets == 2
+        assert store.suppressed_bytes == 800
+
+    def test_len(self):
+        store = BlockedConnectionStore()
+        store.block(tcp_pair(sport=1), now=0.0)
+        store.block(tcp_pair(sport=2), now=0.0)
+        assert len(store) == 2
+
+    def test_blocking_same_pair_twice_is_one_entry(self):
+        store = BlockedConnectionStore()
+        store.block(tcp_pair(), now=0.0)
+        store.block(tcp_pair().inverse, now=1.0)
+        assert len(store) == 1
+
+
+class TestRetention:
+    def test_entry_ages_out(self):
+        store = BlockedConnectionStore(retention=10.0)
+        store.block(tcp_pair(), now=0.0)
+        assert not store.is_blocked(tcp_pair(), now=11.0)
+
+    def test_active_retry_refreshes(self):
+        store = BlockedConnectionStore(retention=10.0)
+        store.block(tcp_pair(), now=0.0)
+        assert store.suppress(in_packet(t=8.0))
+        assert store.suppress(in_packet(t=16.0))  # refreshed at t=8
+
+    def test_infinite_retention(self):
+        store = BlockedConnectionStore(retention=None)
+        store.block(tcp_pair(), now=0.0)
+        assert store.is_blocked(tcp_pair(), now=1e9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockedConnectionStore(retention=0.0)
+
+    def test_clear(self):
+        store = BlockedConnectionStore()
+        store.block(tcp_pair(), now=0.0)
+        store.suppress(in_packet(t=1.0))
+        store.clear()
+        assert len(store) == 0
+        assert store.suppressed_packets == 0

@@ -1,0 +1,102 @@
+"""Tests for filter composition and the drop controller."""
+
+import pytest
+
+from repro.core.dropper import RedDropPolicy
+from repro.core.throughput import SlidingWindowMeter
+from repro.filters.base import AcceptAllFilter, FilterStats, Verdict
+from repro.filters.chain import FilterChain
+from repro.filters.naive import NaiveTimerFilter
+from repro.filters.policy import DropController
+
+from tests.conftest import in_packet, out_packet
+
+
+class TestFilterChain:
+    def test_all_pass(self):
+        chain = FilterChain([AcceptAllFilter(), AcceptAllFilter()])
+        assert chain.process(out_packet(t=0.0)) is Verdict.PASS
+
+    def test_first_drop_wins(self):
+        chain = FilterChain([AcceptAllFilter(), NaiveTimerFilter()])
+        assert chain.process(in_packet(t=0.0)) is Verdict.DROP
+
+    def test_member_stats_tracked(self):
+        chain = FilterChain([AcceptAllFilter(), NaiveTimerFilter()])
+        chain.process(out_packet(t=0.0))
+        chain.process(in_packet(t=0.1))
+        accept_stats, naive_stats = chain.member_stats()
+        assert accept_stats.total == 2
+        assert naive_stats.total == 2
+
+    def test_short_circuit(self):
+        # A drop in filter 1 must not reach filter 2.
+        chain = FilterChain([NaiveTimerFilter(), AcceptAllFilter()])
+        chain.process(in_packet(t=0.0))
+        _, accept_stats = chain.member_stats()
+        assert accept_stats.total == 0
+
+    def test_reset_cascades(self):
+        chain = FilterChain([NaiveTimerFilter()])
+        chain.process(out_packet(t=0.0))
+        chain.reset()
+        assert chain.filters[0].tracked_pairs == 0
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            FilterChain([])
+
+    def test_len(self):
+        assert len(FilterChain([AcceptAllFilter()])) == 1
+
+
+class TestDropController:
+    def test_defaults_to_always_drop(self):
+        controller = DropController()
+        assert controller.probability(0.0) == 1.0
+
+    def test_red_mbps_thresholds(self):
+        controller = DropController.red_mbps(low_mbps=50, high_mbps=100)
+        assert controller.probability(0.0) == 0.0  # no upload recorded
+        # Feed 75 Mbps into a 1s window: P_d = 0.5.
+        controller.record_upload(0.5, int(75e6 / 8))
+        assert controller.probability(0.5) == pytest.approx(0.5, abs=0.01)
+
+    def test_throughput_reported(self):
+        controller = DropController.red_mbps(50, 100)
+        controller.record_upload(0.0, 125_000)  # 1 Mbps over the 1s window
+        assert controller.throughput_bps(0.0) == pytest.approx(1e6)
+
+    def test_custom_components(self):
+        controller = DropController(
+            policy=RedDropPolicy(low=100.0, high=200.0),
+            meter=SlidingWindowMeter(window=2.0),
+        )
+        assert controller.probability(0.0) == 0.0
+
+    def test_never_drop(self):
+        assert DropController.never_drop().probability(1e12) == 0.0
+
+
+class TestFilterStats:
+    def test_direction_required(self):
+        from repro.net.packet import Packet
+
+        from tests.conftest import tcp_pair
+
+        stats = FilterStats()
+        with pytest.raises(ValueError):
+            stats.account(Packet(0.0, tcp_pair(), 40), Verdict.PASS)
+
+    def test_drop_rate_no_traffic(self):
+        assert FilterStats().drop_rate() == 0.0
+        assert FilterStats().overall_drop_rate() == 0.0
+
+    def test_byte_accounting(self):
+        stats = FilterStats()
+        stats.account(out_packet(t=0.0, size=100), Verdict.PASS)
+        stats.account(in_packet(t=0.0, size=50), Verdict.DROP)
+        from repro.net.packet import Direction
+
+        assert stats.passed_bytes[Direction.OUTBOUND] == 100
+        assert stats.dropped_bytes[Direction.INBOUND] == 50

@@ -1,0 +1,117 @@
+"""Tests for the close-aware counting bitmap filter (extension)."""
+
+import pytest
+
+from repro.core.bitmap_filter import BitmapFilterConfig
+from repro.filters.base import Verdict
+from repro.filters.counting import CountingBitmapFilter
+from repro.net.headers import TCPFlags
+
+from tests.conftest import in_packet, out_packet, tcp_pair, udp_pair
+
+
+def small(**overrides):
+    defaults = dict(size=2 ** 12, vectors=4, hashes=3, rotate_interval=5.0)
+    defaults.update(overrides)
+    return CountingBitmapFilter(BitmapFilterConfig(**defaults))
+
+
+class TestBitmapParity:
+    """Without close signals it behaves like the plain bitmap filter."""
+
+    def test_outbound_passes_and_marks(self):
+        filt = small()
+        assert filt.process(out_packet(t=0.0)) is Verdict.PASS
+        assert filt.process(in_packet(t=1.0)) is Verdict.PASS
+
+    def test_unknown_inbound_dropped(self):
+        filt = small()
+        assert filt.process(in_packet(t=0.0)) is Verdict.DROP
+
+    def test_rotation_expires(self):
+        filt = small()
+        filt.process(out_packet(t=0.0))
+        assert filt.process(in_packet(t=60.0)) is Verdict.DROP
+
+    def test_within_window_passes(self):
+        filt = small()
+        filt.process(out_packet(t=0.0))
+        assert filt.process(in_packet(t=14.0)) is Verdict.PASS
+
+    def test_udp_never_close_deleted(self):
+        filt = small()
+        filt.process(out_packet(pair=udp_pair(), t=0.0, flags=TCPFlags.RST))
+        assert filt.process(in_packet(pair=udp_pair().inverse, t=1.0)) is Verdict.PASS
+
+
+class TestCloseAwareDeletion:
+    def test_rst_deletes_immediately(self):
+        filt = small()
+        filt.process(out_packet(t=0.0))
+        filt.process(out_packet(t=1.0, flags=TCPFlags.RST))
+        assert filt.process(in_packet(t=1.5)) is Verdict.DROP
+        assert filt.deleted_on_close == 1
+
+    def test_single_fin_keeps_entry(self):
+        # Half-closed: the reverse FIN/data may still arrive.
+        filt = small()
+        filt.process(out_packet(t=0.0))
+        filt.process(out_packet(t=1.0, flags=TCPFlags.FIN | TCPFlags.ACK))
+        assert filt.process(in_packet(t=1.5)) is Verdict.PASS
+        assert filt.half_closed_pairs == 1
+
+    def test_fin_exchange_deletes(self):
+        filt = small()
+        filt.process(out_packet(t=0.0))
+        filt.process(out_packet(t=1.0, flags=TCPFlags.FIN | TCPFlags.ACK))
+        filt.process(in_packet(t=1.1, flags=TCPFlags.FIN | TCPFlags.ACK))
+        assert filt.process(in_packet(t=1.5)) is Verdict.DROP
+        assert filt.deleted_on_close == 1
+        assert filt.half_closed_pairs == 0
+
+    def test_deletion_lowers_utilization(self):
+        filt = small()
+        for i in range(50):
+            filt.process(out_packet(pair=tcp_pair(sport=2000 + i), t=0.01 * i))
+        before = filt.current_utilization
+        for i in range(50):
+            filt.process(
+                out_packet(pair=tcp_pair(sport=2000 + i), t=1.0 + 0.01 * i,
+                           flags=TCPFlags.RST)
+            )
+        assert filt.current_utilization < before * 0.1
+
+    def test_deletion_does_not_disturb_other_flows(self):
+        filt = small()
+        filt.process(out_packet(pair=tcp_pair(sport=1111), t=0.0))
+        filt.process(out_packet(pair=tcp_pair(sport=2222), t=0.1))
+        filt.process(out_packet(pair=tcp_pair(sport=1111), t=0.5, flags=TCPFlags.RST))
+        assert filt.process(in_packet(pair=tcp_pair(sport=2222).inverse, t=1.0)) is Verdict.PASS
+
+    def test_half_close_table_bounded_by_timeout(self):
+        filt = small(rotate_interval=1.0)
+        for i in range(30):
+            filt.process(
+                out_packet(pair=tcp_pair(sport=3000 + i), t=float(i),
+                           flags=TCPFlags.FIN | TCPFlags.ACK)
+            )
+        filt.process(out_packet(pair=tcp_pair(sport=9000), t=200.0))
+        assert filt.half_closed_pairs <= 1
+
+
+class TestMemoryAndReset:
+    def test_memory_is_4x_plain_bitmap(self):
+        filt = small(size=2 ** 12, vectors=4)
+        plain_bits_bytes = 4 * 2 ** 12 // 8
+        assert filt.memory_bytes == 4 * plain_bits_bytes
+
+    def test_reset(self):
+        filt = small()
+        filt.process(out_packet(t=0.0))
+        filt.reset()
+        assert filt.current_utilization == 0.0
+        assert filt.process(in_packet(t=0.1)) is Verdict.DROP
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CountingBitmapFilter(half_close_timeout=0.0)

@@ -1,0 +1,95 @@
+"""Tests for the naïve exact-timer filter (section 4.2's reference)."""
+
+import pytest
+
+from repro.core.bitmap_filter import FieldMode
+from repro.filters.base import Verdict
+from repro.filters.naive import NaiveTimerFilter
+from repro.net.inet import IPPROTO_UDP
+from repro.net.packet import Direction, SocketPair
+
+from tests.conftest import CLIENT_ADDR, REMOTE_ADDR, in_packet, out_packet, tcp_pair, udp_pair
+
+
+class TestTimerSemantics:
+    def test_outbound_installs_timer(self):
+        naive = NaiveTimerFilter(expiry=20.0)
+        naive.process(out_packet(t=0.0))
+        assert naive.process(in_packet(t=10.0)) is Verdict.PASS
+
+    def test_timer_expires(self):
+        naive = NaiveTimerFilter(expiry=20.0)
+        naive.process(out_packet(t=0.0))
+        assert naive.process(in_packet(t=20.5)) is Verdict.DROP
+
+    def test_outbound_resets_timer(self):
+        # "If the socket pair is not new to the router, the value of the
+        #  associated timer is simply reset to T."
+        naive = NaiveTimerFilter(expiry=20.0)
+        naive.process(out_packet(t=0.0))
+        naive.process(out_packet(t=15.0))
+        assert naive.process(in_packet(t=30.0)) is Verdict.PASS
+
+    def test_boundary_inclusive(self):
+        naive = NaiveTimerFilter(expiry=20.0)
+        naive.process(out_packet(t=0.0))
+        assert naive.process(in_packet(t=20.0)) is Verdict.PASS
+
+    def test_unknown_inbound_dropped(self):
+        naive = NaiveTimerFilter()
+        assert naive.process(in_packet(t=0.0)) is Verdict.DROP
+
+    def test_knows_is_non_mutating(self):
+        naive = NaiveTimerFilter(expiry=20.0)
+        naive.process(out_packet(t=0.0))
+        pair = tcp_pair()
+        assert naive.knows(pair, Direction.OUTBOUND, 5.0)
+        assert naive.knows(pair.inverse, Direction.INBOUND, 5.0)
+        assert not naive.knows(pair, Direction.OUTBOUND, 25.0)
+
+    def test_lazy_expiry_prunes_entry(self):
+        naive = NaiveTimerFilter(expiry=5.0)
+        naive.process(out_packet(t=0.0))
+        naive.process(in_packet(t=10.0))
+        assert naive.tracked_pairs == 0
+
+    def test_gc(self):
+        naive = NaiveTimerFilter(expiry=1.0, gc_interval=10.0)
+        for i in range(50):
+            naive.process(out_packet(pair=tcp_pair(sport=1000 + i), t=float(i)))
+        naive.process(out_packet(pair=tcp_pair(sport=5000), t=100.0))
+        naive.process(out_packet(pair=tcp_pair(sport=5001), t=120.0))
+        assert naive.tracked_pairs <= 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NaiveTimerFilter(expiry=0.0)
+
+
+class TestFieldModes:
+    def test_strict_checks_remote_port(self):
+        naive = NaiveTimerFilter(field_mode=FieldMode.STRICT)
+        naive.process(out_packet(pair=udp_pair(sport=4000, dport=6881), t=0.0))
+        other_port = SocketPair(IPPROTO_UDP, REMOTE_ADDR, 9999, CLIENT_ADDR, 4000)
+        assert naive.process(in_packet(pair=other_port, t=1.0)) is Verdict.DROP
+
+    def test_hole_punching_ignores_remote_port(self):
+        naive = NaiveTimerFilter(field_mode=FieldMode.HOLE_PUNCHING)
+        naive.process(out_packet(pair=udp_pair(sport=4000, dport=6881), t=0.0))
+        other_port = SocketPair(IPPROTO_UDP, REMOTE_ADDR, 9999, CLIENT_ADDR, 4000)
+        assert naive.process(in_packet(pair=other_port, t=1.0)) is Verdict.PASS
+
+    def test_hole_punching_checks_remote_address(self):
+        naive = NaiveTimerFilter(field_mode=FieldMode.HOLE_PUNCHING)
+        naive.process(out_packet(pair=udp_pair(sport=4000, dport=6881), t=0.0))
+        other_host = SocketPair(IPPROTO_UDP, REMOTE_ADDR + 7, 6881, CLIENT_ADDR, 4000)
+        assert naive.process(in_packet(pair=other_host, t=1.0)) is Verdict.DROP
+
+
+class TestReset:
+    def test_reset_clears_state(self):
+        naive = NaiveTimerFilter()
+        naive.process(out_packet(t=0.0))
+        naive.reset()
+        assert naive.tracked_pairs == 0
+        assert naive.process(in_packet(t=0.1)) is Verdict.DROP

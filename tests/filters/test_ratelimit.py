@@ -1,0 +1,80 @@
+"""Tests for the indiscriminate rate-limiting baselines."""
+
+import pytest
+
+from repro.filters.base import Verdict
+from repro.filters.ratelimit import RedPolicerFilter, TokenBucket, TokenBucketFilter
+from tests.conftest import in_packet, out_packet
+
+
+class TestTokenBucket:
+    def test_burst_allows_initial_traffic(self):
+        bucket = TokenBucket(rate_bytes_per_sec=1000, burst_bytes=5000)
+        assert bucket.consume(0.0, 5000)
+        assert not bucket.consume(0.0, 1)
+
+    def test_refill_over_time(self):
+        bucket = TokenBucket(rate_bytes_per_sec=1000, burst_bytes=1000)
+        bucket.consume(0.0, 1000)
+        assert not bucket.consume(0.5, 1000)
+        assert bucket.consume(2.0, 1000)
+
+    def test_refill_capped_at_burst(self):
+        bucket = TokenBucket(rate_bytes_per_sec=1000, burst_bytes=1000)
+        bucket.consume(0.0, 0)
+        assert not bucket.consume(100.0, 2000)
+
+    def test_steady_rate_enforced(self):
+        bucket = TokenBucket(rate_bytes_per_sec=1000, burst_bytes=500)
+        passed = sum(
+            bucket.consume(i * 0.1, 500) for i in range(100)
+        )  # offered 5000 B/s for 10 s against a 1000 B/s bucket
+        assert passed * 500 == pytest.approx(1000 * 10, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0, 100)
+        with pytest.raises(ValueError):
+            TokenBucket(100, 0)
+
+
+class TestTokenBucketFilter:
+    def test_polices_configured_direction_only(self):
+        filt = TokenBucketFilter(rate_mbps=0.001, burst_bytes=100)
+        filt.process(out_packet(t=0.0, size=100))  # drains the bucket
+        assert filt.process(out_packet(t=0.0, size=100)) is Verdict.DROP
+        assert filt.process(in_packet(t=0.0, size=10_000)) is Verdict.PASS
+
+    def test_indiscriminate(self):
+        # The bucket cannot tell a web response from a P2P upload: both
+        # outbound packets compete for the same tokens.
+        filt = TokenBucketFilter(rate_mbps=0.001, burst_bytes=150)
+        assert filt.process(out_packet(t=0.0, size=100)) is Verdict.PASS
+        assert filt.process(out_packet(t=0.0, size=100)) is Verdict.DROP
+
+    def test_rate_bound_on_stream(self):
+        filt = TokenBucketFilter(rate_mbps=1.0)  # 125 kB/s
+        passed_bytes = 0
+        for i in range(1000):
+            packet = out_packet(t=i * 0.01, size=1500)  # 150 kB/s offered
+            if filt.process(packet) is Verdict.PASS:
+                passed_bytes += packet.size
+        assert passed_bytes <= 125_000 * 10 * 1.3  # rate × 10 s + burst slack
+
+
+class TestRedPolicer:
+    def test_below_low_passes(self):
+        filt = RedPolicerFilter.mbps(low_mbps=10, high_mbps=20)
+        assert filt.process(out_packet(t=0.0, size=100)) is Verdict.PASS
+
+    def test_saturated_drops(self):
+        filt = RedPolicerFilter.mbps(low_mbps=0.001, high_mbps=0.002)
+        for i in range(20):
+            filt.process(out_packet(t=0.01 * i, size=1500))
+        assert filt.process(out_packet(t=0.25, size=1500)) is Verdict.DROP
+
+    def test_other_direction_untouched(self):
+        filt = RedPolicerFilter.mbps(low_mbps=0.001, high_mbps=0.002)
+        for i in range(20):
+            filt.process(out_packet(t=0.01 * i, size=1500))
+        assert filt.process(in_packet(t=0.25, size=1500)) is Verdict.PASS

@@ -1,0 +1,133 @@
+"""Tests for per-subnet sharded deployment (Figure 6 core placement)."""
+
+import pytest
+
+from repro.core.bitmap_filter import BitmapFilterConfig
+from repro.filters.base import Verdict
+from repro.filters.bitmap import BitmapPacketFilter
+from repro.filters.naive import NaiveTimerFilter
+from repro.filters.sharded import ShardedFilter
+from repro.net.inet import IPPROTO_TCP, parse_ipv4
+from repro.net.packet import Direction, Packet, SocketPair
+
+NET_A = parse_ipv4("10.1.0.0")
+NET_B = parse_ipv4("10.2.0.0")
+HOST_A = parse_ipv4("10.1.0.5")
+HOST_B = parse_ipv4("10.2.0.5")
+REMOTE = parse_ipv4("203.0.113.9")
+
+
+def out_pkt(src, t=0.0, sport=3000):
+    pair = SocketPair(IPPROTO_TCP, src, sport, REMOTE, 80)
+    return Packet(t, pair, size=100, direction=Direction.OUTBOUND)
+
+
+def in_pkt(dst, t=0.0, dport=3000):
+    pair = SocketPair(IPPROTO_TCP, REMOTE, 80, dst, dport)
+    return Packet(t, pair, size=100, direction=Direction.INBOUND)
+
+
+def bitmap():
+    return BitmapPacketFilter(
+        BitmapFilterConfig(size=2 ** 14, vectors=4, hashes=3, rotate_interval=5.0)
+    )
+
+
+def sharded():
+    return ShardedFilter([(NET_A, 16, bitmap()), (NET_B, 16, bitmap())])
+
+
+class TestRouting:
+    def test_outbound_routes_by_source(self):
+        filt = sharded()
+        filt.process(out_pkt(HOST_A))
+        shard_a = filt.shards[0][2]
+        shard_b = filt.shards[1][2]
+        assert shard_a.stats.total == 1
+        assert shard_b.stats.total == 0
+
+    def test_inbound_routes_by_destination(self):
+        filt = sharded()
+        filt.process(out_pkt(HOST_B))
+        assert filt.process(in_pkt(HOST_B, t=0.5)) is Verdict.PASS
+        assert filt.shards[1][2].stats.total == 2
+
+    def test_isolation_between_shards(self):
+        """A mark in network A's shard must not admit inbound traffic to
+        network B even on identical ports."""
+        filt = sharded()
+        filt.process(out_pkt(HOST_A, sport=4000))
+        assert filt.process(in_pkt(HOST_A, t=0.1, dport=4000)) is Verdict.PASS
+        assert filt.process(in_pkt(HOST_B, t=0.2, dport=4000)) is Verdict.DROP
+
+    def test_first_match_wins(self):
+        specific = NaiveTimerFilter()
+        broad = NaiveTimerFilter()
+        filt = ShardedFilter([(parse_ipv4("10.1.0.0"), 24, specific),
+                              (parse_ipv4("10.1.0.0"), 16, broad)])
+        filt.process(out_pkt(parse_ipv4("10.1.0.7")))
+        assert specific.stats.total == 1
+        assert broad.stats.total == 0
+        filt.process(out_pkt(parse_ipv4("10.1.99.7")))
+        assert broad.stats.total == 1
+
+    def test_unrouted_follows_default(self):
+        passing = sharded()
+        transit = Packet(
+            0.0,
+            SocketPair(IPPROTO_TCP, parse_ipv4("8.8.8.8"), 1, REMOTE, 2),
+            size=60,
+            direction=Direction.OUTBOUND,
+        )
+        assert passing.process(transit) is Verdict.PASS
+        assert passing.unrouted_packets == 1
+
+        dropping = ShardedFilter([(NET_A, 16, bitmap())], default_verdict=Verdict.DROP)
+        assert dropping.process(transit) is Verdict.DROP
+
+
+class TestHousekeeping:
+    def test_shard_stats_keys(self):
+        filt = sharded()
+        filt.process(out_pkt(HOST_A))
+        stats = filt.shard_stats()
+        assert "10.1.0.0/16" in stats
+        assert stats["10.1.0.0/16"]["passed_outbound"] == 1
+
+    def test_reset_cascades(self):
+        filt = sharded()
+        filt.process(out_pkt(HOST_A))
+        filt.reset()
+        assert filt.process(in_pkt(HOST_A, t=0.1)) is Verdict.DROP
+        assert filt.unrouted_packets == 0
+
+    def test_len(self):
+        assert len(sharded()) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardedFilter([])
+        with pytest.raises(ValueError):
+            ShardedFilter([(NET_A, 40, bitmap())])
+
+
+class TestPolicyIsolation:
+    def test_per_shard_drop_controllers(self):
+        """Network A saturates its uplink; network B's unsolicited inbound
+        must still be admitted (per-customer policy isolation)."""
+        from repro.filters.policy import DropController
+
+        shard_a = BitmapPacketFilter(
+            BitmapFilterConfig(size=2 ** 14, vectors=4, hashes=3, rotate_interval=5.0),
+            drop_controller=DropController.red_mbps(0.0001, 0.0002),
+        )
+        shard_b = BitmapPacketFilter(
+            BitmapFilterConfig(size=2 ** 14, vectors=4, hashes=3, rotate_interval=5.0),
+            drop_controller=DropController.red_mbps(0.0001, 0.0002),
+        )
+        filt = ShardedFilter([(NET_A, 16, shard_a), (NET_B, 16, shard_b)])
+        # Saturate A's meter only.
+        for i in range(20):
+            filt.process(out_pkt(HOST_A, t=0.01 * i, sport=5000 + i))
+        assert filt.process(in_pkt(HOST_A, t=0.5, dport=9999)) is Verdict.DROP
+        assert filt.process(in_pkt(HOST_B, t=0.5, dport=9999)) is Verdict.PASS

@@ -1,0 +1,143 @@
+"""Tests for the SPI baseline filter."""
+
+import pytest
+
+from repro.filters.base import Verdict
+from repro.filters.policy import DropController
+from repro.filters.spi import SPIFilter
+from repro.net.headers import TCPFlags
+
+from tests.conftest import in_packet, out_packet, tcp_pair, udp_pair
+
+
+class TestPositiveListing:
+    def test_outbound_always_passes(self):
+        spi = SPIFilter()
+        assert spi.process(out_packet()) is Verdict.PASS
+
+    def test_response_to_outbound_passes(self):
+        spi = SPIFilter()
+        spi.process(out_packet(t=0.0))
+        assert spi.process(in_packet(t=0.1)) is Verdict.PASS
+
+    def test_unsolicited_inbound_dropped(self):
+        spi = SPIFilter()
+        assert spi.process(in_packet(t=0.0)) is Verdict.DROP
+
+    def test_unsolicited_inbound_does_not_create_state(self):
+        spi = SPIFilter(drop_controller=DropController.never_drop())
+        spi.process(in_packet(t=0.0))  # passes (P_d = 0) but stateless
+        assert spi.tracked_flows == 0
+
+    def test_udp_flows_tracked(self):
+        spi = SPIFilter()
+        spi.process(out_packet(pair=udp_pair(), t=0.0))
+        assert spi.process(in_packet(pair=udp_pair().inverse, t=0.5)) is Verdict.PASS
+
+    def test_state_per_five_tuple(self):
+        spi = SPIFilter()
+        spi.process(out_packet(pair=tcp_pair(sport=1000), t=0.0))
+        assert spi.process(in_packet(pair=tcp_pair(sport=2000).inverse, t=0.1)) is Verdict.DROP
+
+
+class TestIdleTimeout:
+    def test_default_is_windows_time_wait(self):
+        assert SPIFilter().idle_timeout == 240.0
+
+    def test_idle_flow_expires(self):
+        spi = SPIFilter(idle_timeout=240.0)
+        spi.process(out_packet(t=0.0))
+        assert spi.process(in_packet(t=241.0)) is Verdict.DROP
+
+    def test_active_flow_survives(self):
+        spi = SPIFilter(idle_timeout=240.0)
+        spi.process(out_packet(t=0.0))
+        spi.process(out_packet(t=200.0))
+        assert spi.process(in_packet(t=400.0)) is Verdict.PASS
+
+    def test_inbound_traffic_refreshes(self):
+        spi = SPIFilter(idle_timeout=240.0)
+        spi.process(out_packet(t=0.0))
+        spi.process(in_packet(t=200.0))
+        assert spi.process(in_packet(t=420.0)) is Verdict.PASS
+
+    def test_gc_prunes_table(self):
+        spi = SPIFilter(idle_timeout=10.0, gc_interval=5.0)
+        for i in range(20):
+            spi.process(out_packet(pair=tcp_pair(sport=1000 + i), t=float(i)))
+        spi.process(out_packet(pair=tcp_pair(sport=5000), t=100.0))
+        spi.process(out_packet(pair=tcp_pair(sport=5001), t=106.0))
+        assert spi.tracked_flows <= 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SPIFilter(idle_timeout=0.0)
+        with pytest.raises(ValueError):
+            SPIFilter(gc_interval=0.0)
+
+
+class TestCloseTracking:
+    def test_rst_deletes_state(self):
+        spi = SPIFilter()
+        spi.process(out_packet(t=0.0, flags=TCPFlags.SYN))
+        spi.process(out_packet(t=1.0, flags=TCPFlags.RST))
+        assert spi.tracked_flows == 0
+        assert spi.process(in_packet(t=1.1)) is Verdict.DROP
+
+    def test_fin_exchange_enters_time_wait(self):
+        spi = SPIFilter(time_wait=10.0)
+        spi.process(out_packet(t=0.0, flags=TCPFlags.SYN))
+        spi.process(out_packet(t=5.0, flags=TCPFlags.FIN | TCPFlags.ACK))
+        spi.process(in_packet(t=5.1, flags=TCPFlags.FIN | TCPFlags.ACK))
+        # The trailing ACK of the close handshake still matches state...
+        assert spi.process(in_packet(t=5.2, flags=TCPFlags.ACK)) is Verdict.PASS
+        # ...but once TIME_WAIT elapses, the flow is gone despite the
+        # idle timeout (240 s) not having passed.
+        assert spi.process(in_packet(t=30.0)) is Verdict.DROP
+
+    def test_fresh_syn_reinstalls_after_close(self):
+        spi = SPIFilter(time_wait=1.0)
+        spi.process(out_packet(t=0.0, flags=TCPFlags.SYN))
+        spi.process(out_packet(t=5.0, flags=TCPFlags.FIN | TCPFlags.ACK))
+        spi.process(in_packet(t=5.1, flags=TCPFlags.FIN | TCPFlags.ACK))
+        spi.process(out_packet(t=60.0, flags=TCPFlags.SYN))  # port reuse
+        assert spi.process(in_packet(t=61.0)) is Verdict.PASS
+
+    def test_half_close_keeps_state(self):
+        spi = SPIFilter()
+        spi.process(out_packet(t=0.0, flags=TCPFlags.SYN))
+        spi.process(out_packet(t=5.0, flags=TCPFlags.FIN | TCPFlags.ACK))
+        assert spi.process(in_packet(t=6.0)) is Verdict.PASS
+
+    def test_udp_ignores_flag_bits(self):
+        spi = SPIFilter()
+        spi.process(out_packet(pair=udp_pair(), t=0.0, flags=TCPFlags.RST))
+        assert spi.tracked_flows == 1
+
+
+class TestDropController:
+    def test_probabilistic_drop(self):
+        import random
+
+        spi = SPIFilter(
+            drop_controller=DropController.never_drop(), rng=random.Random(1)
+        )
+        assert spi.process(in_packet(t=0.0)) is Verdict.PASS
+
+    def test_stats_accounting(self):
+        spi = SPIFilter()
+        spi.process(out_packet(t=0.0))
+        spi.process(in_packet(t=0.1))
+        spi.process(in_packet(pair=tcp_pair(sport=9).inverse, t=0.2))
+        stats = spi.stats.as_dict()
+        assert stats["passed_outbound"] == 1
+        assert stats["passed_inbound"] == 1
+        assert stats["dropped_inbound"] == 1
+        assert stats["inbound_drop_rate"] == pytest.approx(0.5)
+
+    def test_reset(self):
+        spi = SPIFilter()
+        spi.process(out_packet(t=0.0))
+        spi.reset()
+        assert spi.tracked_flows == 0
+        assert spi.stats.total == 0

@@ -1,0 +1,144 @@
+"""Tests for connection tracking (flow records and the table)."""
+
+import pytest
+
+from repro.net.flows import ConnectionTable, TCPState
+from repro.net.headers import TCPFlags
+from repro.net.packet import Direction
+
+from tests.conftest import in_packet, out_packet, tcp_pair, udp_pair
+
+
+def syn(t=0.0, pair=None):
+    return out_packet(pair=pair or tcp_pair(), t=t, flags=TCPFlags.SYN)
+
+
+def synack(t=0.05, pair=None):
+    return in_packet(pair=(pair or tcp_pair()).inverse, t=t,
+                     flags=TCPFlags.SYN | TCPFlags.ACK)
+
+
+def fin(t=1.0, pair=None):
+    return out_packet(pair=pair or tcp_pair(), t=t, flags=TCPFlags.FIN | TCPFlags.ACK)
+
+
+class TestFlowLifecycle:
+    def test_syn_starts_flow(self):
+        table = ConnectionTable()
+        record = table.observe(syn())
+        assert record.state is TCPState.SYN_SEEN
+        assert record.syn_time == 0.0
+        assert record.saw_syn
+
+    def test_synack_establishes(self):
+        table = ConnectionTable()
+        table.observe(syn())
+        record = table.observe(synack())
+        assert record.state is TCPState.ESTABLISHED
+
+    def test_fin_closes_and_sets_lifetime(self):
+        table = ConnectionTable()
+        table.observe(syn(t=0.0))
+        table.observe(synack(t=0.05))
+        record = table.observe(fin(t=10.0))
+        assert record.state is TCPState.CLOSED
+        assert record.lifetime == pytest.approx(10.0)
+
+    def test_rst_closes(self):
+        table = ConnectionTable()
+        table.observe(syn(t=0.0))
+        record = table.observe(out_packet(t=3.0, flags=TCPFlags.RST))
+        assert record.state is TCPState.CLOSED
+        assert record.lifetime == pytest.approx(3.0)
+
+    def test_both_directions_one_flow(self):
+        table = ConnectionTable()
+        table.observe(syn())
+        table.observe(synack())
+        table.observe(out_packet(t=0.1, size=200))
+        table.observe(in_packet(t=0.2, size=300))
+        assert len(table) == 1
+        record = next(iter(table.active.values()))
+        assert record.packets == 4
+        assert record.packets_fwd == 2
+        assert record.packets_rev == 2
+        assert record.bytes_fwd == 300  # syn(100) + data(200)
+        assert record.bytes_rev == 400
+
+    def test_post_close_packets_attach_to_same_flow(self):
+        # The FIN handshake tail must not create a phantom flow.
+        table = ConnectionTable()
+        table.observe(syn(t=0.0))
+        table.observe(fin(t=5.0))
+        table.observe(in_packet(t=5.05, flags=TCPFlags.FIN | TCPFlags.ACK))
+        table.observe(out_packet(t=5.1, flags=TCPFlags.ACK))
+        table.flush()
+        assert len(table.finished) == 1
+
+    def test_port_reuse_starts_new_flow(self):
+        table = ConnectionTable()
+        table.observe(syn(t=0.0))
+        table.observe(fin(t=5.0))
+        table.observe(syn(t=120.0))  # same five-tuple, fresh SYN
+        table.flush()
+        assert len(table.finished) == 2
+
+    def test_direction_is_first_packet_direction(self):
+        table = ConnectionTable()
+        record = table.observe(in_packet(t=0.0, flags=TCPFlags.SYN))
+        assert record.direction is Direction.INBOUND
+
+
+class TestUDPFlows:
+    def test_udp_lifetime_is_span(self):
+        table = ConnectionTable()
+        table.observe(out_packet(pair=udp_pair(), t=1.0))
+        record = table.observe(in_packet(pair=udp_pair().inverse, t=3.5))
+        assert record.lifetime == pytest.approx(2.5)
+
+    def test_udp_idle_expiry(self):
+        table = ConnectionTable(udp_timeout=10.0)
+        table.observe(out_packet(pair=udp_pair(), t=0.0))
+        table.expire_idle(100.0)
+        assert len(table) == 0
+        assert len(table.finished) == 1
+
+    def test_udp_active_not_expired(self):
+        table = ConnectionTable(udp_timeout=10.0)
+        table.observe(out_packet(pair=udp_pair(), t=0.0))
+        assert table.expire_idle(5.0) == 0
+        assert len(table) == 1
+
+
+class TestTableMechanics:
+    def test_flush_moves_everything(self):
+        table = ConnectionTable()
+        table.observe(syn())
+        table.observe(out_packet(pair=udp_pair()))
+        table.flush()
+        assert len(table) == 0
+        assert table.total_flows == 2
+
+    def test_lookup_by_either_orientation(self):
+        table = ConnectionTable()
+        table.observe(syn())
+        assert table.lookup(tcp_pair()) is not None
+        assert table.lookup(tcp_pair().inverse) is not None
+        assert table.lookup(tcp_pair(sport=1)) is None
+
+    def test_all_flows_iterates_finished_and_active(self):
+        table = ConnectionTable()
+        table.observe(syn(pair=tcp_pair(sport=1000)))
+        table.observe(out_packet(pair=udp_pair(), t=0.0))
+        table.observe(syn(pair=tcp_pair(sport=2000), t=1.0))
+        flows = list(table.all_flows())
+        assert len(flows) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConnectionTable(udp_timeout=0)
+
+    def test_tcp_lifetime_none_without_syn(self):
+        table = ConnectionTable()
+        record = table.observe(out_packet(t=0.0, flags=TCPFlags.ACK))
+        assert record.lifetime is None

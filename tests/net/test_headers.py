@@ -1,0 +1,134 @@
+"""Tests for wire-format encode/decode."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.headers import (
+    HeaderError,
+    IPv4Header,
+    TCPFlags,
+    decode_packet,
+    encode_packet,
+)
+from repro.net.inet import IPPROTO_TCP, IPPROTO_UDP, internet_checksum, parse_ipv4
+from repro.net.packet import SocketPair
+
+from tests.conftest import tcp_pair, udp_pair
+
+
+class TestEncodeDecodeTCP:
+    def test_roundtrip_pair(self):
+        pair = tcp_pair()
+        packet = decode_packet(encode_packet(pair, flags=TCPFlags.SYN))
+        assert packet.pair == pair
+        assert packet.is_syn
+
+    def test_roundtrip_payload(self):
+        data = encode_packet(tcp_pair(), payload=b"GET / HTTP/1.1\r\n")
+        assert decode_packet(data).payload == b"GET / HTTP/1.1\r\n"
+
+    def test_roundtrip_flags(self):
+        for flags in (TCPFlags.SYN, TCPFlags.FIN | TCPFlags.ACK, TCPFlags.RST):
+            packet = decode_packet(encode_packet(tcp_pair(), flags=flags))
+            assert packet.flags == flags
+
+    def test_wire_size(self):
+        data = encode_packet(tcp_pair(), payload=b"x" * 10)
+        assert len(data) == 20 + 20 + 10
+        assert decode_packet(data).size == 50
+
+    def test_pad_to(self):
+        data = encode_packet(tcp_pair(), payload=b"abc", pad_to=100)
+        packet = decode_packet(data)
+        assert len(packet.payload) == 100
+        assert packet.payload.startswith(b"abc")
+
+    def test_ip_checksum_valid(self):
+        data = encode_packet(tcp_pair())
+        assert internet_checksum(data[:20]) == 0
+
+    def test_checksum_verification_accepts_good(self):
+        data = encode_packet(tcp_pair())
+        decode_packet(data, verify_checksums=True)
+
+    def test_checksum_verification_rejects_corrupt(self):
+        data = bytearray(encode_packet(tcp_pair()))
+        data[15] ^= 0xFF  # flip a bit in the destination address
+        with pytest.raises(HeaderError):
+            decode_packet(bytes(data), verify_checksums=True)
+
+    def test_timestamp_passthrough(self):
+        packet = decode_packet(encode_packet(tcp_pair()), timestamp=12.5)
+        assert packet.timestamp == 12.5
+
+
+class TestEncodeDecodeUDP:
+    def test_roundtrip(self):
+        pair = udp_pair()
+        packet = decode_packet(encode_packet(pair, payload=b"query"))
+        assert packet.pair == pair
+        assert packet.payload == b"query"
+
+    def test_udp_length_respected(self):
+        data = encode_packet(udp_pair(), payload=b"abcdef")
+        assert len(data) == 20 + 8 + 6
+
+    def test_udp_no_flags(self):
+        assert decode_packet(encode_packet(udp_pair())).flags == 0
+
+
+class TestMalformedInput:
+    def test_truncated_ip(self):
+        with pytest.raises(HeaderError):
+            decode_packet(b"\x45\x00\x00")
+
+    def test_wrong_version(self):
+        data = bytearray(encode_packet(tcp_pair()))
+        data[0] = (6 << 4) | 5
+        with pytest.raises(HeaderError):
+            decode_packet(bytes(data))
+
+    def test_bad_ihl(self):
+        data = bytearray(encode_packet(tcp_pair()))
+        data[0] = (4 << 4) | 2  # IHL below minimum
+        with pytest.raises(HeaderError):
+            decode_packet(bytes(data))
+
+    def test_truncated_tcp(self):
+        pair = tcp_pair()
+        data = encode_packet(pair)[:30]  # cut inside the TCP header
+        # total_length still claims 40, so the TCP parse sees 10 bytes.
+        with pytest.raises(HeaderError):
+            decode_packet(data)
+
+    def test_empty(self):
+        with pytest.raises(HeaderError):
+            decode_packet(b"")
+
+
+class TestIPv4Header:
+    def test_encode_length(self):
+        header = IPv4Header(1, 2, IPPROTO_TCP, 40).encode()
+        assert len(header) == 20
+
+    def test_self_checksumming(self):
+        header = IPv4Header(parse_ipv4("10.0.0.1"), parse_ipv4("10.0.0.2"),
+                            IPPROTO_UDP, 28).encode()
+        assert internet_checksum(header) == 0
+
+
+@given(
+    src=st.integers(min_value=0, max_value=2 ** 32 - 1),
+    sport=st.integers(min_value=0, max_value=65535),
+    dst=st.integers(min_value=0, max_value=2 ** 32 - 1),
+    dport=st.integers(min_value=0, max_value=65535),
+    proto=st.sampled_from([IPPROTO_TCP, IPPROTO_UDP]),
+    payload=st.binary(max_size=64),
+)
+@settings(max_examples=200)
+def test_roundtrip_property(src, sport, dst, dport, proto, payload):
+    pair = SocketPair(proto, src, sport, dst, dport)
+    packet = decode_packet(encode_packet(pair, payload=payload), verify_checksums=True)
+    assert packet.pair == pair
+    assert packet.payload == payload

@@ -1,0 +1,118 @@
+"""Tests for IPv4 address helpers and checksums."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.inet import (
+    format_ipv4,
+    in_network,
+    internet_checksum,
+    ipv4_network,
+    is_private,
+    parse_ipv4,
+    pseudo_header,
+)
+
+
+class TestAddressParsing:
+    def test_parse_basic(self):
+        assert parse_ipv4("10.0.0.1") == 0x0A000001
+
+    def test_parse_extremes(self):
+        assert parse_ipv4("0.0.0.0") == 0
+        assert parse_ipv4("255.255.255.255") == 0xFFFFFFFF
+
+    def test_format_basic(self):
+        assert format_ipv4(0x0A000001) == "10.0.0.1"
+
+    def test_roundtrip(self):
+        for text in ("192.168.1.254", "1.2.3.4", "172.16.0.1"):
+            assert format_ipv4(parse_ipv4(text)) == text
+
+    def test_parse_rejects_short(self):
+        with pytest.raises(ValueError):
+            parse_ipv4("10.0.1")
+
+    def test_parse_rejects_octet_overflow(self):
+        with pytest.raises(ValueError):
+            parse_ipv4("10.0.0.256")
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_ipv4("a.b.c.d")
+
+    def test_format_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            format_ipv4(-1)
+        with pytest.raises(ValueError):
+            format_ipv4(2 ** 32)
+
+
+class TestNetworks:
+    def test_network_mask(self):
+        assert ipv4_network(parse_ipv4("10.1.2.3"), 16) == parse_ipv4("10.1.0.0")
+
+    def test_zero_prefix(self):
+        assert ipv4_network(parse_ipv4("10.1.2.3"), 0) == 0
+
+    def test_full_prefix(self):
+        addr = parse_ipv4("10.1.2.3")
+        assert ipv4_network(addr, 32) == addr
+
+    def test_in_network(self):
+        net = parse_ipv4("10.1.0.0")
+        assert in_network(parse_ipv4("10.1.200.3"), net, 16)
+        assert not in_network(parse_ipv4("10.2.0.3"), net, 16)
+
+    def test_prefix_validation(self):
+        with pytest.raises(ValueError):
+            ipv4_network(0, 33)
+
+    def test_private_ranges(self):
+        assert is_private(parse_ipv4("10.5.5.5"))
+        assert is_private(parse_ipv4("172.16.9.9"))
+        assert is_private(parse_ipv4("192.168.0.10"))
+        assert not is_private(parse_ipv4("8.8.8.8"))
+        assert not is_private(parse_ipv4("172.32.0.1"))
+
+
+class TestChecksum:
+    def test_rfc1071_example(self):
+        # Classic example from RFC 1071 §3.
+        data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+        # Word sum 0x2DDF0 folds to 0xDDF2; one's complement is 0x220D.
+        assert internet_checksum(data) == 0x220D
+
+    def test_zero_data(self):
+        assert internet_checksum(b"\x00\x00") == 0xFFFF
+
+    def test_odd_length_padded(self):
+        assert internet_checksum(b"\x01") == internet_checksum(b"\x01\x00")
+
+    def test_checksum_verifies_to_zero(self):
+        # Embedding the checksum makes the total sum verify as 0.
+        data = bytearray(b"\x45\x00\x00\x14\x00\x00\x00\x00\x40\x06\x00\x00" + b"\x0a" * 8)
+        checksum = internet_checksum(bytes(data))
+        struct.pack_into("!H", data, 10, checksum)
+        assert internet_checksum(bytes(data)) == 0
+
+    def test_pseudo_header_layout(self):
+        header = pseudo_header(0x01020304, 0x05060708, 6, 20)
+        assert len(header) == 12
+        assert header[8] == 0  # zero byte
+        assert header[9] == 6  # protocol
+
+
+@given(st.integers(min_value=0, max_value=2 ** 32 - 1))
+@settings(max_examples=300)
+def test_address_roundtrip_property(addr):
+    assert parse_ipv4(format_ipv4(addr)) == addr
+
+
+@given(st.binary(max_size=100))
+@settings(max_examples=200)
+def test_checksum_is_16_bit(data):
+    assert 0 <= internet_checksum(data) <= 0xFFFF

@@ -1,0 +1,127 @@
+"""Tests for the pcap reader/writer."""
+
+import io
+import struct
+
+import pytest
+
+from repro.net.headers import encode_packet
+from repro.net.pcap import (
+    LINKTYPE_EN10MB,
+    LINKTYPE_RAW,
+    PcapError,
+    PcapReader,
+    PcapRecord,
+    PcapWriter,
+    read_pcap,
+    write_pcap,
+)
+
+from tests.conftest import tcp_pair
+
+
+def roundtrip(records, **writer_kwargs):
+    buffer = io.BytesIO()
+    writer = PcapWriter(buffer, **writer_kwargs)
+    for timestamp, data in records:
+        writer.write(timestamp, data)
+    buffer.seek(0)
+    return list(PcapReader(buffer))
+
+
+class TestRoundtrip:
+    def test_single_record(self):
+        data = encode_packet(tcp_pair(), payload=b"hello")
+        [record] = roundtrip([(1.5, data)])
+        assert record.data == data
+        assert record.timestamp == pytest.approx(1.5, abs=1e-6)
+        assert record.orig_len == len(data)
+
+    def test_many_records_ordered(self):
+        data = encode_packet(tcp_pair())
+        records = roundtrip([(float(i), data) for i in range(50)])
+        assert len(records) == 50
+        assert [record.timestamp for record in records] == [float(i) for i in range(50)]
+
+    def test_microsecond_precision(self):
+        data = b"x" * 10
+        [record] = roundtrip([(123.456789, data)])
+        assert record.timestamp == pytest.approx(123.456789, abs=1e-6)
+
+    def test_timestamp_near_second_boundary(self):
+        [record] = roundtrip([(1.9999999, b"x")])
+        assert record.timestamp == pytest.approx(2.0, abs=1e-5)
+
+    def test_snaplen_truncates_but_preserves_orig_len(self):
+        data = encode_packet(tcp_pair(), payload=b"y" * 100)
+        [record] = roundtrip([(0.0, data)], snaplen=64)
+        assert len(record.data) == 64
+        assert record.orig_len == len(data)
+
+    def test_empty_file(self):
+        assert roundtrip([]) == []
+
+
+class TestFileHelpers:
+    def test_write_and_read_path(self, tmp_path):
+        path = str(tmp_path / "trace.pcap")
+        data = encode_packet(tcp_pair())
+        count = write_pcap(path, [(0.5, data), (1.0, data)])
+        assert count == 2
+        records = read_pcap(path)
+        assert len(records) == 2
+        assert records[0].data == data
+
+    def test_write_pcap_records(self, tmp_path):
+        path = str(tmp_path / "trace.pcap")
+        write_pcap(path, [PcapRecord(0.1, 99, b"abc")])
+        [record] = read_pcap(path)
+        assert record.orig_len == 99
+
+
+class TestMalformed:
+    def test_bad_magic(self):
+        with pytest.raises(PcapError):
+            PcapReader(io.BytesIO(b"\x00" * 24))
+
+    def test_truncated_global_header(self):
+        with pytest.raises(PcapError):
+            PcapReader(io.BytesIO(b"\xd4\xc3\xb2\xa1"))
+
+    def test_truncated_record(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        writer.write(0.0, b"0123456789")
+        truncated = io.BytesIO(buffer.getvalue()[:-5])
+        with pytest.raises(PcapError):
+            list(PcapReader(truncated))
+
+    def test_bad_snaplen(self):
+        with pytest.raises(ValueError):
+            PcapWriter(io.BytesIO(), snaplen=0)
+
+
+class TestLinkTypes:
+    def test_linktype_recorded(self):
+        buffer = io.BytesIO()
+        PcapWriter(buffer, linktype=LINKTYPE_RAW)
+        buffer.seek(0)
+        assert PcapReader(buffer).linktype == LINKTYPE_RAW
+
+    def test_ethernet_unwrapped(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer, linktype=LINKTYPE_EN10MB)
+        ip_packet = encode_packet(tcp_pair())
+        ethernet = b"\xaa" * 12 + b"\x08\x00" + ip_packet
+        writer.write(0.0, ethernet)
+        buffer.seek(0)
+        [record] = list(PcapReader(buffer))
+        assert record.data == ip_packet
+
+    def test_swapped_magic_readable(self):
+        # Build a minimal big-endian pcap by hand.
+        header = struct.pack(">IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, LINKTYPE_RAW)
+        body = struct.pack(">IIII", 1, 500000, 3, 3) + b"abc"
+        records = list(PcapReader(io.BytesIO(header + body)))
+        assert records[0].data == b"abc"
+        assert records[0].timestamp == pytest.approx(1.5)

@@ -1,0 +1,97 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.sim.engine import EventScheduler
+
+
+class TestOneShot:
+    def test_fires_at_time(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.at(5.0, fired.append)
+        assert scheduler.advance_to(4.9) == 0
+        assert scheduler.advance_to(5.0) == 1
+        assert fired == [5.0]
+
+    def test_fires_once(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.at(1.0, fired.append)
+        scheduler.advance_to(10.0)
+        scheduler.advance_to(20.0)
+        assert fired == [1.0]
+
+    def test_ordering(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.at(3.0, lambda t: fired.append(("b", t)))
+        scheduler.at(1.0, lambda t: fired.append(("a", t)))
+        scheduler.advance_to(5.0)
+        assert fired == [("a", 1.0), ("b", 3.0)]
+
+    def test_same_time_fifo(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.at(1.0, lambda t: fired.append("first"))
+        scheduler.at(1.0, lambda t: fired.append("second"))
+        scheduler.advance_to(1.0)
+        assert fired == ["first", "second"]
+
+
+class TestPeriodic:
+    def test_fires_every_interval(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.every(2.0, fired.append)
+        scheduler.advance_to(7.0)
+        assert fired == [2.0, 4.0, 6.0]
+
+    def test_custom_start(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.every(5.0, fired.append, start=1.0)
+        scheduler.advance_to(12.0)
+        assert fired == [1.0, 6.0, 11.0]
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            EventScheduler().every(0.0, lambda t: None)
+
+    def test_callback_can_schedule(self):
+        scheduler = EventScheduler()
+        fired = []
+
+        def chain(t):
+            fired.append(t)
+            if len(fired) < 3:
+                scheduler.at(t + 1.0, chain)
+
+        scheduler.at(0.5, chain)
+        scheduler.advance_to(10.0)
+        assert fired == [0.5, 1.5, 2.5]
+
+
+class TestClock:
+    def test_now_advances(self):
+        scheduler = EventScheduler()
+        scheduler.advance_to(5.0)
+        assert scheduler.now == 5.0
+
+    def test_time_never_goes_back(self):
+        scheduler = EventScheduler()
+        scheduler.advance_to(5.0)
+        scheduler.advance_to(3.0)
+        assert scheduler.now == 5.0
+
+    def test_pending_count(self):
+        scheduler = EventScheduler()
+        scheduler.at(1.0, lambda t: None)
+        scheduler.every(1.0, lambda t: None)
+        assert scheduler.pending() == 2
+
+    def test_fired_counter(self):
+        scheduler = EventScheduler()
+        scheduler.every(1.0, lambda t: None)
+        scheduler.advance_to(5.0)
+        assert scheduler.fired == 5

@@ -1,0 +1,151 @@
+"""Tests for replay measurement series."""
+
+import pytest
+
+from repro.net.packet import Direction
+from repro.sim.metrics import (
+    DropRateSampler,
+    ThroughputSeries,
+    least_squares_slope,
+    scatter_points,
+)
+
+from tests.conftest import in_packet, out_packet
+
+
+class TestThroughputSeries:
+    def test_binning(self):
+        series = ThroughputSeries(interval=1.0)
+        series.record(out_packet(t=0.5, size=1250))
+        series.record(out_packet(t=0.9, size=1250))
+        series.record(out_packet(t=1.5, size=2500))
+        points = series.series_mbps(Direction.OUTBOUND)
+        assert points[0] == (0.0, pytest.approx(0.02))
+        assert points[1] == (1.0, pytest.approx(0.02))
+
+    def test_directions_separate(self):
+        series = ThroughputSeries()
+        series.record(out_packet(t=0.0, size=1000))
+        series.record(in_packet(t=0.0, size=500))
+        assert series.total_bytes(Direction.OUTBOUND) == 1000
+        assert series.total_bytes(Direction.INBOUND) == 500
+
+    def test_mean_over_span(self):
+        series = ThroughputSeries(interval=1.0)
+        series.record(out_packet(t=0.0, size=1250))
+        series.record(out_packet(t=9.5, size=1250))
+        # 2500 bytes over 10 intervals = 2 kbps.
+        assert series.mean_mbps(Direction.OUTBOUND) == pytest.approx(0.002)
+
+    def test_peak(self):
+        series = ThroughputSeries(interval=1.0)
+        series.record(out_packet(t=0.0, size=125))
+        series.record(out_packet(t=5.0, size=1_250_000))
+        assert series.peak_mbps(Direction.OUTBOUND) == pytest.approx(10.0)
+
+    def test_quantile(self):
+        series = ThroughputSeries(interval=1.0)
+        for i in range(10):
+            series.record(out_packet(t=float(i), size=(i + 1) * 125))
+        median = series.quantile_mbps(Direction.OUTBOUND, 0.5)
+        assert median == pytest.approx(0.006, abs=0.002)
+
+    def test_empty(self):
+        series = ThroughputSeries()
+        assert series.mean_mbps(Direction.OUTBOUND) == 0.0
+        assert series.peak_mbps(Direction.INBOUND) == 0.0
+        assert series.quantile_mbps(Direction.OUTBOUND, 0.9) == 0.0
+
+    def test_direction_required(self):
+        from repro.net.packet import Packet
+
+        from tests.conftest import tcp_pair
+
+        with pytest.raises(ValueError):
+            ThroughputSeries().record(Packet(0.0, tcp_pair(), 40))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThroughputSeries(interval=0.0)
+
+
+class TestDropRateSampler:
+    def test_per_window_rates(self):
+        sampler = DropRateSampler(window=10.0)
+        for i in range(8):
+            sampler.record(1.0 + i, dropped=False)
+        for i in range(2):
+            sampler.record(5.0 + i, dropped=True)
+        [sample] = sampler.samples()
+        assert sample.packets == 10
+        assert sample.dropped == 2
+        assert sample.drop_rate == pytest.approx(0.2)
+
+    def test_multiple_windows(self):
+        sampler = DropRateSampler(window=10.0)
+        sampler.record(5.0, dropped=True)
+        sampler.record(15.0, dropped=False)
+        samples = sampler.samples()
+        assert len(samples) == 2
+        assert samples[0].window_start == 0.0
+        assert samples[1].window_start == 10.0
+
+    def test_overall(self):
+        sampler = DropRateSampler()
+        sampler.record(0.0, True)
+        sampler.record(1.0, False)
+        sampler.record(2.0, False)
+        assert sampler.overall_drop_rate() == pytest.approx(1 / 3)
+
+    def test_empty_overall(self):
+        assert DropRateSampler().overall_drop_rate() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DropRateSampler(window=0.0)
+
+
+class TestScatter:
+    def test_paired_windows(self):
+        a = DropRateSampler(window=10.0)
+        b = DropRateSampler(window=10.0)
+        for t in (1.0, 2.0, 11.0, 12.0):
+            a.record(t, dropped=t < 10)
+            b.record(t, dropped=False)
+        points = scatter_points(a, b)
+        assert points == [(1.0, 0.0), (0.0, 0.0)]
+
+    def test_slope_of_identity(self):
+        points = [(0.1, 0.1), (0.2, 0.2), (0.5, 0.5)]
+        assert least_squares_slope(points) == pytest.approx(1.0)
+
+    def test_slope_scaled(self):
+        points = [(0.1, 0.2), (0.2, 0.4)]
+        assert least_squares_slope(points) == pytest.approx(2.0)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            least_squares_slope([(0.0, 0.1)])
+
+
+class TestScatterMinPackets:
+    def test_thin_windows_filtered(self):
+        a = DropRateSampler(window=10.0)
+        b = DropRateSampler(window=10.0)
+        # Window 0: busy (30 packets); window 1: two stragglers.
+        for i in range(30):
+            a.record(float(i % 10), dropped=False)
+            b.record(float(i % 10), dropped=False)
+        for t in (11.0, 12.0):
+            a.record(t, dropped=True)
+            b.record(t, dropped=False)
+        assert len(scatter_points(a, b, min_packets=1)) == 2
+        assert len(scatter_points(a, b, min_packets=10)) == 1
+
+    def test_min_packets_uses_both_samplers(self):
+        a = DropRateSampler(window=10.0)
+        b = DropRateSampler(window=10.0)
+        for i in range(20):
+            a.record(float(i % 10), dropped=False)
+        b.record(1.0, dropped=False)  # only one packet on b's side
+        assert scatter_points(a, b, min_packets=5) == []

@@ -1,0 +1,119 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    path = str(tmp_path / "cli_trace.pcap")
+    code = main(["trace", "--out", path, "--duration", "10", "--rate", "6",
+                 "--seed", "3"])
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_no_command_shows_help(self, capsys):
+        assert main([]) == 2
+        assert "commands" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+    def test_trace_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+    def test_plan_requires_connections(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan"])
+
+
+class TestTrace:
+    def test_writes_pcap(self, trace_path, capsys):
+        import os
+
+        assert os.path.getsize(trace_path) > 1000
+
+    def test_headers_only_snaplen(self, tmp_path):
+        path = str(tmp_path / "headers.pcap")
+        assert main(["trace", "--out", path, "--duration", "5", "--rate", "4",
+                     "--snaplen", "64"]) == 0
+        from repro.net.pcap import read_pcap
+
+        assert all(len(record.data) <= 64 for record in read_pcap(path))
+
+
+class TestAnalyze:
+    def test_reports_distribution(self, trace_path, capsys):
+        assert main(["analyze", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "protocol" in out
+        assert "connections" in out
+        assert "upload share" in out
+
+    def test_missing_file_fails(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["analyze", str(tmp_path / "nope.pcap")])
+
+
+class TestFilter:
+    def test_bitmap_replay(self, trace_path, capsys):
+        assert main(["filter", trace_path, "--filter", "bitmap"]) == 0
+        out = capsys.readouterr().out
+        assert "inbound drop rate" in out
+        assert "filter memory: 512 KiB" in out
+
+    def test_auto_red(self, trace_path, capsys):
+        assert main(["filter", trace_path, "--filter", "bitmap", "--auto-red"]) == 0
+        assert "RED L=" in capsys.readouterr().out
+
+    def test_spi_replay(self, trace_path, capsys):
+        assert main(["filter", trace_path, "--filter", "spi"]) == 0
+        assert "spi" in capsys.readouterr().out
+
+    def test_counting_replay(self, trace_path, capsys):
+        assert main(["filter", trace_path, "--filter", "counting",
+                     "--size-bits", "16"]) == 0
+        assert "counting-bitmap" in capsys.readouterr().out
+
+    def test_none_filter(self, trace_path, capsys):
+        assert main(["filter", trace_path, "--filter", "none",
+                     "--no-blocklist"]) == 0
+        out = capsys.readouterr().out
+        assert "inbound drop rate: 0.00%" in out
+
+    def test_hole_punching_flag(self, trace_path, capsys):
+        assert main(["filter", trace_path, "--filter", "bitmap",
+                     "--hole-punching"]) == 0
+
+
+class TestPlan:
+    def test_paper_scenario(self, capsys):
+        assert main(["plan", "--connections", "15000", "--target-p", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "bitmap" in out
+        assert "capacity" in out
+
+    def test_rejects_bad_expiry(self, capsys):
+        with pytest.raises(ValueError):
+            main(["plan", "--connections", "1000", "--expiry", "400"])
+
+
+class TestFigures:
+    def test_figures_from_pcap(self, trace_path, capsys):
+        assert main(["figures", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "Figure 4" in out
+        assert "Figure 8" in out
+        assert "Figure 9-b" in out
+
+    def test_figures_synthetic(self, capsys):
+        assert main(["figures", "--duration", "8", "--rate", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "synthesizing trace" in out
+        assert "Table 2" in out

@@ -1,0 +1,165 @@
+"""Failure injection: malformed, duplicated, reordered and truncated input.
+
+Network code meets hostile input; every layer must degrade gracefully —
+skip, not crash, and keep its accounting consistent.
+"""
+
+import random
+
+import pytest
+
+from repro.analyzer.classifier import TrafficAnalyzer
+from repro.core.bitmap_filter import BitmapFilterConfig
+from repro.filters.bitmap import BitmapPacketFilter
+from repro.filters.spi import SPIFilter
+from repro.net.headers import HeaderError, decode_packet, encode_packet
+from repro.net.packet import Direction
+
+from tests.conftest import in_packet, out_packet, tcp_pair
+
+
+@pytest.fixture(scope="module")
+def tiny_trace(request):
+    small_trace = request.getfixturevalue("small_trace")
+    return small_trace[:20_000]
+
+
+class TestMalformedWireData:
+    def test_random_bytes_never_crash_decoder(self):
+        rng = random.Random(13)
+        decoded = 0
+        for _ in range(500):
+            blob = bytes(rng.getrandbits(8) for _ in range(rng.randint(0, 80)))
+            try:
+                decode_packet(blob, verify_checksums=True)
+                decoded += 1
+            except HeaderError:
+                pass
+        # With checksum verification, random bytes essentially never form
+        # a valid IPv4 packet (the analyzer's discard rule).
+        assert decoded < 5
+
+    def test_flipped_bits_rejected_or_parsed(self):
+        rng = random.Random(14)
+        data = bytearray(encode_packet(tcp_pair(), payload=b"x" * 40))
+        for _ in range(200):
+            corrupted = bytearray(data)
+            corrupted[rng.randrange(len(corrupted))] ^= 1 << rng.randrange(8)
+            try:
+                decode_packet(bytes(corrupted), verify_checksums=True)
+            except HeaderError:
+                continue  # rejection is the expected common case
+
+    def test_truncated_capture_snaplen(self):
+        # Header-only captures (snaplen 64) still parse headers; payload
+        # is simply shorter.
+        data = encode_packet(tcp_pair(), payload=b"y" * 500)[:64]
+        packet = decode_packet(data)
+        assert packet.pair == tcp_pair()
+        assert len(packet.payload) <= 24
+
+
+class TestDuplicatedPackets:
+    def test_filters_idempotent_under_duplication(self, tiny_trace):
+        """Duplicating every packet must not change any verdict: the
+        duplicate of a passed packet passes, of a dropped packet drops."""
+        filt = BitmapPacketFilter(
+            BitmapFilterConfig(size=2 ** 20, vectors=4, hashes=3, rotate_interval=5.0)
+        )
+        for packet in tiny_trace[:5000]:
+            first = filt.process(packet)
+            second = filt.process(packet)
+            assert first is second
+
+    def test_analyzer_counts_duplicates(self, tiny_trace):
+        doubled = [p for packet in tiny_trace[:4000] for p in (packet, packet)]
+        analyzer = TrafficAnalyzer().analyze(doubled)
+        assert analyzer.packets_seen == 8000
+
+
+class TestReordering:
+    def _jitter(self, packets, scale, seed=5):
+        rng = random.Random(seed)
+        shuffled = [
+            (packet.timestamp + rng.uniform(-scale, scale), packet)
+            for packet in packets
+        ]
+        shuffled.sort(key=lambda item: item[0])
+        return [packet for _, packet in shuffled]
+
+    def test_bitmap_tolerates_small_reordering(self, tiny_trace):
+        """Millisecond-scale reordering (normal in the Internet) must not
+        meaningfully change the drop rate."""
+        in_order = BitmapPacketFilter(
+            BitmapFilterConfig(size=2 ** 20, vectors=4, hashes=3, rotate_interval=5.0)
+        )
+        reordered = BitmapPacketFilter(
+            BitmapFilterConfig(size=2 ** 20, vectors=4, hashes=3, rotate_interval=5.0)
+        )
+        for packet in tiny_trace:
+            in_order.process(packet)
+        for packet in self._jitter(tiny_trace, scale=0.002):
+            reordered.process(packet)
+        a = in_order.stats.drop_rate(Direction.INBOUND)
+        b = reordered.stats.drop_rate(Direction.INBOUND)
+        assert abs(a - b) < 0.02
+
+    def test_spi_tolerates_small_reordering(self, tiny_trace):
+        spi = SPIFilter(idle_timeout=240.0)
+        for packet in self._jitter(tiny_trace, scale=0.002):
+            spi.process(packet)
+        assert 0.0 <= spi.stats.drop_rate(Direction.INBOUND) < 0.3
+
+    def test_analyzer_survives_gross_reordering(self, tiny_trace):
+        """Second-scale reordering degrades measurements but never
+        crashes or corrupts flow accounting."""
+        analyzer = TrafficAnalyzer().analyze(self._jitter(tiny_trace, scale=2.0))
+        assert analyzer.flows
+        assert all(flow.packets > 0 for flow in analyzer.flows)
+
+
+class TestPathologicalStreams:
+    def test_syn_flood_constant_memory(self):
+        """A spoofed inbound SYN flood: the bitmap filter drops it all in
+        constant memory, no state explosion (the DoS-resistance corollary
+        of the paper's design)."""
+        filt = BitmapPacketFilter(
+            BitmapFilterConfig(size=2 ** 16, vectors=4, hashes=3, rotate_interval=5.0)
+        )
+        rng = random.Random(3)
+        before = filt.memory_bytes
+        for i in range(20_000):
+            packet = in_packet(
+                pair=tcp_pair(sport=rng.randint(1024, 65000),
+                              dport=rng.randint(1024, 65000)).inverse,
+                t=i * 0.0001,
+                flags=0x02,
+            )
+            filt.process(packet)
+        assert filt.memory_bytes == before
+        assert filt.stats.drop_rate(Direction.INBOUND) > 0.99
+
+    def test_spi_table_grows_under_outbound_flood(self):
+        """Contrast: an *outbound* port-scan blows up SPI state — the O(n)
+        the paper warns about — while the bitmap stays flat."""
+        spi = SPIFilter(idle_timeout=240.0)
+        for i in range(5000):
+            spi.process(out_packet(pair=tcp_pair(sport=1024 + (i % 60000),
+                                                 dport=i % 65535 + 1),
+                                   t=i * 0.001))
+        assert spi.tracked_flows > 4000
+
+    def test_zero_size_packets(self):
+        filt = BitmapPacketFilter(
+            BitmapFilterConfig(size=2 ** 14, vectors=4, hashes=3, rotate_interval=5.0)
+        )
+        filt.process(out_packet(t=0.0, size=0))
+        assert filt.process(in_packet(t=0.1, size=0)).value == "pass"
+
+    def test_identical_timestamps(self):
+        filt = BitmapPacketFilter(
+            BitmapFilterConfig(size=2 ** 14, vectors=4, hashes=3, rotate_interval=5.0)
+        )
+        for i in range(100):
+            filt.process(out_packet(pair=tcp_pair(sport=1024 + i), t=5.0))
+        assert filt.core.stats.outbound_marked == 100

@@ -1,0 +1,153 @@
+"""End-to-end integration: generate → pcap → analyze → filter → report.
+
+These tests cross every subsystem boundary the benchmarks rely on.
+"""
+
+from repro import (
+    BitmapFilterConfig,
+    BitmapPacketFilter,
+    Direction,
+    DropController,
+    SPIFilter,
+)
+from repro.analyzer import TrafficAnalyzer, port_cdf, protocol_distribution
+from repro.analyzer.report import CLASS_P2P
+from repro.net.headers import decode_packet
+from repro.net.inet import IPPROTO_TCP
+from repro.net.pcap import read_pcap
+from repro.sim.replay import compare_drop_rates, replay
+from repro.workload import TraceConfig, TraceGenerator
+
+
+class TestPcapPipeline:
+    def test_trace_survives_disk_roundtrip_through_analyzer(self, tmp_path):
+        """Write a trace to pcap, parse it back with the header codecs,
+        re-derive directions, and confirm the analyzer sees the same
+        protocol mix as it does on the in-memory trace."""
+        from repro.net.inet import in_network, parse_ipv4
+        from repro.net.packet import Direction as Dir
+
+        config = TraceConfig(duration=20.0, connection_rate=8.0, seed=11)
+        generator = TraceGenerator(config)
+        path = str(tmp_path / "trace.pcap")
+        generator.write_pcap(path)
+
+        net = parse_ipv4(config.network)
+        packets = []
+        for record in read_pcap(path):
+            packet = decode_packet(record.data, record.timestamp, verify_checksums=True)
+            inside = in_network(packet.pair.src_addr, net, config.prefix_len)
+            packet.direction = Dir.OUTBOUND if inside else Dir.INBOUND
+            packets.append(packet)
+
+        from_disk = TrafficAnalyzer().analyze(packets)
+        in_memory = TrafficAnalyzer().analyze(TraceGenerator(config).packet_list())
+        disk_rows = {r.protocol: r.connections for r in protocol_distribution(from_disk.flows)}
+        memory_rows = {r.protocol: r.connections for r in protocol_distribution(in_memory.flows)}
+        assert disk_rows == memory_rows
+
+
+class TestAnalyzerOverTrace:
+    def test_unknown_class_port_profile(self, small_trace):
+        analyzer = TrafficAnalyzer().analyze(small_trace)
+        cdf = port_cdf(analyzer.flows, protocol=IPPROTO_TCP)
+        assert CLASS_P2P in cdf
+
+    def test_outin_delays_measured(self, small_trace):
+        analyzer = TrafficAnalyzer().analyze(small_trace)
+        assert len(analyzer.outin) > 1000
+        # The section 3.3 shape: almost everything is fast.
+        assert analyzer.outin.cdf_at(2.8) > 0.95
+
+
+class TestFilteringOverTrace:
+    def test_spi_vs_bitmap_window_scatter_near_identity(self, small_trace):
+        from repro.sim.metrics import least_squares_slope
+
+        comparison = compare_drop_rates(
+            small_trace,
+            {
+                "spi": SPIFilter(idle_timeout=240.0),
+                "bitmap": BitmapPacketFilter(
+                    BitmapFilterConfig(size=2 ** 20, vectors=4, hashes=3,
+                                       rotate_interval=5.0)
+                ),
+            },
+        )
+        active = [(x, y) for x, y in comparison.points if x > 0 or y > 0]
+        if active:
+            slope = least_squares_slope(active)
+            assert 0.7 < slope < 1.3  # the Figure 8 gray line has slope 1.0
+
+    def test_memory_constant_vs_spi_growth(self, small_trace):
+        """The paper's core claim: SPI state grows with flow count, the
+        bitmap filter's footprint does not."""
+        spi = SPIFilter(idle_timeout=240.0)
+        bitmap = BitmapPacketFilter(
+            BitmapFilterConfig(size=2 ** 20, vectors=4, hashes=3, rotate_interval=5.0)
+        )
+        before = bitmap.memory_bytes
+        peak_flows = 0
+        for packet in small_trace:
+            spi.process(packet)
+            bitmap.process(packet)
+            peak_flows = max(peak_flows, spi.tracked_flows)
+        assert peak_flows > 100
+        assert bitmap.memory_bytes == before
+
+    def test_hole_punching_admits_more_than_strict(self, small_trace):
+        from repro.core.bitmap_filter import FieldMode
+
+        strict = BitmapPacketFilter(
+            BitmapFilterConfig(size=2 ** 20, vectors=4, hashes=3,
+                               rotate_interval=5.0, field_mode=FieldMode.STRICT)
+        )
+        punching = BitmapPacketFilter(
+            BitmapFilterConfig(size=2 ** 20, vectors=4, hashes=3,
+                               rotate_interval=5.0, field_mode=FieldMode.HOLE_PUNCHING)
+        )
+        for packet in small_trace:
+            strict.process(packet)
+            punching.process(packet)
+        assert punching.stats.drop_rate(Direction.INBOUND) <= strict.stats.drop_rate(
+            Direction.INBOUND
+        )
+
+    def test_red_limiting_tracks_thresholds(self, small_trace):
+        unfiltered = replay(small_trace, BitmapPacketFilter(
+            BitmapFilterConfig(size=2 ** 20, vectors=4, hashes=3, rotate_interval=5.0),
+            drop_controller=DropController.never_drop(),
+        ), use_blocklist=False)
+        baseline = unfiltered.passed.mean_mbps(Direction.OUTBOUND)
+
+        tight = replay(small_trace, BitmapPacketFilter(
+            BitmapFilterConfig(size=2 ** 20, vectors=4, hashes=3, rotate_interval=5.0),
+            drop_controller=DropController.red_mbps(baseline * 0.1, baseline * 0.2),
+        ), use_blocklist=True)
+        loose = replay(small_trace, BitmapPacketFilter(
+            BitmapFilterConfig(size=2 ** 20, vectors=4, hashes=3, rotate_interval=5.0),
+            drop_controller=DropController.red_mbps(baseline * 0.6, baseline * 1.2),
+        ), use_blocklist=True)
+        tight_mean = tight.passed.mean_mbps(Direction.OUTBOUND)
+        loose_mean = loose.passed.mean_mbps(Direction.OUTBOUND)
+        assert tight_mean < loose_mean <= baseline + 1e-9
+
+
+class TestPublicApi:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_quickstart_surface(self):
+        filt = BitmapPacketFilter(
+            BitmapFilterConfig(size=2 ** 20, vectors=4, hashes=3, rotate_interval=5.0),
+            drop_controller=DropController.red_mbps(low_mbps=50, high_mbps=100),
+        )
+        assert filt.memory_bytes == 512 * 1024
+
+    def test_recommend_parameters_exported(self):
+        from repro import recommend_parameters
+
+        rec = recommend_parameters(15_000, target_p=0.05)
+        assert rec.memory_bytes > 0

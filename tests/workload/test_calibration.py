@@ -1,0 +1,85 @@
+"""Calibration of the synthetic trace against the paper's aggregates.
+
+These bands are deliberately generous: a 2-minute scaled-down trace has
+real sampling noise, and the paper's numbers come from 7.5 hours.  The
+*shape* is what must hold (see DESIGN.md).
+"""
+
+import pytest
+
+from repro.workload.calibrate import (
+    DEFAULT_APP_MIX,
+    PAPER_TARGETS,
+    measure_specs,
+    share_error,
+    table2_group,
+)
+from repro.workload.generator import TraceConfig, TraceGenerator
+
+
+@pytest.fixture(scope="module")
+def measured():
+    generator = TraceGenerator(TraceConfig(duration=120.0, connection_rate=15.0, seed=2))
+    packets = generator.packets()
+    return measure_specs(generator.specs(), packets)
+
+
+class TestProtocolMix:
+    def test_tcp_connection_fraction(self, measured):
+        # Paper: 29.8 % TCP / 70.1 % UDP.
+        assert measured.tcp_connection_fraction == pytest.approx(
+            PAPER_TARGETS.tcp_connection_fraction, abs=0.08
+        )
+
+    def test_tcp_byte_fraction(self, measured):
+        # Paper: 99.5 % of bytes on TCP.
+        assert measured.tcp_byte_fraction > 0.97
+
+    def test_connection_shares_near_table2(self, measured):
+        assert share_error(measured.connection_share, PAPER_TARGETS.connection_share) < 0.06
+
+    def test_byte_shares_near_table2(self, measured):
+        assert share_error(measured.byte_share, PAPER_TARGETS.byte_share) < 0.13
+
+    def test_p2p_dominates_bytes(self, measured):
+        p2p = sum(
+            measured.byte_share.get(group, 0.0)
+            for group in ("bittorrent", "edonkey", "gnutella", "unknown")
+        )
+        assert p2p > 0.75  # paper: 90 %
+
+
+class TestDirectionality:
+    def test_mostly_upload(self, measured):
+        # Paper: 89.8 % upload.
+        assert 0.75 <= measured.upload_byte_fraction <= 0.97
+
+    def test_upload_rides_inbound_connections(self, measured):
+        # Paper: 80 % of outbound bytes on inbound-initiated connections.
+        assert 0.70 <= measured.upload_on_inbound_fraction <= 0.95
+
+
+class TestLifetimes:
+    def test_mean_lifetime(self, measured):
+        assert 30.0 <= measured.mean_lifetime <= 70.0  # paper 45.84 s
+
+    def test_q90(self, measured):
+        assert measured.lifetime_quantiles[0.9] <= 46.0
+
+    def test_q95(self, measured):
+        assert measured.lifetime_quantiles[0.95] <= 260.0
+
+
+class TestMixDefinition:
+    def test_mix_sums_to_one(self):
+        assert sum(DEFAULT_APP_MIX.values()) == pytest.approx(1.0, abs=0.01)
+
+    def test_table2_grouping(self):
+        assert table2_group("bittorrent") == "bittorrent"
+        assert table2_group("dns") == "others"
+        assert table2_group("ftp-data") == "others"
+        assert table2_group("unknown") == "unknown"
+
+    def test_share_error_helper(self):
+        assert share_error({"a": 0.5}, {"a": 0.4}) == pytest.approx(0.1)
+        assert share_error({"a": 0.5}, {"b": 0.5}) == pytest.approx(0.5)

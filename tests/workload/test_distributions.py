@@ -1,0 +1,161 @@
+"""Tests for the workload distributions."""
+
+import random
+
+import pytest
+
+from repro.workload.distributions import (
+    bounded_pareto,
+    connection_lifetime,
+    diurnal_rate,
+    lognormal,
+    out_in_delay,
+    p2p_listen_port,
+    poisson_arrivals,
+    split_bytes,
+    weighted_mix,
+    zipf_choice,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(99)
+
+
+class TestBoundedPareto:
+    def test_within_bounds(self, rng):
+        for _ in range(1000):
+            value = bounded_pareto(rng, alpha=1.5, low=10.0, high=100.0)
+            assert 10.0 <= value <= 100.0
+
+    def test_heavy_head(self, rng):
+        samples = [bounded_pareto(rng, 1.5, 1.0, 1000.0) for _ in range(5000)]
+        below_ten = sum(1 for s in samples if s < 10.0) / len(samples)
+        assert below_ten > 0.9
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            bounded_pareto(rng, 1.5, 10.0, 10.0)
+        with pytest.raises(ValueError):
+            bounded_pareto(rng, 0.0, 1.0, 10.0)
+
+
+class TestConnectionLifetime:
+    """The Figure 4 quantile targets."""
+
+    def test_q90_under_45s(self, rng):
+        samples = sorted(connection_lifetime(rng) for _ in range(20_000))
+        assert samples[int(0.9 * len(samples))] <= 45.0
+
+    def test_q95_under_4min(self, rng):
+        samples = sorted(connection_lifetime(rng) for _ in range(20_000))
+        assert samples[int(0.95 * len(samples))] <= 241.0
+
+    def test_under_one_percent_over_810s(self, rng):
+        samples = [connection_lifetime(rng) for _ in range(20_000)]
+        assert sum(1 for s in samples if s > 810.0) / len(samples) < 0.012
+
+    def test_mean_near_paper(self, rng):
+        samples = [connection_lifetime(rng) for _ in range(40_000)]
+        mean = sum(samples) / len(samples)
+        assert 30.0 <= mean <= 70.0  # paper: 45.84 s
+
+    def test_capped_at_six_hours(self, rng):
+        assert all(connection_lifetime(rng) <= 21600.0 for _ in range(5000))
+
+    def test_positive(self, rng):
+        assert all(connection_lifetime(rng) > 0.0 for _ in range(2000))
+
+
+class TestOutInDelay:
+    def test_q99_under_2_8s(self, rng):
+        # The paper: 99 % of out-in delays under 2.8 s.
+        samples = sorted(out_in_delay(rng) for _ in range(20_000))
+        assert samples[int(0.99 * len(samples))] <= 2.9
+
+    def test_positive(self, rng):
+        assert all(out_in_delay(rng) > 0.0 for _ in range(2000))
+
+    def test_mostly_subsecond(self, rng):
+        samples = [out_in_delay(rng) for _ in range(5000)]
+        assert sum(1 for s in samples if s < 1.0) / len(samples) > 0.85
+
+
+class TestPorts:
+    def test_p2p_random_port_range(self, rng):
+        ports = [p2p_listen_port(rng, (), 0.0) for _ in range(1000)]
+        assert all(10000 <= port <= 40000 for port in ports)
+
+    def test_well_known_weight(self, rng):
+        ports = [p2p_listen_port(rng, (6881,), 1.0) for _ in range(100)]
+        assert all(port == 6881 for port in ports)
+
+    def test_mixed(self, rng):
+        ports = [p2p_listen_port(rng, (6881,), 0.5) for _ in range(2000)]
+        well_known = sum(1 for port in ports if port == 6881)
+        assert 0.4 < well_known / len(ports) < 0.6
+
+
+class TestArrivals:
+    def test_rate(self, rng):
+        times = poisson_arrivals(rng, rate=10.0, duration=1000.0)
+        assert len(times) == pytest.approx(10_000, rel=0.05)
+
+    def test_within_window(self, rng):
+        times = poisson_arrivals(rng, rate=5.0, duration=10.0, start=100.0)
+        assert all(100.0 <= t < 110.0 for t in times)
+
+    def test_sorted(self, rng):
+        times = poisson_arrivals(rng, rate=20.0, duration=50.0)
+        assert times == sorted(times)
+
+    def test_zero_rate(self, rng):
+        assert poisson_arrivals(rng, rate=0.0, duration=100.0) == []
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            poisson_arrivals(rng, rate=-1.0, duration=10.0)
+
+
+class TestSplitBytes:
+    def test_total_preserved(self, rng):
+        chunks = split_bytes(rng, 100_000, 1200)
+        assert sum(chunks) == 100_000
+
+    def test_mss_respected(self, rng):
+        assert all(chunk <= 1460 for chunk in split_bytes(rng, 50_000, 1400))
+
+    def test_zero(self, rng):
+        assert split_bytes(rng, 0, 1200) == []
+
+    def test_negative_rejected(self, rng):
+        with pytest.raises(ValueError):
+            split_bytes(rng, -1, 1200)
+
+
+class TestMisc:
+    def test_lognormal_median(self, rng):
+        samples = sorted(lognormal(rng, median=10.0, sigma=1.0) for _ in range(20_000))
+        assert samples[len(samples) // 2] == pytest.approx(10.0, rel=0.1)
+
+    def test_zipf_prefers_head(self, rng):
+        picks = [zipf_choice(rng, ["a", "b", "c", "d"]) for _ in range(5000)]
+        assert picks.count("a") > picks.count("d")
+
+    def test_zipf_empty_rejected(self, rng):
+        with pytest.raises(ValueError):
+            zipf_choice(rng, [])
+
+    def test_diurnal_rate_bounds(self):
+        for t in range(0, 86400, 3600):
+            rate = diurnal_rate(100.0, float(t), amplitude=0.3)
+            assert 70.0 <= rate <= 130.0
+
+    def test_weighted_mix(self, rng):
+        picks = [weighted_mix(rng, [("x", 9.0), ("y", 1.0)]) for _ in range(5000)]
+        assert 0.85 < picks.count("x") / len(picks) < 0.95
+
+    def test_weighted_mix_empty(self, rng):
+        with pytest.raises(ValueError):
+            weighted_mix(rng, [])

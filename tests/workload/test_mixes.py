@@ -1,0 +1,79 @@
+"""Tests for the preset traffic mixes."""
+
+import pytest
+
+from repro.net.packet import Direction
+from repro.workload.apps import Initiator
+from repro.workload.generator import TraceGenerator
+from repro.workload.mixes import (
+    ALL_PRESETS,
+    BALANCED,
+    CAMPUS_2007,
+    P2P_SATURATED,
+    WEB_ENTERPRISE,
+    preset_by_name,
+)
+
+
+class TestPresets:
+    def test_all_mixes_sum_to_one(self):
+        for preset in ALL_PRESETS:
+            assert sum(preset.app_mix.values()) == pytest.approx(1.0, abs=0.01), preset.name
+
+    def test_all_mixes_reference_real_apps(self):
+        from repro.workload.apps import APP_FACTORIES
+
+        for preset in ALL_PRESETS:
+            assert set(preset.app_mix) <= set(APP_FACTORIES), preset.name
+
+    def test_configs_are_valid(self):
+        for preset in ALL_PRESETS:
+            config = preset.config(duration=5.0, base_rate=4.0)
+            assert config.connection_rate > 0
+
+    def test_lookup_by_name(self):
+        assert preset_by_name("campus-2007") is CAMPUS_2007
+        with pytest.raises(KeyError):
+            preset_by_name("nope")
+
+    def test_campus_matches_default(self):
+        from repro.workload.calibrate import DEFAULT_APP_MIX
+
+        assert CAMPUS_2007.app_mix == DEFAULT_APP_MIX
+
+
+class TestMixCharacter:
+    """Each preset must actually produce its advertised regime."""
+
+    def _inbound_initiated_fraction(self, preset, seed=6):
+        generator = TraceGenerator(preset.config(duration=40.0, base_rate=10.0, seed=seed))
+        generator.packet_list()
+        specs = generator.specs()
+        remote = sum(1 for s in specs if s.initiator is Initiator.REMOTE)
+        return remote / len(specs)
+
+    def test_web_enterprise_mostly_client_initiated(self):
+        assert self._inbound_initiated_fraction(WEB_ENTERPRISE) < 0.10
+
+    def test_p2p_saturated_heavily_remote_initiated(self):
+        assert self._inbound_initiated_fraction(P2P_SATURATED) > 0.20
+
+    def test_balanced_in_between(self):
+        web = self._inbound_initiated_fraction(WEB_ENTERPRISE)
+        p2p = self._inbound_initiated_fraction(P2P_SATURATED)
+        mid = self._inbound_initiated_fraction(BALANCED)
+        assert web < mid < p2p
+
+    def test_web_enterprise_upload_light(self):
+        generator = TraceGenerator(WEB_ENTERPRISE.config(duration=40.0, base_rate=10.0, seed=6))
+        packets = generator.packet_list()
+        upload = sum(p.size for p in packets if p.direction is Direction.OUTBOUND)
+        total = sum(p.size for p in packets)
+        assert upload / total < 0.5  # download-dominated
+
+    def test_p2p_saturated_upload_heavy(self):
+        generator = TraceGenerator(P2P_SATURATED.config(duration=40.0, base_rate=10.0, seed=6))
+        packets = generator.packet_list()
+        upload = sum(p.size for p in packets if p.direction is Direction.OUTBOUND)
+        total = sum(p.size for p in packets)
+        assert upload / total > 0.7

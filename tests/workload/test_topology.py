@@ -1,0 +1,124 @@
+"""Tests for topology: client network, address space, port allocation."""
+
+import random
+
+import pytest
+
+from repro.net.inet import parse_ipv4
+from repro.workload.topology import AddressSpace, ClientNetwork, HostModel, PortAllocator
+
+
+class TestClientNetwork:
+    def test_clients_inside_network(self):
+        network = ClientNetwork("10.1.0.0", 16, hosts=50)
+        assert len(network) == 50
+        assert all(network.contains(addr) for addr in network.clients)
+
+    def test_distinct_addresses(self):
+        network = ClientNetwork(hosts=100)
+        assert len(set(network.clients)) == 100
+
+    def test_random_client_deterministic(self):
+        network = ClientNetwork(hosts=10)
+        assert network.random_client(random.Random(1)) == network.random_client(
+            random.Random(1)
+        )
+
+    def test_too_many_hosts_rejected(self):
+        with pytest.raises(ValueError):
+            ClientNetwork("10.1.0.0", 30, hosts=100)
+
+    def test_zero_hosts_rejected(self):
+        with pytest.raises(ValueError):
+            ClientNetwork(hosts=0)
+
+
+class TestAddressSpace:
+    def test_remotes_outside_client_network(self):
+        network = ClientNetwork("10.1.0.0", 16)
+        space = AddressSpace(network, seed=1)
+        for _ in range(500):
+            addr = space.random_remote()
+            assert not network.contains(addr)
+            assert (addr >> 24) not in (10, 127)
+
+    def test_sticky_pool_stable(self):
+        space = AddressSpace(ClientNetwork(), seed=1)
+        first = space.sticky_peers("swarm", 10)
+        second = space.sticky_peers("swarm", 10)
+        assert first == second
+
+    def test_sticky_pools_per_category(self):
+        space = AddressSpace(ClientNetwork(), seed=1)
+        assert space.sticky_peers("a", 5) != space.sticky_peers("b", 5)
+
+    def test_pool_grows_on_demand(self):
+        space = AddressSpace(ClientNetwork(), seed=1)
+        small = space.sticky_peers("c", 3)
+        large = space.sticky_peers("c", 8)
+        assert len(large) == 8
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            AddressSpace(ClientNetwork()).sticky_peers("x", 0)
+
+
+class TestPortAllocator:
+    def test_fresh_allocation_sequential(self):
+        allocator = PortAllocator(low=1024, high=1030)
+        assert [allocator.allocate(0.0) for _ in range(3)] == [1024, 1025, 1026]
+
+    def test_release_and_reuse_after_timeout(self):
+        allocator = PortAllocator(low=1024, high=1025, reuse_timeout=60.0)
+        a = allocator.allocate(0.0)
+        b = allocator.allocate(0.0)
+        allocator.release(a, now=10.0)
+        # Fresh range exhausted; the released port becomes eligible at 70.
+        assert allocator.allocate(100.0) == a
+
+    def test_early_reuse_when_starved(self):
+        allocator = PortAllocator(low=1024, high=1024, reuse_timeout=60.0)
+        a = allocator.allocate(0.0)
+        allocator.release(a, now=1.0)
+        # Not yet eligible, but nothing else is available.
+        assert allocator.allocate(5.0) == a
+
+    def test_exhaustion_raises(self):
+        allocator = PortAllocator(low=1024, high=1024)
+        allocator.allocate(0.0)
+        with pytest.raises(RuntimeError):
+            allocator.allocate(1.0)
+
+    def test_release_validation(self):
+        allocator = PortAllocator(low=1024, high=2048)
+        with pytest.raises(ValueError):
+            allocator.release(80, now=0.0)
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            PortAllocator(low=5000, high=1024)
+
+    def test_fresh_remaining(self):
+        allocator = PortAllocator(low=1024, high=1028)
+        assert allocator.fresh_remaining == 5
+        allocator.allocate(0.0)
+        assert allocator.fresh_remaining == 4
+
+    def test_oldest_released_reused_first(self):
+        allocator = PortAllocator(low=1024, high=1025, reuse_timeout=10.0)
+        a = allocator.allocate(0.0)
+        b = allocator.allocate(0.0)
+        allocator.release(b, now=1.0)
+        allocator.release(a, now=5.0)
+        assert allocator.allocate(100.0) == b
+
+
+class TestHostModel:
+    def test_reuse_timeout_from_common_values(self):
+        host = HostModel(parse_ipv4("10.1.0.5"), random.Random(4))
+        assert host.ports.reuse_timeout in PortAllocator.COMMON_TIMEOUTS
+
+    def test_listen_ports_dict(self):
+        host = HostModel(parse_ipv4("10.1.0.5"), random.Random(4))
+        host.listen_ports["bittorrent"] = 6881
+        assert host.listen_ports["bittorrent"] == 6881
