@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from repro.core.bitmap_filter import BitmapFilterConfig, FieldMode
@@ -70,6 +71,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="set L/H to 35%%/70%% of the measured uplink")
     filt.add_argument("--no-blocklist", action="store_true",
                       help="disable blocked-connection persistence")
+    filt.add_argument("--batched", action="store_true",
+                      help="use the columnar batched replay engine "
+                           "(identical results, much faster)")
     filt.set_defaults(handler=cmd_filter)
 
     figures = sub.add_parser(
@@ -231,9 +235,14 @@ def cmd_filter(args) -> int:
     offered_up = baseline.passed.mean_mbps(Direction.OUTBOUND)
 
     packet_filter, note = _build_filter(args, offered_up)
-    result = replay(packets, packet_filter, use_blocklist=not args.no_blocklist)
+    start = time.perf_counter()
+    result = replay(packets, packet_filter, use_blocklist=not args.no_blocklist,
+                    batched=args.batched)
+    elapsed = time.perf_counter() - start
 
     print(f"filter: {packet_filter.name}  ({note})")
+    engine = "batched" if args.batched else "per-packet"
+    print(f"engine: {engine}  ({result.packets / elapsed:,.0f} pkts/s)")
     print(f"packets: {result.packets:,}  inbound: {result.inbound_packets:,}")
     print(f"inbound drop rate: {result.inbound_drop_rate:.2%}")
     print(f"uplink: {offered_up:.2f} -> "

@@ -11,6 +11,38 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, List
 
+# Popcount of an arbitrary-width int.  ``int.bit_count`` (Python >= 3.10) is
+# a C-level loop over the limbs; on 3.9 we fall back to counting set bits in
+# fixed-size chunks serialized via ``to_bytes``, which avoids materializing
+# the 2^20-character string ``bin(...)`` builds for a full vector.
+_CHUNK_BITS = 1 << 14
+_CHUNK_BYTES = _CHUNK_BITS // 8
+_CHUNK_MASK = (1 << _CHUNK_BITS) - 1
+_BYTE_POPCOUNT = bytes(bin(i).count("1") for i in range(256))
+
+if hasattr(int, "bit_count"):  # pragma: no branch
+
+    def popcount_int(value: int) -> int:
+        """Number of set bits in a non-negative int."""
+        return value.bit_count()
+
+else:  # pragma: no cover - exercised on Python 3.9 only
+
+    def popcount_int(value: int) -> int:
+        """Number of set bits in a non-negative int (chunked fallback)."""
+        return _popcount_fallback(value)
+
+
+def _popcount_fallback(value: int) -> int:
+    """Chunked-``to_bytes`` popcount, kept importable for tests/benchmarks."""
+    table = _BYTE_POPCOUNT
+    count = 0
+    while value:
+        chunk = value & _CHUNK_MASK
+        value >>= _CHUNK_BITS
+        count += sum(map(table.__getitem__, chunk.to_bytes(_CHUNK_BYTES, "little")))
+    return count
+
 
 class BitVector:
     """``size``-bit vector with set / test / clear and popcount."""
@@ -58,7 +90,22 @@ class BitVector:
 
     def popcount(self) -> int:
         """Number of marked bits — the ``b`` of Equation 2's ``U = b/N``."""
-        return bin(self._bits).count("1")
+        return popcount_int(self._bits)
+
+    # -- word-level batch operations (the fast-path primitives) -------------
+
+    def set_mask(self, mask: int) -> None:
+        """OR a precomputed multi-bit mask in — one big-int op for a whole
+        run of marks (``repro.sim.fastpath`` batches outbound packets into
+        such masks between rotation boundaries)."""
+        if mask >> self.size:
+            raise IndexError(f"mask has bits beyond [0, {self.size})")
+        self._bits |= mask
+
+    def test_mask(self, mask: int) -> bool:
+        """True when *every* bit of ``mask`` is marked — the Bloom
+        membership test as a single word-level compare."""
+        return self._bits & mask == mask
 
     @property
     def utilization(self) -> float:
@@ -154,7 +201,7 @@ class ByteArrayBitVector:
         self._buf = bytearray(len(self._buf))
 
     def popcount(self) -> int:
-        return sum(bin(byte).count("1") for byte in self._buf)
+        return sum(map(_BYTE_POPCOUNT.__getitem__, self._buf))
 
     @property
     def utilization(self) -> float:

@@ -11,6 +11,7 @@ asymptotics while costing two real hash evaluations per key regardless of
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Iterable, List, Sequence, Tuple
 
 _FNV_OFFSET = 0xCBF29CE484222325
@@ -83,6 +84,27 @@ class HashFamily:
         mask = self.mask
         return [(h1 + i * h2) & mask for i in range(self.m)]
 
+    def indices_many(self, keys: Iterable[Sequence[int]]) -> List[Tuple[int, ...]]:
+        """Batch form of :meth:`indices`: one call, many keys.
+
+        Hoists the per-call setup (seeds, mask, range) out of the loop so
+        columnar replay can hash a whole packet batch without re-paying
+        Python call overhead per packet.  Returns one tuple of ``m`` bit
+        positions per key, in input order.
+        """
+        m = self.m
+        mask = self.mask
+        seed1 = self._seed1
+        seed2 = self._seed2
+        steps = range(m)
+        out: List[Tuple[int, ...]] = []
+        append = out.append
+        for fields in keys:
+            h1 = mix_tuple(fields, seed1)
+            h2 = mix_tuple(fields, seed2) | 1
+            append(tuple((h1 + i * h2) & mask for i in steps))
+        return out
+
     def indices_bytes(self, data: bytes) -> List[int]:
         """As :meth:`indices` but for byte-string keys."""
         h1 = fnv1a_64(data, self._seed1)
@@ -92,6 +114,76 @@ class HashFamily:
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"HashFamily(m={self.m}, n_bits={self.n_bits}, seed={self.seed})"
+
+
+class HashIndexMemo:
+    """Bounded LRU cache of key fields → hash-index tuples.
+
+    Traffic is heavily flow-repetitive — a long transfer presents the same
+    socket pair thousands of times — so the batched replay path memoizes
+    each distinct key's ``m`` bit positions and hashes it exactly once.
+    The bound keeps worst-case memory flat under address-scanning traffic;
+    eviction is least-recently-used so live flows stay resident.
+    """
+
+    def __init__(self, family: HashFamily, capacity: int = 1 << 16) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.family = family
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[Tuple[int, ...], Tuple[int, ...]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, fields: Tuple[int, ...]) -> Tuple[int, ...]:
+        """The key's hash indices, computed at most once while resident."""
+        entries = self._entries
+        indices = entries.get(fields)
+        if indices is not None:
+            self.hits += 1
+            entries.move_to_end(fields)
+            return indices
+        self.misses += 1
+        indices = tuple(self.family.indices(fields))
+        entries[fields] = indices
+        if len(entries) > self.capacity:
+            entries.popitem(last=False)
+        return indices
+
+    def get_many(self, keys: Sequence[Tuple[int, ...]]) -> List[Tuple[int, ...]]:
+        """Resolve a batch of keys, hashing the distinct misses via
+        :meth:`HashFamily.indices_many` in one pass."""
+        entries = self._entries
+        move = entries.move_to_end
+        out: List[Tuple[int, ...]] = [()] * len(keys)
+        missing: "OrderedDict[Tuple[int, ...], None]" = OrderedDict()
+        for position, key in enumerate(keys):
+            indices = entries.get(key)
+            if indices is not None:
+                self.hits += 1
+                move(key)
+                out[position] = indices
+            else:
+                missing[key] = None
+        if missing:
+            self.misses += len(missing)
+            distinct = list(missing)
+            for key, indices in zip(distinct, self.family.indices_many(distinct)):
+                entries[key] = indices
+            while len(entries) > self.capacity:
+                entries.popitem(last=False)
+            for position, key in enumerate(keys):
+                if not out[position]:
+                    out[position] = entries.get(key) or self.get(key)
+        return out
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
 
 
 def make_hash_family(m: int, size: int, seed: int = 0) -> HashFamily:

@@ -13,7 +13,7 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from collections import deque
-from typing import Deque, Tuple
+from typing import Deque, Optional, Tuple
 
 
 class ThroughputMeter(ABC):
@@ -43,10 +43,13 @@ class SlidingWindowMeter(ThroughputMeter):
         self.window = window
         self._entries: Deque[Tuple[float, int]] = deque()
         self._total_bytes = 0
+        self._first_time: Optional[float] = None
 
     def record(self, timestamp: float, size_bytes: int) -> None:
         if size_bytes < 0:
             raise ValueError(f"negative size: {size_bytes}")
+        if self._first_time is None:
+            self._first_time = timestamp
         self._entries.append((timestamp, size_bytes))
         self._total_bytes += size_bytes
         self._evict(timestamp)
@@ -60,7 +63,17 @@ class SlidingWindowMeter(ThroughputMeter):
 
     def rate_bps(self, now: float) -> float:
         self._evict(now)
-        return self._total_bytes * 8.0 / self.window
+        if self._first_time is None:
+            return 0.0
+        # During warm-up (less than ``window`` seconds observed) divide by
+        # the elapsed span, not the full window — otherwise early traffic is
+        # averaged against time that never happened and P_d stays 0 until a
+        # whole window has passed.  With zero elapsed time there is no span
+        # to average over yet; fall back to the full window rather than
+        # report an infinite rate off a single packet.
+        elapsed = now - self._first_time
+        span = min(self.window, elapsed) if elapsed > 0 else self.window
+        return self._total_bytes * 8.0 / span
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -86,8 +99,11 @@ class EwmaThroughputMeter(ThroughputMeter):
         if size_bytes < 0:
             raise ValueError(f"negative size: {size_bytes}")
         if math.isnan(self._last_time):
+            # Seed from the anchor packet instead of discarding its bytes:
+            # treat it as the only traffic of the last ``tau`` seconds so a
+            # single-packet burst registers a non-zero rate immediately.
             self._last_time = timestamp
-            self._rate_bps = 0.0
+            self._rate_bps = size_bytes * 8.0 / self.tau
             return
         gap = timestamp - self._last_time
         if gap <= 0:

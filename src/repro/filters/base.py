@@ -5,7 +5,7 @@ from __future__ import annotations
 import enum
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List, Sequence
 
 from repro.net.packet import Direction, Packet
 
@@ -93,6 +93,15 @@ class PacketFilter(ABC):
         verdict = self.decide(packet)
         self.stats.account(packet, verdict)
         return verdict
+
+    def process_batch(self, packets: Sequence[Packet]) -> List[Verdict]:
+        """Decide and account a timestamp-ordered batch of packets.
+
+        The default is a plain loop over :meth:`process`; filters with a
+        genuinely batched implementation (the bitmap filter) override this
+        with something faster that produces identical verdicts and stats.
+        """
+        return [self.process(packet) for packet in packets]
 
     def reset(self) -> None:
         """Forget all per-flow state and statistics."""

@@ -11,6 +11,12 @@ from repro.sim.metrics import DropRateSampler, ThroughputSeries
 from repro.sim.router import EdgeRouter
 from repro.sim.replay import ReplayResult, compare_drop_rates, replay
 from repro.sim.closedloop import ClosedLoopResult, ClosedLoopSimulator
+from repro.sim.fastpath import (
+    PacketColumns,
+    fast_replay,
+    process_packets_fast,
+    supports_fastpath,
+)
 
 __all__ = [
     "EventScheduler",
@@ -22,4 +28,8 @@ __all__ = [
     "compare_drop_rates",
     "ClosedLoopSimulator",
     "ClosedLoopResult",
+    "PacketColumns",
+    "fast_replay",
+    "process_packets_fast",
+    "supports_fastpath",
 ]

@@ -48,12 +48,19 @@ def replay(
     throughput_interval: float = 1.0,
     drop_window: float = 10.0,
     scheduler: Optional[EventScheduler] = None,
+    batched: bool = False,
 ) -> ReplayResult:
     """Replay a timestamp-ordered packet stream through a filter.
 
     ``use_blocklist`` enables the blocked-σ persistence of section 5.3
     (dropped inbound connections stay dropped).  An optional scheduler
     lets callers attach periodic probes; it is advanced in trace time.
+
+    ``batched=True`` routes the whole stream through
+    :meth:`EdgeRouter.process_batch` — the columnar fast path for bitmap
+    filters (see :mod:`repro.sim.fastpath`), with identical results.  A
+    scheduler forces the per-packet path, since its probes must interleave
+    with individual packets.
     """
     router = EdgeRouter(
         packet_filter,
@@ -61,6 +68,27 @@ def replay(
         throughput_interval=throughput_interval,
         drop_window=drop_window,
     )
+    if batched and scheduler is None:
+        packet_list = packets if isinstance(packets, list) else list(packets)
+        verdicts = router.process_batch(packet_list)
+        inbound = 0
+        dropped = 0
+        for packet, verdict in zip(packet_list, verdicts):
+            if packet.direction is Direction.INBOUND:
+                inbound += 1
+                if verdict is Verdict.DROP:
+                    dropped += 1
+        return ReplayResult(
+            router=router,
+            packets=len(packet_list),
+            inbound_packets=inbound,
+            inbound_dropped=dropped,
+            duration=(
+                packet_list[-1].timestamp - packet_list[0].timestamp
+                if packet_list
+                else 0.0
+            ),
+        )
     total = 0
     inbound = 0
     dropped = 0

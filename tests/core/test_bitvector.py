@@ -188,3 +188,36 @@ def test_serde_roundtrip_property(indices):
     vector = BitVector(128)
     vector.set_many(indices)
     assert BitVector.from_bytes(vector.to_bytes(), 128) == vector
+
+
+@given(st.sets(st.integers(min_value=0, max_value=4095), max_size=200))
+@settings(max_examples=100)
+def test_popcount_fallback_matches_bit_count(indices):
+    # The chunked-to_bytes fallback (Python 3.9) must agree with the
+    # int.bit_count fast path used on >= 3.10.
+    from repro.core.bitvector import _popcount_fallback, popcount_int
+
+    value = 0
+    for index in indices:
+        value |= 1 << index
+    assert _popcount_fallback(value) == len(indices)
+    assert popcount_int(value) == len(indices)
+
+
+class TestMaskOps:
+    def test_set_mask_equivalent_to_set_many(self):
+        a, b = BitVector(64), BitVector(64)
+        a.set_many([1, 5, 40])
+        b.set_mask((1 << 1) | (1 << 5) | (1 << 40))
+        assert a == b
+
+    def test_set_mask_rejects_out_of_range(self):
+        with pytest.raises(IndexError):
+            BitVector(8).set_mask(1 << 8)
+
+    def test_test_mask_requires_all_bits(self):
+        vector = BitVector(32)
+        vector.set_many([2, 3])
+        assert vector.test_mask((1 << 2) | (1 << 3))
+        assert not vector.test_mask((1 << 2) | (1 << 4))
+        assert vector.test_mask(0)

@@ -33,10 +33,39 @@ class TestSnapshotRestore:
         original = filled_filter()
         restored = BitmapFilter.restore(original.snapshot())
         assert restored.idx == original.idx
-        assert restored._next_rotation == original._next_rotation
+        # Resuming on the same clock rebases onto the identical schedule:
+        # the original's next rotation is at t=10, and the restored filter's
+        # first advance_to re-derives it from the stored phase.
+        assert restored.advance_to(8.0) == original.advance_to(8.0) == 0
+        assert restored._next_rotation == original._next_rotation == 10.0
         # Future rotations behave identically.
         assert restored.advance_to(50.0) == original.advance_to(50.0)
         assert restored.idx == original.idx
+
+    def test_restore_into_restarted_clock_keeps_rotating(self):
+        # Regression: the snapshot used to persist the absolute next-rotation
+        # time, so restoring state taken at t≈100000 into a replay whose
+        # clock restarts near 0 suppressed rotation for the whole gap.
+        filt = BitmapFilter(
+            BitmapFilterConfig(size=2 ** 12, vectors=4, hashes=3,
+                               rotate_interval=5.0, seed=9)
+        )
+        filt.advance_to(100_000.0)
+        filt.mark_outbound(tcp_pair(sport=1))
+        filt.advance_to(100_007.0)
+        restored = BitmapFilter.restore(filt.snapshot())
+        restored.advance_to(0.1)  # new trace clock starting near zero
+        assert restored.advance_to(20.0) >= 3  # rotations resume within Δt
+
+    def test_restore_then_snapshot_keeps_phase(self):
+        # A snapshot taken before the restored filter sees any traffic must
+        # not lose the rotation phase.
+        original = filled_filter()
+        rehydrated = BitmapFilter.restore(
+            BitmapFilter.restore(original.snapshot()).snapshot()
+        )
+        assert rehydrated.advance_to(8.0) == 0
+        assert rehydrated._next_rotation == 10.0
 
     def test_roundtrip_preserves_config(self):
         original = BitmapFilter(

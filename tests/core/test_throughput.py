@@ -19,8 +19,29 @@ class TestSlidingWindowMeter:
 
     def test_single_packet(self):
         meter = SlidingWindowMeter(window=1.0)
-        meter.record(0.0, 125)  # 1000 bits in a 1s window
-        assert meter.rate_bps(0.5) == pytest.approx(1000.0)
+        meter.record(0.0, 125)  # 1000 bits, but only 0.5 s observed so far
+        assert meter.rate_bps(0.5) == pytest.approx(2000.0)
+
+    def test_single_packet_after_full_window(self):
+        meter = SlidingWindowMeter(window=1.0)
+        meter.record(0.5, 125)  # 1000 bits in a full 1 s window
+        assert meter.rate_bps(1.5) == pytest.approx(1000.0)
+
+    def test_warmup_uses_elapsed_time(self):
+        # Regression: before the fix the first window's traffic was divided
+        # by the full window, underestimating throughput (and keeping P_d
+        # at 0) until ``window`` seconds had elapsed.
+        meter = SlidingWindowMeter(window=10.0)
+        meter.record(0.0, 1250)
+        meter.record(1.0, 1250)
+        # 2500 B over 2 observed seconds = 10 kbps, not 2500*8/10 = 2 kbps.
+        assert meter.rate_bps(2.0) == pytest.approx(10_000.0)
+
+    def test_warmup_at_first_instant_falls_back_to_window(self):
+        meter = SlidingWindowMeter(window=2.0)
+        meter.record(3.0, 1000)
+        # No elapsed time to average over: full-window average, not inf.
+        assert meter.rate_bps(3.0) == pytest.approx(1000 * 8.0 / 2.0)
 
     def test_steady_stream(self):
         meter = SlidingWindowMeter(window=1.0)
@@ -60,6 +81,18 @@ class TestEwmaMeter:
     def test_initially_zero(self):
         meter = EwmaThroughputMeter()
         assert meter.rate_bps(0.0) == 0.0
+
+    def test_first_packet_is_visible(self):
+        # Regression: the anchor sample used to reset the rate to 0, so a
+        # single-packet burst was invisible to the estimator.
+        meter = EwmaThroughputMeter(tau=2.0)
+        meter.record(0.0, 1250)
+        assert meter.rate_bps(0.0) == pytest.approx(1250 * 8.0 / 2.0)
+
+    def test_first_packet_estimate_decays(self):
+        meter = EwmaThroughputMeter(tau=1.0)
+        meter.record(0.0, 1250)
+        assert 0.0 < meter.rate_bps(5.0) < meter.rate_bps(0.0)
 
     def test_converges_to_steady_rate(self):
         meter = EwmaThroughputMeter(tau=0.5)
