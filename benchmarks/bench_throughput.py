@@ -1,10 +1,16 @@
 #!/usr/bin/env python
-"""Replay-throughput benchmark: legacy per-packet path vs batched fast path.
+"""Replay-throughput benchmark: legacy per-packet path vs batched fast path,
+plus the multiprocess sharded engine's scaling curve.
 
 Generates a calibrated ~1M-packet synthetic trace, replays it through the
 paper-parameter bitmap filter with both engines, verifies the batched path
 reproduced the legacy verdicts and statistics *exactly*, and writes the
 measured packets/second plus speedup to ``BENCH_replay_throughput.json``.
+
+A second stage shards the client network (Figure 6's core-router
+placement), replays the same trace through ``parallel_replay`` at 1/2/4/8
+workers, verifies every merged result is identical to the single-process
+sharded run, and writes the scaling curve to ``BENCH_parallel_replay.json``.
 
 Also times the three popcount strategies (``bin().count``, ``int.bit_count``
 and the chunked-``to_bytes`` 3.9 fallback) over a realistic vector, since the
@@ -12,13 +18,15 @@ utilization probe runs popcount on 2^20-bit integers.
 
 Run from the repo root::
 
-    PYTHONPATH=src python benchmarks/bench_throughput.py
+    PYTHONPATH=src python benchmarks/bench_throughput.py            # full
+    PYTHONPATH=src python benchmarks/bench_throughput.py --quick    # CI smoke
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import random
 import sys
 import time
@@ -28,12 +36,16 @@ from repro.core.bitmap_filter import BitmapFilterConfig
 from repro.core.bitvector import _popcount_fallback, popcount_int
 from repro.filters.base import Verdict
 from repro.filters.bitmap import BitmapPacketFilter
+from repro.filters.sharded import ShardedFilter
+from repro.net.inet import parse_ipv4
 from repro.net.packet import Direction
+from repro.sim.parallel import parallel_replay
 from repro.sim.replay import replay
 from repro.workload.generator import TraceConfig, TraceGenerator
 
 TARGET_SPEEDUP = 3.0
 PROBE_DURATION = 30.0
+WORKER_CURVE = (1, 2, 4, 8)
 
 
 def build_trace(target_packets: int, rate: float, seed: int):
@@ -90,6 +102,102 @@ def summarize(result):
     }
 
 
+def make_sharded(shard_count: int, size_bits: int = 20) -> ShardedFilter:
+    """Shard the generator's client /24 into ``shard_count`` equal subnets.
+
+    Hosts live in 10.1.0.1-10.1.0.<hosts>, so consecutive sub-prefixes of
+    10.1.0.0/24 spread them across shards; remote/transit addresses fall
+    to the default lane (there are none in the synthetic trace).
+    """
+    if shard_count & (shard_count - 1):
+        raise ValueError(f"shard_count must be a power of two: {shard_count}")
+    base = parse_ipv4("10.1.0.0")
+    prefix = 24 + shard_count.bit_length() - 1
+    step = 1 << (32 - prefix)
+    return ShardedFilter([
+        (base + index * step, prefix, BitmapPacketFilter(
+            BitmapFilterConfig(size=2 ** size_bits)))
+        for index in range(shard_count)
+    ])
+
+
+def sharded_fingerprint(result) -> dict:
+    """Every merged counter and bin a sharded replay must agree on."""
+    router = result.router
+    sharded = router.filter
+    return {
+        "packets": result.packets,
+        "inbound_packets": result.inbound_packets,
+        "inbound_dropped": result.inbound_dropped,
+        "filter_stats": sharded.stats.as_dict(),
+        "shard_stats": sharded.shard_stats(),
+        "unrouted": sharded.unrouted_packets,
+        "offered_bins": {d.value: dict(b) for d, b in router.offered._bins.items()},
+        "passed_bins": {d.value: dict(b) for d, b in router.passed._bins.items()},
+        "drop_windows": (dict(router.inbound_drops._packets),
+                         dict(router.inbound_drops._dropped)),
+        "blocklist_size": len(router.blocklist),
+        "suppressed": router.blocklist.suppressed_packets,
+    }
+
+
+def bench_parallel(packets, shard_count: int, output: Path, quick: bool) -> bool:
+    """The scaling curve: single-process sharded replay vs 1/2/4/8 workers.
+
+    Returns True when every engine produced identical merged results.
+    """
+    print(f"\n-- parallel sharded replay ({shard_count} shards) --")
+    start = time.perf_counter()
+    legacy = replay(packets, make_sharded(shard_count), use_blocklist=True)
+    legacy_s = time.perf_counter() - start
+    reference = sharded_fingerprint(legacy)
+    print(f"single-process sharded: {len(packets) / legacy_s:,.0f} pkts/s "
+          f"({legacy_s:.1f}s)")
+
+    curve = {}
+    identical = True
+    for workers in WORKER_CURVE:
+        start = time.perf_counter()
+        result = parallel_replay(packets, make_sharded(shard_count),
+                                 workers=workers)
+        elapsed = time.perf_counter() - start
+        matches = sharded_fingerprint(result) == reference
+        identical = identical and matches
+        curve[workers] = {
+            "wall_s": round(elapsed, 2),
+            "pkts_per_sec": round(len(packets) / elapsed),
+            "identical_to_single_process": matches,
+        }
+        print(f"workers={workers}: {len(packets) / elapsed:,.0f} pkts/s "
+              f"({elapsed:.1f}s) identical={matches}")
+    if not identical:
+        print("FAIL: a parallel run diverged from the single-process "
+              "sharded replay", file=sys.stderr)
+
+    base_wall = curve[1]["wall_s"]
+    report = {
+        "trace": {"packets": len(packets)},
+        "host_cpu_cores": os.cpu_count(),
+        "shards": shard_count,
+        "single_process_sharded": {
+            "wall_s": round(legacy_s, 2),
+            "pkts_per_sec": round(len(packets) / legacy_s),
+        },
+        "workers": curve,
+        "speedup_vs_workers_1": {
+            workers: round(base_wall / entry["wall_s"], 2)
+            for workers, entry in curve.items()
+        },
+        "identical_results": identical,
+        "note": "speedup scales with physical cores; a 1-core host shows "
+                "multiprocessing overhead instead of gains",
+    }
+    if not quick:
+        output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"parallel scaling curve -> {output}")
+    return identical
+
+
 def bench_popcount(size: int = 1 << 20, fill: float = 0.3, repeat: int = 200):
     """Time the popcount strategies on a realistically-loaded vector."""
     rng = random.Random(0)
@@ -126,9 +234,21 @@ def main(argv=None) -> int:
     parser.add_argument("--output", type=Path,
                         default=Path(__file__).resolve().parent.parent
                         / "BENCH_replay_throughput.json")
+    parser.add_argument("--parallel-output", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_parallel_replay.json")
     parser.add_argument("--skip-popcount", action="store_true",
                         help="skip the popcount micro-benchmark")
+    parser.add_argument("--shards", type=int, default=8,
+                        help="shard count for the parallel stage (power of 2)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: ~50k packets, no file writes, "
+                             "no speedup-target enforcement — only the "
+                             "equivalence checks gate the exit code")
     args = parser.parse_args(argv)
+    if args.quick:
+        args.packets = min(args.packets, 50_000)
+        args.skip_popcount = True
 
     packets = build_trace(args.packets, args.rate, args.seed)
     outbound = sum(1 for p in packets if p.direction is Direction.OUTBOUND)
@@ -185,9 +305,17 @@ def main(argv=None) -> int:
             f"chunked fallback {report['popcount_bench']['chunked_fallback_us']:.0f}us"
         )
 
-    args.output.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"speedup: {speedup:.2f}x (target >= {TARGET_SPEEDUP}x) -> {args.output}")
-    if speedup < TARGET_SPEEDUP:
+    if not args.quick:
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"speedup: {speedup:.2f}x (target >= {TARGET_SPEEDUP}x) -> {args.output}")
+    else:
+        print(f"speedup: {speedup:.2f}x (quick mode, target not enforced)")
+
+    parallel_ok = bench_parallel(packets, args.shards, args.parallel_output,
+                                 quick=args.quick)
+    if not parallel_ok:
+        return 1
+    if not args.quick and speedup < TARGET_SPEEDUP:
         print("FAIL: speedup below target", file=sys.stderr)
         return 1
     return 0

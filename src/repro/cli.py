@@ -74,6 +74,13 @@ def build_parser() -> argparse.ArgumentParser:
     filt.add_argument("--batched", action="store_true",
                       help="use the columnar batched replay engine "
                            "(identical results, much faster)")
+    filt.add_argument("--workers", type=int, default=1,
+                      help="worker processes for the multiprocess sharded "
+                           "replay engine (>1 shards the client network; "
+                           "identical merged results)")
+    filt.add_argument("--shard-bits", type=int, default=2,
+                      help="with --workers > 1: split the client network "
+                           "into 2^bits per-subnet shards (default: 4 shards)")
     filt.set_defaults(handler=cmd_filter)
 
     figures = sub.add_parser(
@@ -220,6 +227,26 @@ def _build_filter(args, offered_up_mbps: float):
     return AcceptAllFilter(), "no filtering"
 
 
+def _build_sharded_filter(args, offered_up_mbps: float):
+    """Split the client network into 2^shard_bits per-subnet shards, each
+    hosting its own filter instance (per-network policy isolation)."""
+    from repro.filters.sharded import ShardedFilter
+
+    network, prefix = _parse_cidr(args.network)
+    shard_prefix = prefix + args.shard_bits
+    if args.shard_bits < 1 or shard_prefix > 32:
+        raise SystemExit(
+            f"--shard-bits {args.shard_bits} does not fit inside /{prefix}"
+        )
+    step = 1 << (32 - shard_prefix)
+    shards = []
+    note = ""
+    for index in range(1 << args.shard_bits):
+        member, note = _build_filter(args, offered_up_mbps)
+        shards.append((network + index * step, shard_prefix, member))
+    return ShardedFilter(shards), note
+
+
 def cmd_filter(args) -> int:
     """Replay a pcap through a chosen filter and report the outcome."""
     from repro.filters.base import AcceptAllFilter
@@ -234,14 +261,20 @@ def cmd_filter(args) -> int:
     baseline = replay(packets, AcceptAllFilter(), use_blocklist=False)
     offered_up = baseline.passed.mean_mbps(Direction.OUTBOUND)
 
-    packet_filter, note = _build_filter(args, offered_up)
+    if args.workers > 1:
+        packet_filter, note = _build_sharded_filter(args, offered_up)
+    else:
+        packet_filter, note = _build_filter(args, offered_up)
     start = time.perf_counter()
     result = replay(packets, packet_filter, use_blocklist=not args.no_blocklist,
-                    batched=args.batched)
+                    batched=args.batched, workers=args.workers)
     elapsed = time.perf_counter() - start
 
     print(f"filter: {packet_filter.name}  ({note})")
-    engine = "batched" if args.batched else "per-packet"
+    if args.workers > 1:
+        engine = f"parallel x{args.workers} ({len(packet_filter)} shards)"
+    else:
+        engine = "batched" if args.batched else "per-packet"
     print(f"engine: {engine}  ({result.packets / elapsed:,.0f} pkts/s)")
     print(f"packets: {result.packets:,}  inbound: {result.inbound_packets:,}")
     print(f"inbound drop rate: {result.inbound_drop_rate:.2%}")
@@ -253,6 +286,14 @@ def cmd_filter(args) -> int:
         print(f"blocked connections: {len(result.router.blocklist):,}")
     if hasattr(packet_filter, "memory_bytes"):
         print(f"filter memory: {packet_filter.memory_bytes // 1024} KiB")
+    if args.workers > 1:
+        for label, stats in packet_filter.shard_stats().items():
+            seen = (stats["passed_inbound"] + stats["dropped_inbound"]
+                    + stats["passed_outbound"] + stats["dropped_outbound"])
+            print(f"  shard {label}: {seen:,} packets, "
+                  f"inbound drop rate {stats['inbound_drop_rate']:.2%}")
+        if packet_filter.unrouted_packets:
+            print(f"  transit (default lane): {packet_filter.unrouted_packets:,} packets")
     return 0
 
 

@@ -107,6 +107,18 @@ class BitmapFilterStats:
             "rotations": self.rotations,
         }
 
+    def merge(self, other: "BitmapFilterStats") -> "BitmapFilterStats":
+        """Accumulate another counter record into this one (in place)."""
+        self.outbound_marked += other.outbound_marked
+        self.inbound_hits += other.inbound_hits
+        self.inbound_misses += other.inbound_misses
+        self.inbound_dropped += other.inbound_dropped
+        self.rotations += other.rotations
+        return self
+
+    def __add__(self, other: "BitmapFilterStats") -> "BitmapFilterStats":
+        return BitmapFilterStats().merge(self).merge(other)
+
 
 class BitmapFilter:
     """The {k×N}-bitmap filter state machine.

@@ -79,9 +79,19 @@ class SteppedDropPolicy(DropPolicy):
     def __init__(self, steps: List[Tuple[float, float]]) -> None:
         if not steps:
             raise ValueError("need at least one step")
-        ordered = sorted(steps)
-        if ordered != steps:
-            raise ValueError("steps must be sorted by threshold")
+        # Thresholds must be *strictly* increasing.  Comparing whole
+        # (threshold, probability) tuples against their sorted order would
+        # tie-break equal thresholds on the probability value, so duplicate
+        # thresholds could pass or fail depending on probability order —
+        # and a duplicate threshold is ambiguous either way (which P_d
+        # applies at exactly that throughput?).
+        thresholds = [threshold for threshold, _ in steps]
+        for previous, current in zip(thresholds, thresholds[1:]):
+            if current <= previous:
+                raise ValueError(
+                    "step thresholds must be strictly increasing, got "
+                    f"{previous} before {current}"
+                )
         for threshold, probability in steps:
             if threshold < 0:
                 raise ValueError(f"negative threshold: {threshold}")

@@ -70,6 +70,23 @@ class FilterStats:
             "inbound_drop_rate": self.drop_rate(Direction.INBOUND),
         }
 
+    def merge(self, other: "FilterStats") -> "FilterStats":
+        """Accumulate another stats record into this one (in place).
+
+        Counters are pure sums, so merging per-worker stats from a
+        partitioned replay is order-independent and exact.  Returns
+        ``self`` so merges chain.
+        """
+        for direction in (Direction.OUTBOUND, Direction.INBOUND):
+            self.passed[direction] += other.passed[direction]
+            self.dropped[direction] += other.dropped[direction]
+            self.passed_bytes[direction] += other.passed_bytes[direction]
+            self.dropped_bytes[direction] += other.dropped_bytes[direction]
+        return self
+
+    def __add__(self, other: "FilterStats") -> "FilterStats":
+        return FilterStats().merge(self).merge(other)
+
 
 class PacketFilter(ABC):
     """A stateful packet filter at the edge of a client network.

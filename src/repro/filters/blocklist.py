@@ -69,6 +69,22 @@ class BlockedConnectionStore:
         if now < self._next_gc:
             return
         self._next_gc = now + self._gc_interval
+        self.compact(now)
+
+    def compact(self, now: float) -> None:
+        """Drop every entry already outside ``retention`` as of ``now``.
+
+        Interior GC runs opportunistically (every ``gc_interval`` of
+        *observed* packet time), so which expired entries still linger in
+        the table depends on the store's packet arrival pattern — e.g. a
+        partitioned replay's per-lane stores GC on their own lanes'
+        clocks.  Expiry itself is per-connection (``is_blocked`` checks
+        each pair's own stamp), so verdicts never depend on GC timing;
+        compacting at end of replay makes the *final table contents*
+        deterministic too: exactly the entries still within retention.
+        """
+        if self.retention is None:
+            return
         horizon = now - self.retention
         stale = [pair for pair, stamped in self._blocked.items() if stamped < horizon]
         for pair in stale:

@@ -19,7 +19,7 @@ shard (transit traffic) follow ``default_verdict``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.filters.base import PacketFilter, Verdict
 from repro.net.inet import in_network
@@ -31,10 +31,14 @@ class ShardedFilter(PacketFilter):
 
     name = "sharded"
 
+    #: Shard-routing cache bound: distinct inner addresses resident at once.
+    ROUTE_CACHE_SIZE = 1 << 16
+
     def __init__(
         self,
         shards: List[Tuple[int, int, PacketFilter]],
         default_verdict: Verdict = Verdict.PASS,
+        route_cache_size: int = ROUTE_CACHE_SIZE,
     ) -> None:
         """``shards`` is ``[(network, prefix_len, filter), ...]``.
 
@@ -49,20 +53,84 @@ class ShardedFilter(PacketFilter):
                 raise ValueError(f"bad prefix length {prefix_len}")
             if not 0 <= network < 2 ** 32:
                 raise ValueError(f"bad network {network}")
+        if route_cache_size <= 0:
+            raise ValueError(f"route_cache_size must be positive: {route_cache_size}")
         self.shards = shards
         self.default_verdict = default_verdict
         self.unrouted_packets = 0
+        # Inner-address → shard-index cache (-1 = no shard).  The prefix
+        # scan is O(shards) and sits on the per-packet hot path; client
+        # traffic revisits a bounded host population, so a small FIFO
+        # cache turns routing into one dict hit.  First-match semantics
+        # are preserved because the scan order is what populates it.
+        self._route_cache_size = route_cache_size
+        self._route_cache: Dict[int, int] = {}
 
-    def _shard_for(self, packet: Packet) -> Optional[PacketFilter]:
-        inner = (
+    @staticmethod
+    def inner_address(packet: Packet) -> int:
+        """The client-side address that decides shard ownership: the
+        source of an outbound packet, the destination of an inbound one."""
+        return (
             packet.pair.src_addr
             if packet.direction is Direction.OUTBOUND
             else packet.pair.dst_addr
         )
-        for network, prefix_len, shard in self.shards:
+
+    def _scan_shard_index(self, inner: int) -> int:
+        """Uncached first-match scan of the shard table (-1 = unrouted)."""
+        for position, (network, prefix_len, _) in enumerate(self.shards):
             if in_network(inner, network, prefix_len):
-                return shard
-        return None
+                return position
+        return -1
+
+    def shard_index_for(self, inner: int) -> int:
+        """Index of the shard owning an inner address, or -1 for transit
+        traffic — memoized through the bounded route cache."""
+        cache = self._route_cache
+        position = cache.get(inner)
+        if position is None:
+            position = self._scan_shard_index(inner)
+            if len(cache) >= self._route_cache_size:
+                # FIFO eviction: drop the oldest insertion, stay bounded.
+                del cache[next(iter(cache))]
+            cache[inner] = position
+        return position
+
+    def _shard_for(self, packet: Packet) -> Optional[PacketFilter]:
+        position = self.shard_index_for(self.inner_address(packet))
+        if position < 0:
+            return None
+        return self.shards[position][2]
+
+    def shard_label(self, position: int) -> str:
+        """Human-readable ``network/prefix`` key of one shard."""
+        from repro.net.inet import format_ipv4
+
+        network, prefix_len, _ = self.shards[position]
+        return f"{format_ipv4(network)}/{prefix_len}"
+
+    def partition_packets(
+        self, packets: Iterable[Packet]
+    ) -> Tuple[List[List[Packet]], List[Packet]]:
+        """Split a packet stream into per-shard sub-streams plus a default
+        lane of transit packets matching no shard.
+
+        Each sub-stream preserves the input's relative order, and a
+        connection's packets all share one inner address, so every
+        connection lands wholly inside one lane — the property that makes
+        per-lane replay equivalent to interleaved replay.
+        """
+        lanes: List[List[Packet]] = [[] for _ in self.shards]
+        default_lane: List[Packet] = []
+        shard_index_for = self.shard_index_for
+        inner_address = self.inner_address
+        for packet in packets:
+            position = shard_index_for(inner_address(packet))
+            if position < 0:
+                default_lane.append(packet)
+            else:
+                lanes[position].append(packet)
+        return lanes, default_lane
 
     def decide(self, packet: Packet) -> Verdict:
         shard = self._shard_for(packet)
@@ -83,6 +151,7 @@ class ShardedFilter(PacketFilter):
     def reset(self) -> None:
         super().reset()
         self.unrouted_packets = 0
+        self._route_cache = {}
         for _, _, shard in self.shards:
             shard.reset()
 

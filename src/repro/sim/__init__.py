@@ -17,8 +17,12 @@ from repro.sim.fastpath import (
     process_packets_fast,
     supports_fastpath,
 )
+from repro.sim.parallel import LaneResult, ParallelReplayResult, parallel_replay
 
 __all__ = [
+    "LaneResult",
+    "ParallelReplayResult",
+    "parallel_replay",
     "EventScheduler",
     "ThroughputSeries",
     "DropRateSampler",

@@ -42,13 +42,24 @@ class ThroughputSeries:
             for index, count in sorted(bins.items())
         ]
 
-    def mean_mbps(self, direction: Direction) -> float:
-        """Mean rate over the observed span (first to last busy bin)."""
+    def span_rates_mbps(self, direction: Direction) -> List[float]:
+        """Per-interval rates over the observed span, one value per interval
+        from the first to the last busy bin *including the empty ones* — a
+        bursty trace's silent intervals are real 0-Mbps observations, not
+        missing data."""
         bins = self._bins[direction]
         if not bins:
+            return []
+        first, last = min(bins), max(bins)
+        scale = 8.0 / self.interval / 1e6
+        return [bins.get(index, 0) * scale for index in range(first, last + 1)]
+
+    def mean_mbps(self, direction: Direction) -> float:
+        """Mean rate over the observed span (first to last busy bin)."""
+        rates = self.span_rates_mbps(direction)
+        if not rates:
             return 0.0
-        span = (max(bins) - min(bins) + 1) * self.interval
-        return sum(bins.values()) * 8.0 / span / 1e6
+        return sum(rates) / len(rates)
 
     def peak_mbps(self, direction: Direction) -> float:
         """Rate of the busiest interval."""
@@ -59,18 +70,44 @@ class ThroughputSeries:
 
     def quantile_mbps(self, direction: Direction, q: float) -> float:
         """q-quantile of per-interval rates (0.95 is robust to replay
-        warm-up spikes when checking the Figure 9 bound)."""
+        warm-up spikes when checking the Figure 9 bound).
+
+        Zero-traffic intervals between the first and last busy bin count
+        as 0-Mbps observations; skipping them would bias every quantile of
+        a bursty trace upward.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile out of [0,1]: {q}")
-        bins = self._bins[direction]
-        if not bins:
+        rates = sorted(self.span_rates_mbps(direction))
+        if not rates:
             return 0.0
-        rates = sorted(count * 8.0 / self.interval / 1e6 for count in bins.values())
         return rates[min(len(rates) - 1, int(q * len(rates)))]
 
     def total_bytes(self, direction: Direction) -> int:
         """All bytes recorded for a direction."""
         return sum(self._bins[direction].values())
+
+    def merge(self, other: "ThroughputSeries") -> "ThroughputSeries":
+        """Accumulate another series' bins into this one (in place).
+
+        Bins are keyed by absolute trace time, so merging per-worker
+        series from a partitioned replay reproduces the bins a single
+        replay of the whole stream would have produced.  Returns ``self``
+        so merges chain.
+        """
+        if other.interval != self.interval:
+            raise ValueError(
+                f"interval mismatch: {self.interval} vs {other.interval}"
+            )
+        for direction, bins in other._bins.items():
+            mine = self._bins[direction]
+            for index, count in bins.items():
+                mine[index] = mine.get(index, 0) + count
+        return self
+
+    def __add__(self, other: "ThroughputSeries") -> "ThroughputSeries":
+        merged = ThroughputSeries(interval=self.interval)
+        return merged.merge(self).merge(other)
 
 
 @dataclass
@@ -120,6 +157,25 @@ class DropRateSampler:
         if total == 0:
             return 0.0
         return sum(self._dropped.values()) / total
+
+    def merge(self, other: "DropRateSampler") -> "DropRateSampler":
+        """Accumulate another sampler's windows into this one (in place).
+
+        Windows are keyed by absolute trace time, so per-worker samplers
+        from a partitioned replay merge into exactly the windows a single
+        replay would have filled.  Returns ``self`` so merges chain.
+        """
+        if other.window != self.window:
+            raise ValueError(f"window mismatch: {self.window} vs {other.window}")
+        for index, count in other._packets.items():
+            self._packets[index] = self._packets.get(index, 0) + count
+        for index, count in other._dropped.items():
+            self._dropped[index] = self._dropped.get(index, 0) + count
+        return self
+
+    def __add__(self, other: "DropRateSampler") -> "DropRateSampler":
+        merged = DropRateSampler(window=self.window)
+        return merged.merge(self).merge(other)
 
 
 def scatter_points(

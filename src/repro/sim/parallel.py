@@ -1,0 +1,290 @@
+"""Multiprocess sharded replay — Figure 6's core-router placement at scale.
+
+A :class:`repro.filters.sharded.ShardedFilter` already partitions filter
+state by client network, and shards "touch disjoint memory": a packet's
+shard is decided by its *inner* address, a connection's packets all share
+one inner address, and the blocked-σ store is keyed per connection.  A
+sharded replay therefore decomposes exactly:
+
+1. **Partition** the timestamp-ordered stream into per-shard sub-streams
+   (:meth:`ShardedFilter.partition_packets`); transit packets matching no
+   shard go to a *default lane* that applies ``default_verdict``.
+2. **Replay each lane in its own worker process**, each driving the
+   batched fast path (:mod:`repro.sim.fastpath`) over its sub-stream.
+   Every lane's filter carries its own RNG (seeded deterministically at
+   construction), so verdicts are independent of worker scheduling.
+3. **Merge** the picklable per-lane records back into one aggregate:
+   throughput-series bins and drop-rate windows are keyed by absolute
+   trace time and counters are pure sums, so the merged result is
+   bit-identical to a single-process replay of the interleaved stream.
+
+The per-lane unit of work is one shard, so parallelism is capped by the
+shard count; ``workers`` caps the number of simultaneous processes.
+"""
+
+from __future__ import annotations
+
+import copy
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.bitmap_filter import BitmapFilterStats
+from repro.filters.base import FilterStats, PacketFilter, Verdict
+from repro.filters.sharded import ShardedFilter
+from repro.net.packet import Packet, SocketPair
+from repro.sim.metrics import DropRateSampler, ThroughputSeries
+from repro.sim.replay import ReplayResult
+from repro.sim.router import EdgeRouter
+
+
+class DefaultLaneFilter(PacketFilter):
+    """The default lane's stand-in filter: transit packets matching no
+    shard get the sharded filter's ``default_verdict``, exactly as
+    :meth:`ShardedFilter.decide` would hand them."""
+
+    name = "default-lane"
+
+    def __init__(self, verdict: Verdict) -> None:
+        super().__init__()
+        self.verdict = verdict
+
+    def decide(self, packet: Packet) -> Verdict:
+        return self.verdict
+
+
+@dataclass
+class LaneResult:
+    """One worker's replay outcome, shipped back over ``multiprocessing``.
+
+    Everything here is plain picklable data: counter dataclasses, series
+    objects backed by ``dict``s, and (optionally) the lane's blocked-σ
+    table.  ``lane`` is the shard index, or -1 for the default lane.
+    """
+
+    lane: int
+    packets: int
+    inbound_packets: int
+    inbound_dropped: int
+    filter_stats: FilterStats
+    core_stats: Optional[dict]
+    offered: ThroughputSeries
+    passed: ThroughputSeries
+    inbound_drops: DropRateSampler
+    blocked: Optional[Dict[SocketPair, float]]
+    suppressed_packets: int
+    suppressed_bytes: int
+
+
+@dataclass
+class ParallelReplayResult(ReplayResult):
+    """A :class:`ReplayResult` whose router holds *merged* measurements.
+
+    ``router.filter`` is the caller's :class:`ShardedFilter` with lane
+    statistics flushed back in (top-level and per-shard counters,
+    ``unrouted_packets``), so ``shard_stats()`` reads as if the replay had
+    run in-process.  Filter *state* (bitmap bits, rotation clocks) stays
+    in the worker processes — a parallel replay is a measurement run, not
+    a warm filter you can keep feeding.
+    """
+
+    workers: int
+    lanes: List[LaneResult]
+
+    def lane_packet_counts(self) -> Dict[str, int]:
+        """Packets per lane, keyed by shard label (transit under ``*``)."""
+        sharded = self.router.filter
+        return {
+            (sharded.shard_label(lane.lane) if lane.lane >= 0 else "*"): lane.packets
+            for lane in self.lanes
+        }
+
+
+def _replay_lane(task) -> LaneResult:
+    """Worker entry point: replay one lane's sub-stream, record everything.
+
+    Runs in a child process; ``task`` and the returned :class:`LaneResult`
+    cross the process boundary by pickling.
+    """
+    from repro.sim.replay import replay
+
+    (lane, lane_filter, packets, use_blocklist, throughput_interval,
+     drop_window, batched) = task
+    result = replay(
+        packets,
+        lane_filter,
+        use_blocklist=use_blocklist,
+        throughput_interval=throughput_interval,
+        drop_window=drop_window,
+        batched=batched,
+    )
+    router = result.router
+    core = getattr(lane_filter, "core", None)
+    blocklist = router.blocklist
+    return LaneResult(
+        lane=lane,
+        packets=result.packets,
+        inbound_packets=result.inbound_packets,
+        inbound_dropped=result.inbound_dropped,
+        filter_stats=lane_filter.stats,
+        core_stats=core.stats.as_dict() if core is not None else None,
+        offered=router.offered,
+        passed=router.passed,
+        inbound_drops=router.inbound_drops,
+        blocked=dict(blocklist._blocked) if blocklist is not None else None,
+        suppressed_packets=blocklist.suppressed_packets if blocklist else 0,
+        suppressed_bytes=blocklist.suppressed_bytes if blocklist else 0,
+    )
+
+
+def _check_rng_isolation(sharded: ShardedFilter) -> None:
+    """Reject shard filters sharing one RNG object.
+
+    In-process, shards sharing a ``random.Random`` interleave their draws;
+    across processes each worker would advance its own copy, silently
+    breaking the equivalence contract.  Per-shard RNGs (the default —
+    every ``BitmapPacketFilter`` seeds its own) are required.
+    """
+    seen: Dict[int, str] = {}
+    for position, (_, _, shard) in enumerate(sharded.shards):
+        holder = getattr(shard, "core", shard)
+        rng = getattr(holder, "_rng", None)
+        if rng is None:
+            continue
+        label = sharded.shard_label(position)
+        previous = seen.get(id(rng))
+        if previous is not None:
+            raise ValueError(
+                f"shards {previous} and {label} share one RNG object; "
+                "parallel replay needs a deterministic per-shard RNG"
+            )
+        seen[id(rng)] = label
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits read-only state); fall back to spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def parallel_replay(
+    packets: Sequence[Packet],
+    packet_filter: ShardedFilter,
+    workers: Optional[int] = None,
+    use_blocklist: bool = True,
+    throughput_interval: float = 1.0,
+    drop_window: float = 10.0,
+    batched: bool = True,
+) -> ParallelReplayResult:
+    """Replay a packet stream through a sharded filter, one worker per lane.
+
+    Produces the same merged verdict counts, throughput-series bins,
+    drop-rate windows and per-shard statistics as
+    ``replay(packets, packet_filter)`` in a single process, for any
+    ``workers`` — the partitioning is by connection ownership, so no
+    decision ever depends on another lane's state.  ``workers`` bounds
+    concurrent processes (default: ``os.cpu_count()``); ``workers=1``
+    runs the lanes serially in-process with zero multiprocessing overhead
+    but the same merge path.
+    """
+    if not isinstance(packet_filter, ShardedFilter):
+        raise ValueError(
+            "parallel replay needs a ShardedFilter — only sharded state "
+            f"partitions across processes (got {type(packet_filter).__name__})"
+        )
+    _check_rng_isolation(packet_filter)
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1: {workers}")
+
+    packet_list = packets if isinstance(packets, list) else list(packets)
+    lanes, default_lane = packet_filter.partition_packets(packet_list)
+
+    tasks: List[Tuple] = []
+    for position, lane_packets in enumerate(lanes):
+        if not lane_packets:
+            continue
+        # Each lane replays a *copy* of its shard filter: worker processes
+        # would copy on pickle anyway, and the in-process workers=1 path
+        # must not mutate the parent's filter, which only accumulates the
+        # merged statistics afterwards.
+        shard = copy.deepcopy(packet_filter.shards[position][2])
+        tasks.append((position, shard, lane_packets, use_blocklist,
+                      throughput_interval, drop_window, batched))
+    if default_lane:
+        tasks.append((-1, DefaultLaneFilter(packet_filter.default_verdict),
+                      default_lane, use_blocklist, throughput_interval,
+                      drop_window, batched))
+
+    if workers <= 1 or len(tasks) <= 1:
+        records = [_replay_lane(task) for task in tasks]
+    else:
+        with _pool_context().Pool(processes=min(workers, len(tasks))) as pool:
+            records = pool.map(_replay_lane, tasks)
+
+    return _merge(packet_filter, packet_list, records, workers,
+                  use_blocklist, throughput_interval, drop_window)
+
+
+def _merge(
+    packet_filter: ShardedFilter,
+    packet_list: List[Packet],
+    records: List[LaneResult],
+    workers: int,
+    use_blocklist: bool,
+    throughput_interval: float,
+    drop_window: float,
+) -> ParallelReplayResult:
+    """Fold per-lane records into one router-shaped aggregate."""
+    from repro.filters.blocklist import BlockedConnectionStore
+
+    router = EdgeRouter(
+        packet_filter,
+        blocklist=BlockedConnectionStore() if use_blocklist else None,
+        throughput_interval=throughput_interval,
+        drop_window=drop_window,
+    )
+    inbound = 0
+    dropped = 0
+    for record in records:
+        router.merge_lane(record)
+        inbound += record.inbound_packets
+        dropped += record.inbound_dropped
+        packet_filter.stats.merge(record.filter_stats)
+        if record.lane >= 0:
+            shard = packet_filter.shards[record.lane][2]
+            shard.stats.merge(record.filter_stats)
+            core = getattr(shard, "core", None)
+            if core is not None and record.core_stats is not None:
+                core.stats.merge(BitmapFilterStats(**record.core_stats))
+        else:
+            # Default-lane traffic is what ShardedFilter counts as unrouted.
+            self_total = record.filter_stats.total
+            packet_filter.unrouted_packets += self_total
+        if router.blocklist is not None and record.blocked is not None:
+            # Lanes own disjoint connections, so the union is a plain update.
+            router.blocklist._blocked.update(record.blocked)
+            router.blocklist.suppressed_packets += record.suppressed_packets
+            router.blocklist.suppressed_bytes += record.suppressed_bytes
+    if router.blocklist is not None and packet_list:
+        # A lane's store only GCs on its own lane's clock, so an idle lane
+        # can ship expired entries a single-process store would already
+        # have collected.  Compacting the union at the trace's end time
+        # leaves exactly the still-live entries — the same table the
+        # single-process replay's own end-of-run compaction produces.
+        router.blocklist.compact(packet_list[-1].timestamp)
+    return ParallelReplayResult(
+        router=router,
+        packets=len(packet_list),
+        inbound_packets=inbound,
+        inbound_dropped=dropped,
+        duration=(
+            packet_list[-1].timestamp - packet_list[0].timestamp
+            if packet_list
+            else 0.0
+        ),
+        workers=workers,
+        lanes=records,
+    )

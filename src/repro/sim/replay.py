@@ -49,6 +49,7 @@ def replay(
     drop_window: float = 10.0,
     scheduler: Optional[EventScheduler] = None,
     batched: bool = False,
+    workers: int = 1,
 ) -> ReplayResult:
     """Replay a timestamp-ordered packet stream through a filter.
 
@@ -61,7 +62,33 @@ def replay(
     filters (see :mod:`repro.sim.fastpath`), with identical results.  A
     scheduler forces the per-packet path, since its probes must interleave
     with individual packets.
+
+    ``workers > 1`` dispatches to the multiprocess sharded engine
+    (:func:`repro.sim.parallel.parallel_replay`): the stream is
+    partitioned by shard ownership, one worker process replays each lane
+    with the batched fast path, and the merged result carries the same
+    aggregate counts, series bins and per-shard statistics as a
+    single-process run.  Requires a
+    :class:`~repro.filters.sharded.ShardedFilter` and no scheduler.
     """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1: {workers}")
+    if workers > 1:
+        if scheduler is not None:
+            raise ValueError(
+                "parallel replay cannot drive a scheduler — its probes "
+                "would have to interleave across worker processes"
+            )
+        from repro.sim.parallel import parallel_replay
+
+        return parallel_replay(
+            packets,
+            packet_filter,
+            workers=workers,
+            use_blocklist=use_blocklist,
+            throughput_interval=throughput_interval,
+            drop_window=drop_window,
+        )
     router = EdgeRouter(
         packet_filter,
         blocklist=BlockedConnectionStore() if use_blocklist else None,
@@ -78,6 +105,8 @@ def replay(
                 inbound += 1
                 if verdict is Verdict.DROP:
                     dropped += 1
+        if router.blocklist is not None and packet_list:
+            router.blocklist.compact(packet_list[-1].timestamp)
         return ReplayResult(
             router=router,
             packets=len(packet_list),
@@ -106,6 +135,11 @@ def replay(
             inbound += 1
             if verdict is Verdict.DROP:
                 dropped += 1
+    if router.blocklist is not None and first_ts is not None:
+        # End-of-replay compaction: the surviving table is exactly the
+        # entries still within retention, independent of interior GC phase
+        # (and hence identical between this path and the partitioned one).
+        router.blocklist.compact(last_ts)
     return ReplayResult(
         router=router,
         packets=total,

@@ -67,6 +67,22 @@ class EdgeRouter:
             return process_packets_fast(self, packets)
         return [self.forward(packet) for packet in packets]
 
+    def merge_lane(self, lane) -> "EdgeRouter":
+        """Fold one partitioned-replay lane's measurements into this router.
+
+        ``lane`` is anything exposing ``offered``/``passed`` series, an
+        ``inbound_drops`` sampler and a ``packets`` count — a
+        :class:`repro.sim.parallel.LaneResult` or another router/result.
+        Series bins and drop windows are keyed by absolute trace time, so
+        merging per-lane records reproduces exactly the measurements one
+        interleaved replay would have collected.
+        """
+        self.offered.merge(lane.offered)
+        self.passed.merge(lane.passed)
+        self.inbound_drops.merge(lane.inbound_drops)
+        self.packets += lane.packets
+        return self
+
     @property
     def drop_rate(self) -> float:
         """Overall inbound drop rate including blocklist suppressions."""

@@ -83,6 +83,26 @@ class TestSteppedDropPolicy:
         with pytest.raises(ValueError):
             SteppedDropPolicy([(20.0, 0.9), (10.0, 0.3)])
 
+    def test_rejects_duplicate_thresholds(self):
+        """Regression: equal thresholds are ambiguous (which P_d applies at
+        exactly that throughput?) and used to slip through the tuple-sort
+        check when the probabilities happened to be ascending."""
+        with pytest.raises(ValueError, match="strictly increasing"):
+            SteppedDropPolicy([(10.0, 0.2), (10.0, 0.9)])
+
+    def test_duplicate_rejection_ignores_probability_order(self):
+        """Regression: the old ``sorted(steps) != steps`` check tie-broke on
+        the probability, so [(10, .9), (10, .2)] raised while
+        [(10, .2), (10, .9)] passed.  Both orderings must fail."""
+        for steps in ([(10.0, 0.9), (10.0, 0.2)], [(10.0, 0.2), (10.0, 0.9)],
+                      [(0.0, 0.1), (10.0, 0.5), (10.0, 0.5)]):
+            with pytest.raises(ValueError, match="strictly increasing"):
+                SteppedDropPolicy(steps)
+
+    def test_strictly_increasing_steps_accepted(self):
+        policy = SteppedDropPolicy([(0.0, 0.1), (10.0, 0.5), (20.0, 1.0)])
+        assert policy.probability(10.0) == 0.5
+
     def test_requires_steps(self):
         with pytest.raises(ValueError):
             SteppedDropPolicy([])

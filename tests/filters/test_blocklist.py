@@ -74,3 +74,41 @@ class TestRetention:
         store.clear()
         assert len(store) == 0
         assert store.suppressed_packets == 0
+
+
+class TestCompact:
+    def test_compact_drops_only_expired(self):
+        store = BlockedConnectionStore(retention=10.0)
+        store.block(tcp_pair(sport=1), now=0.0)
+        store.block(tcp_pair(sport=2), now=8.0)
+        store.compact(now=11.0)
+        assert len(store) == 1
+        assert store.is_blocked(tcp_pair(sport=2), now=11.0)
+
+    def test_compact_boundary_is_exclusive(self):
+        # Same strictness as is_blocked: now - stamped > retention expires.
+        store = BlockedConnectionStore(retention=10.0)
+        store.block(tcp_pair(), now=0.0)
+        store.compact(now=10.0)
+        assert len(store) == 1
+
+    def test_compact_no_retention_is_noop(self):
+        store = BlockedConnectionStore(retention=None)
+        store.block(tcp_pair(), now=0.0)
+        store.compact(now=1e9)
+        assert len(store) == 1
+
+    def test_gc_and_compact_agree(self):
+        """Interior GC is just a scheduled compact — whatever entries a
+        phase-dependent GC has or hasn't collected, a final compact leaves
+        the same live set."""
+        lazy = BlockedConnectionStore(retention=10.0, gc_interval=1000.0)
+        eager = BlockedConnectionStore(retention=10.0, gc_interval=1.0)
+        for store in (lazy, eager):
+            store.block(tcp_pair(sport=1), now=0.0)
+            probe = tcp_pair(sport=999).inverse
+            store.suppress(in_packet(pair=probe, t=5.0))   # drives _maybe_gc
+            store.suppress(in_packet(pair=probe, t=25.0))  # eager GC fires
+            store.block(tcp_pair(sport=2), now=25.0)
+            store.compact(now=25.0)
+        assert lazy._blocked == eager._blocked

@@ -111,6 +111,103 @@ class TestHousekeeping:
             ShardedFilter([(NET_A, 40, bitmap())])
 
 
+class TestRouteCache:
+    """The bounded inner-address → shard cache on the routing hot path."""
+
+    def overlapping(self, cache_size=ShardedFilter.ROUTE_CACHE_SIZE):
+        # Overlapping prefixes, more-specific first: the cache must honour
+        # first-match order exactly like the linear scan.
+        return ShardedFilter(
+            [
+                (parse_ipv4("10.1.0.0"), 24, NaiveTimerFilter()),
+                (parse_ipv4("10.1.0.0"), 16, NaiveTimerFilter()),
+                (parse_ipv4("10.2.0.0"), 16, NaiveTimerFilter()),
+            ],
+            route_cache_size=cache_size,
+        )
+
+    def test_cache_matches_uncached_scan(self):
+        """Behaviour equivalence: for a spread of addresses (including
+        repeats, overlap boundaries and transit), the cached lookup returns
+        exactly what the first-match linear scan returns."""
+        import random
+
+        filt = self.overlapping()
+        rng = random.Random(7)
+        addresses = [
+            parse_ipv4("10.1.0.1"), parse_ipv4("10.1.0.255"),
+            parse_ipv4("10.1.1.0"), parse_ipv4("10.2.5.5"),
+            parse_ipv4("8.8.8.8"), parse_ipv4("10.3.0.1"),
+        ] + [rng.randrange(2 ** 32) for _ in range(500)]
+        # Query twice: first pass populates the cache, second pass hits it.
+        for _ in range(2):
+            for address in addresses:
+                assert filt.shard_index_for(address) == filt._scan_shard_index(address)
+
+    def test_routing_through_cache_matches_scan_semantics(self):
+        filt = self.overlapping()
+        specific = filt.shards[0][2]
+        broad = filt.shards[1][2]
+        for _ in range(3):  # repeats exercise the cached path
+            filt.process(out_pkt(parse_ipv4("10.1.0.7")))
+            filt.process(out_pkt(parse_ipv4("10.1.99.7")))
+        assert specific.stats.total == 3
+        assert broad.stats.total == 3
+
+    def test_cache_is_bounded(self):
+        filt = self.overlapping(cache_size=4)
+        for offset in range(50):
+            filt.shard_index_for(parse_ipv4("10.1.0.0") + offset)
+        assert len(filt._route_cache) <= 4
+        # Still correct after heavy eviction.
+        assert filt.shard_index_for(parse_ipv4("10.2.0.9")) == 2
+
+    def test_reset_invalidates_cache(self):
+        filt = self.overlapping()
+        filt.process(out_pkt(HOST_A))
+        assert filt._route_cache
+        filt.reset()
+        assert not filt._route_cache
+
+    def test_cache_size_validation(self):
+        with pytest.raises(ValueError):
+            ShardedFilter([(NET_A, 16, NaiveTimerFilter())], route_cache_size=0)
+
+
+class TestPartitioning:
+    """Helpers the multiprocess replay engine builds on."""
+
+    def test_partition_by_inner_address(self):
+        filt = sharded()
+        packets = [out_pkt(HOST_A), in_pkt(HOST_B, t=0.1),
+                   out_pkt(HOST_B, t=0.2), in_pkt(HOST_A, t=0.3)]
+        lanes, default_lane = filt.partition_packets(packets)
+        assert [p.timestamp for p in lanes[0]] == [0.0, 0.3]
+        assert [p.timestamp for p in lanes[1]] == [0.1, 0.2]
+        assert default_lane == []
+
+    def test_partition_transit_to_default_lane(self):
+        filt = sharded()
+        transit = Packet(
+            0.5,
+            SocketPair(IPPROTO_TCP, parse_ipv4("8.8.8.8"), 1, REMOTE, 2),
+            size=60,
+            direction=Direction.OUTBOUND,
+        )
+        lanes, default_lane = filt.partition_packets([out_pkt(HOST_A), transit])
+        assert len(lanes[0]) == 1
+        assert default_lane == [transit]
+
+    def test_inner_address(self):
+        assert ShardedFilter.inner_address(out_pkt(HOST_A)) == HOST_A
+        assert ShardedFilter.inner_address(in_pkt(HOST_B)) == HOST_B
+
+    def test_shard_label(self):
+        filt = sharded()
+        assert filt.shard_label(0) == "10.1.0.0/16"
+        assert filt.shard_label(1) == "10.2.0.0/16"
+
+
 class TestPolicyIsolation:
     def test_per_shard_drop_controllers(self):
         """Network A saturates its uplink; network B's unsolicited inbound

@@ -56,6 +56,36 @@ class TestThroughputSeries:
         assert series.peak_mbps(Direction.INBOUND) == 0.0
         assert series.quantile_mbps(Direction.OUTBOUND, 0.9) == 0.0
 
+    def test_mean_counts_empty_bins_in_span(self):
+        """Regression: a bursty trace's silent intervals must dilute the
+        mean — 2500 bytes over a 10-interval span is 2 kbps even though
+        only two intervals carried traffic."""
+        series = ThroughputSeries(interval=1.0)
+        series.record(out_packet(t=0.5, size=1250))
+        series.record(out_packet(t=9.5, size=1250))
+        assert series.mean_mbps(Direction.OUTBOUND) == pytest.approx(0.002)
+
+    def test_quantile_counts_empty_bins_in_span(self):
+        """Regression: quantiles must see zero-traffic intervals between
+        the first and last busy bin.  Two busy intervals in a 10-interval
+        span mean the median rate is 0, not the busy-bin rate — the old
+        code sorted only non-empty bins and reported 0.01 Mbps."""
+        series = ThroughputSeries(interval=1.0)
+        series.record(out_packet(t=0.5, size=1250))
+        series.record(out_packet(t=9.5, size=1250))
+        assert series.quantile_mbps(Direction.OUTBOUND, 0.5) == 0.0
+        # The busy bins still dominate the top of the distribution.
+        assert series.quantile_mbps(Direction.OUTBOUND, 0.95) == pytest.approx(0.01)
+        assert series.quantile_mbps(Direction.OUTBOUND, 1.0) == pytest.approx(0.01)
+
+    def test_span_rates_dense(self):
+        series = ThroughputSeries(interval=1.0)
+        series.record(out_packet(t=0.0, size=125))
+        series.record(out_packet(t=3.0, size=250))
+        rates = series.span_rates_mbps(Direction.OUTBOUND)
+        assert rates == pytest.approx([0.001, 0.0, 0.0, 0.002])
+        assert series.span_rates_mbps(Direction.INBOUND) == []
+
     def test_direction_required(self):
         from repro.net.packet import Packet
 
@@ -67,6 +97,81 @@ class TestThroughputSeries:
     def test_validation(self):
         with pytest.raises(ValueError):
             ThroughputSeries(interval=0.0)
+
+
+class TestMergeAPI:
+    """The metrics-merge layer the multiprocess replay engine rides on."""
+
+    def test_series_merge_sums_shared_bins(self):
+        a = ThroughputSeries(interval=1.0)
+        b = ThroughputSeries(interval=1.0)
+        a.record(out_packet(t=0.5, size=100))
+        a.record(in_packet(t=2.5, size=50))
+        b.record(out_packet(t=0.7, size=300))
+        b.record(out_packet(t=5.1, size=40))
+        merged = a + b
+        assert merged._bins[Direction.OUTBOUND] == {0: 400, 5: 40}
+        assert merged._bins[Direction.INBOUND] == {2: 50}
+        assert merged.total_bytes(Direction.OUTBOUND) == 440
+        # The operands are untouched by +.
+        assert a.total_bytes(Direction.OUTBOUND) == 100
+
+    def test_series_merge_in_place_chains(self):
+        a = ThroughputSeries()
+        b = ThroughputSeries()
+        b.record(out_packet(t=1.0, size=10))
+        assert a.merge(b) is a
+        assert a.total_bytes(Direction.OUTBOUND) == 10
+
+    def test_series_interval_mismatch(self):
+        with pytest.raises(ValueError):
+            ThroughputSeries(interval=1.0).merge(ThroughputSeries(interval=2.0))
+
+    def test_sampler_merge(self):
+        a = DropRateSampler(window=10.0)
+        b = DropRateSampler(window=10.0)
+        a.record(1.0, dropped=True)
+        a.record(2.0, dropped=False)
+        b.record(3.0, dropped=True)
+        b.record(15.0, dropped=False)
+        merged = a + b
+        samples = merged.samples()
+        assert samples[0].packets == 3 and samples[0].dropped == 2
+        assert samples[1].packets == 1 and samples[1].dropped == 0
+        assert merged.overall_drop_rate() == pytest.approx(0.5)
+
+    def test_sampler_window_mismatch(self):
+        with pytest.raises(ValueError):
+            DropRateSampler(window=10.0).merge(DropRateSampler(window=5.0))
+
+    def test_filter_stats_merge(self):
+        from repro.filters.base import FilterStats, Verdict
+
+        a = FilterStats()
+        b = FilterStats()
+        a.account(out_packet(size=100), Verdict.PASS)
+        b.account(out_packet(size=50), Verdict.PASS)
+        b.account(in_packet(size=25), Verdict.DROP)
+        merged = a + b
+        assert merged.passed[Direction.OUTBOUND] == 2
+        assert merged.passed_bytes[Direction.OUTBOUND] == 150
+        assert merged.dropped[Direction.INBOUND] == 1
+        assert merged.total == 3
+        assert a.total == 1  # operands untouched
+
+    def test_bitmap_stats_merge(self):
+        from repro.core.bitmap_filter import BitmapFilterStats
+
+        a = BitmapFilterStats(outbound_marked=3, inbound_hits=2, rotations=1)
+        b = BitmapFilterStats(inbound_misses=4, inbound_dropped=2, rotations=2)
+        merged = a + b
+        assert merged.as_dict() == {
+            "outbound_marked": 3,
+            "inbound_hits": 2,
+            "inbound_misses": 4,
+            "inbound_dropped": 2,
+            "rotations": 3,
+        }
 
 
 class TestDropRateSampler:
