@@ -251,6 +251,7 @@ def cmd_filter(args) -> int:
     """Replay a pcap through a chosen filter and report the outcome."""
     from repro.filters.base import AcceptAllFilter
     from repro.net.packet import Direction
+    from repro.sim.pipeline import select_backend
     from repro.sim.replay import replay
 
     packets = _load_pcap(args.pcap, args.network)
@@ -265,16 +266,19 @@ def cmd_filter(args) -> int:
         packet_filter, note = _build_sharded_filter(args, offered_up)
     else:
         packet_filter, note = _build_filter(args, offered_up)
+    # batched=None lets each backend keep its default lane engine (the
+    # parallel backend batches its lanes even without --batched).
+    backend = select_backend(batched=True if args.batched else None,
+                             workers=args.workers)
     start = time.perf_counter()
-    result = replay(packets, packet_filter, use_blocklist=not args.no_blocklist,
-                    batched=args.batched, workers=args.workers)
+    result = replay(packets, packet_filter,
+                    use_blocklist=not args.no_blocklist, backend=backend)
     elapsed = time.perf_counter() - start
 
     print(f"filter: {packet_filter.name}  ({note})")
+    engine = backend.describe()
     if args.workers > 1:
-        engine = f"parallel x{args.workers} ({len(packet_filter)} shards)"
-    else:
-        engine = "batched" if args.batched else "per-packet"
+        engine += f" ({len(packet_filter)} shards)"
     print(f"engine: {engine}  ({result.packets / elapsed:,.0f} pkts/s)")
     print(f"packets: {result.packets:,}  inbound: {result.inbound_packets:,}")
     print(f"inbound drop rate: {result.inbound_drop_rate:.2%}")
@@ -380,6 +384,7 @@ def cmd_figures(args) -> int:
                                    rotate_interval=5.0)
             ),
         },
+        batched=True,
     )
     print("\n" + render_scatter(
         comparison.points,
@@ -387,7 +392,7 @@ def cmd_figures(args) -> int:
               f"bitmap {comparison.overall('bitmap'):.2%})",
     ))
 
-    baseline = replay(packets, AcceptAllFilter(), use_blocklist=False)
+    baseline = replay(packets, AcceptAllFilter(), use_blocklist=False, batched=True)
     offered = baseline.passed.mean_mbps(Direction.OUTBOUND)
     high = offered * 0.70
     limited = replay(
@@ -398,6 +403,7 @@ def cmd_figures(args) -> int:
                                                     high_mbps=high),
         ),
         use_blocklist=True,
+        batched=True,
     )
     horizon = packets[-1].timestamp * 0.6
     for title, result in (("Figure 9-a: uplink before", baseline),

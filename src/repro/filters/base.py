@@ -114,9 +114,16 @@ class PacketFilter(ABC):
     def process_batch(self, packets: Sequence[Packet]) -> List[Verdict]:
         """Decide and account a timestamp-ordered batch of packets.
 
-        The default is a plain loop over :meth:`process`; filters with a
-        genuinely batched implementation (the bitmap filter) override this
-        with something faster that produces identical verdicts and stats.
+        A first-class protocol stage: the replay engine's batched backend
+        (:class:`repro.sim.pipeline.BatchedBackend`) drives *every*
+        filter through this method, so overriding it is all a filter
+        needs to do to join the fast path.  The contract is bit-identical
+        behavior with the per-packet loop — same verdicts in order, same
+        statistics, same RNG consumption.  The default is a plain loop
+        over :meth:`process`, which satisfies the contract by
+        construction; filters with a genuinely batched implementation
+        override it (the bitmap filter's fused columnar loop, the sharded
+        filter's per-shard partitioning).
         """
         return [self.process(packet) for packet in packets]
 

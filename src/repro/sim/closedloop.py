@@ -23,11 +23,12 @@ from __future__ import annotations
 import heapq
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.filters.base import PacketFilter, Verdict
 from repro.net.packet import Packet
 from repro.sim.metrics import ThroughputSeries
+from repro.sim.pipeline import PipelineConfig, ReplayPipeline, ReplayResult
 from repro.workload.apps import ConnectionSpec, connection_packets
 
 
@@ -45,6 +46,9 @@ class ClosedLoopResult:
     #: Refused connections by initiator ("client"/"remote").
     refused_by_initiator: Dict[str, int] = field(default_factory=dict)
     packets_sent: int = 0
+    #: The underlying engine result — same shape as open-loop replay
+    #: (router with offered/passed series, drop windows, blocklist).
+    replay: Optional[ReplayResult] = None
 
     @property
     def admission_rate(self) -> float:
@@ -75,6 +79,7 @@ class ClosedLoopSimulator:
         max_retries: int = 2,
         throughput_interval: float = 1.0,
         seed: int = 0,
+        use_blocklist: bool = False,
     ) -> None:
         if admission_window < 1:
             raise ValueError(f"admission_window must be >= 1: {admission_window}")
@@ -90,6 +95,7 @@ class ClosedLoopSimulator:
         self.retry_after = retry_after
         self.max_retries = max_retries
         self.throughput_interval = throughput_interval
+        self.use_blocklist = use_blocklist
         self._rng = random.Random(seed)
 
     def run(self, specs: List[ConnectionSpec], seed: int = 0) -> ClosedLoopResult:
@@ -97,10 +103,26 @@ class ClosedLoopSimulator:
 
         Packet schedules are expanded deterministically per spec (seeded
         from ``seed`` and the spec's index) so runs are reproducible.
+
+        Packets flow through the same :class:`~repro.sim.pipeline.ReplayPipeline`
+        stages as open-loop replay — the closed loop is just a different
+        packet *source*, feeding the engine one packet at a time because
+        each verdict feeds back into which packets exist at all.  (That
+        feedback is also why this simulator is inherently sequential: a
+        batch's later packets cannot be known until its earlier verdicts
+        are, so no batched or parallel backend applies.)  The blocklist
+        stage is off by default — admission feedback already kills refused
+        connections, which is the job blocked-σ persistence approximates
+        in open-loop replay.
         """
+        pipeline = ReplayPipeline(PipelineConfig(
+            packet_filter=self.filter,
+            use_blocklist=self.use_blocklist,
+            throughput_interval=self.throughput_interval,
+        ))
         result = ClosedLoopResult(
-            passed=ThroughputSeries(interval=self.throughput_interval),
-            offered=ThroughputSeries(interval=self.throughput_interval),
+            passed=pipeline.router.passed,
+            offered=pipeline.router.offered,
         )
         ordered = sorted(specs, key=lambda spec: spec.start)
         result.connections_total = len(ordered)
@@ -146,12 +168,9 @@ class ClosedLoopSimulator:
 
             _, ident, live = heapq.heappop(heap)
             packet = live.schedule[live.position]
-            result.offered.record(packet)
 
-            verdict = self.filter.process(packet)
-            result.packets_sent += 1
+            verdict = pipeline.process(packet)
             if verdict is Verdict.PASS:
-                result.passed.record(packet)
                 live.position += 1
                 if live.position >= len(live.schedule):
                     if not live.counted:
@@ -192,6 +211,8 @@ class ClosedLoopSimulator:
                         heapq.heappush(
                             heap, (live.schedule[live.position].timestamp, ident, live)
                         )
+        result.replay = pipeline.finalize()
+        result.packets_sent = result.replay.packets
         return result
 
 

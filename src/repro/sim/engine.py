@@ -53,6 +53,14 @@ class EventScheduler:
         self.fired += fired
         return fired
 
+    def next_time(self) -> Optional[float]:
+        """Trace time of the earliest pending event, or None when idle.
+
+        The batched backend uses this to split chunks at event
+        boundaries, so probes fire at exactly the per-packet moments.
+        """
+        return self._heap[0][0] if self._heap else None
+
     def pending(self) -> int:
         """Events still scheduled."""
         return len(self._heap)

@@ -22,6 +22,13 @@ every packet, same :class:`BitmapFilterStats` / :class:`FilterStats`
 counters, same blocklist contents, same throughput-series bins, and the
 same RNG consumption order — ``benchmarks/bench_throughput.py`` and
 ``tests/sim/test_fastpath.py`` hold it to that.
+
+Within the unified engine (:mod:`repro.sim.pipeline`) this is the
+bitmap-specific implementation of the filter-verdict stage:
+:class:`~repro.sim.pipeline.BatchedBackend` reaches it through
+:meth:`EdgeRouter.process_batch` whenever :func:`supports_fastpath`
+says the filter qualifies; other filters take the generic
+:meth:`PacketFilter.process_batch` protocol instead.
 """
 
 from __future__ import annotations

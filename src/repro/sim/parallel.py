@@ -35,8 +35,7 @@ from repro.filters.base import FilterStats, PacketFilter, Verdict
 from repro.filters.sharded import ShardedFilter
 from repro.net.packet import Packet, SocketPair
 from repro.sim.metrics import DropRateSampler, ThroughputSeries
-from repro.sim.replay import ReplayResult
-from repro.sim.router import EdgeRouter
+from repro.sim.pipeline import PipelineConfig, ReplayPipeline, ReplayResult
 
 
 class DefaultLaneFilter(PacketFilter):
@@ -77,28 +76,16 @@ class LaneResult:
     suppressed_bytes: int
 
 
-@dataclass
-class ParallelReplayResult(ReplayResult):
-    """A :class:`ReplayResult` whose router holds *merged* measurements.
-
-    ``router.filter`` is the caller's :class:`ShardedFilter` with lane
-    statistics flushed back in (top-level and per-shard counters,
-    ``unrouted_packets``), so ``shard_stats()`` reads as if the replay had
-    run in-process.  Filter *state* (bitmap bits, rotation clocks) stays
-    in the worker processes — a parallel replay is a measurement run, not
-    a warm filter you can keep feeding.
-    """
-
-    workers: int
-    lanes: List[LaneResult]
-
-    def lane_packet_counts(self) -> Dict[str, int]:
-        """Packets per lane, keyed by shard label (transit under ``*``)."""
-        sharded = self.router.filter
-        return {
-            (sharded.shard_label(lane.lane) if lane.lane >= 0 else "*"): lane.packets
-            for lane in self.lanes
-        }
+#: A parallel replay returns the same unified :class:`ReplayResult` as
+#: every other backend, with ``workers`` and per-lane ``lanes`` filled
+#: in.  ``router.filter`` is the caller's :class:`ShardedFilter` with
+#: lane statistics flushed back in (top-level and per-shard counters,
+#: ``unrouted_packets``), so ``shard_stats()`` reads as if the replay
+#: had run in-process.  Filter *state* (bitmap bits, rotation clocks)
+#: stays in the worker processes — a parallel replay is a measurement
+#: run, not a warm filter you can keep feeding.  The name survives as a
+#: compatibility alias for the pre-unification result split.
+ParallelReplayResult = ReplayResult
 
 
 def _replay_lane(task) -> LaneResult:
@@ -186,7 +173,10 @@ def parallel_replay(
     decision ever depends on another lane's state.  ``workers`` bounds
     concurrent processes (default: ``os.cpu_count()``); ``workers=1``
     runs the lanes serially in-process with zero multiprocessing overhead
-    but the same merge path.
+    but the same merge path.  ``batched`` selects each lane's engine —
+    the columnar batched backend by default, the sequential per-packet
+    backend with ``batched=False`` — with bit-identical merged results
+    either way.
     """
     if not isinstance(packet_filter, ShardedFilter):
         raise ValueError(
@@ -236,22 +226,27 @@ def _merge(
     use_blocklist: bool,
     throughput_interval: float,
     drop_window: float,
-) -> ParallelReplayResult:
-    """Fold per-lane records into one router-shaped aggregate."""
-    from repro.filters.blocklist import BlockedConnectionStore
+) -> ReplayResult:
+    """Fold per-lane records into one router-shaped aggregate.
 
-    router = EdgeRouter(
-        packet_filter,
-        blocklist=BlockedConnectionStore() if use_blocklist else None,
+    The merge drives the same :class:`ReplayPipeline` every backend uses:
+    per-lane measurements fold in through :meth:`ReplayPipeline.merge_lane`
+    and the shared finalize hook compacts the merged blocklist at the
+    trace's end time.  A lane's store only GCs on its own lane's clock,
+    so an idle lane can ship expired entries a single-process store would
+    already have collected; end-of-replay compaction leaves exactly the
+    still-live entries — the same table every other backend's finalize
+    produces.
+    """
+    pipeline = ReplayPipeline(PipelineConfig(
+        packet_filter=packet_filter,
+        use_blocklist=use_blocklist,
         throughput_interval=throughput_interval,
         drop_window=drop_window,
-    )
-    inbound = 0
-    dropped = 0
+    ))
+    blocklist = pipeline.router.blocklist
     for record in records:
-        router.merge_lane(record)
-        inbound += record.inbound_packets
-        dropped += record.inbound_dropped
+        pipeline.merge_lane(record)
         packet_filter.stats.merge(record.filter_stats)
         if record.lane >= 0:
             shard = packet_filter.shards[record.lane][2]
@@ -263,28 +258,12 @@ def _merge(
             # Default-lane traffic is what ShardedFilter counts as unrouted.
             self_total = record.filter_stats.total
             packet_filter.unrouted_packets += self_total
-        if router.blocklist is not None and record.blocked is not None:
+        if blocklist is not None and record.blocked is not None:
             # Lanes own disjoint connections, so the union is a plain update.
-            router.blocklist._blocked.update(record.blocked)
-            router.blocklist.suppressed_packets += record.suppressed_packets
-            router.blocklist.suppressed_bytes += record.suppressed_bytes
-    if router.blocklist is not None and packet_list:
-        # A lane's store only GCs on its own lane's clock, so an idle lane
-        # can ship expired entries a single-process store would already
-        # have collected.  Compacting the union at the trace's end time
-        # leaves exactly the still-live entries — the same table the
-        # single-process replay's own end-of-run compaction produces.
-        router.blocklist.compact(packet_list[-1].timestamp)
-    return ParallelReplayResult(
-        router=router,
-        packets=len(packet_list),
-        inbound_packets=inbound,
-        inbound_dropped=dropped,
-        duration=(
-            packet_list[-1].timestamp - packet_list[0].timestamp
-            if packet_list
-            else 0.0
-        ),
-        workers=workers,
-        lanes=records,
-    )
+            blocklist._blocked.update(record.blocked)
+            blocklist.suppressed_packets += record.suppressed_packets
+            blocklist.suppressed_bytes += record.suppressed_bytes
+    if packet_list:
+        pipeline.observe_span(packet_list[0].timestamp,
+                              packet_list[-1].timestamp)
+    return pipeline.finalize(workers=workers, lanes=records)

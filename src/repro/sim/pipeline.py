@@ -1,0 +1,408 @@
+"""Unified replay engine: one stage pipeline, pluggable execution backends.
+
+Every replay entry point — :func:`repro.sim.replay.replay`,
+:func:`repro.sim.replay.compare_drop_rates`,
+:class:`repro.sim.closedloop.ClosedLoopSimulator` and ``repro filter`` in
+the CLI — drives the same five-stage packet pipeline:
+
+1. **scheduler-advance** — fire trace-time events due at or before the
+   packet's timestamp (:class:`repro.sim.engine.EventScheduler`);
+2. **blocklist lookup** — a connection once refused stays refused
+   (:meth:`BlockedConnectionStore.suppress`);
+3. **filter verdict** — :meth:`PacketFilter.process` /
+   :meth:`PacketFilter.process_batch`;
+4. **metrics / accounting** — offered/passed throughput bins, inbound
+   drop windows, replay counters;
+5. **blocklist update** — a dropped inbound σ is registered as blocked.
+
+Stages 2–5 are implemented once in :class:`repro.sim.router.EdgeRouter`
+(:meth:`~repro.sim.router.EdgeRouter.forward` per packet,
+:meth:`~repro.sim.router.EdgeRouter.process_batch` per chunk);
+:class:`ReplayPipeline` adds the scheduler stage in front and the
+finalize hook (end-of-replay blocklist compaction, result assembly)
+behind.  An :class:`ExecutionBackend` decides *how* the stream traverses
+the stages:
+
+* :class:`SequentialBackend` — one packet at a time; the only backend
+  whose per-packet scheduler granularity supports feedback loops.
+* :class:`BatchedBackend` — columnar chunks through the fused fast path
+  (bitmap filters) or the generic :meth:`PacketFilter.process_batch`
+  protocol.  With a scheduler attached, chunks are split at event
+  boundaries so probes fire at exactly the per-packet moments.
+* :class:`ParallelBackend` — multiprocess sharded lanes
+  (:mod:`repro.sim.parallel`), each lane itself driven by the batched or
+  sequential backend.
+
+All backends are bit-identical by contract: same verdicts, same
+statistics, same RNG consumption (``tests/sim/test_pipeline.py`` holds
+the cross-backend property tests).  :func:`select_backend` maps the
+``(batched, workers, scheduler)`` knobs of :func:`replay` onto one
+backend and raises on incoherent combinations instead of silently
+downgrading.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.filters.base import PacketFilter, Verdict
+from repro.filters.blocklist import BlockedConnectionStore
+from repro.net.packet import Direction, Packet
+from repro.sim.engine import EventScheduler
+from repro.sim.metrics import ThroughputSeries
+from repro.sim.router import EdgeRouter
+
+
+@dataclass
+class PipelineConfig:
+    """Everything a backend needs to instantiate the stage pipeline."""
+
+    packet_filter: PacketFilter
+    use_blocklist: bool = True
+    throughput_interval: float = 1.0
+    drop_window: float = 10.0
+    scheduler: Optional[EventScheduler] = None
+
+
+@dataclass
+class ReplayResult:
+    """Everything a replay produces — one shape for every backend.
+
+    Single-process runs leave ``workers`` at 1 and ``lanes`` empty; the
+    parallel backend fills both (``lanes`` holds the per-shard
+    :class:`repro.sim.parallel.LaneResult` records merged into
+    ``router``).
+    """
+
+    router: EdgeRouter
+    packets: int
+    inbound_packets: int
+    inbound_dropped: int
+    duration: float
+    #: Worker-process cap the replay ran under (1 = in-process).
+    workers: int = 1
+    #: Per-lane records of a partitioned replay (empty when in-process).
+    lanes: List[Any] = field(default_factory=list)
+
+    @property
+    def inbound_drop_rate(self) -> float:
+        """Fraction of inbound packets dropped (Figure 8's metric)."""
+        if self.inbound_packets == 0:
+            return 0.0
+        return self.inbound_dropped / self.inbound_packets
+
+    @property
+    def passed(self) -> ThroughputSeries:
+        """Throughput of traffic the filter admitted."""
+        return self.router.passed
+
+    @property
+    def offered(self) -> ThroughputSeries:
+        """Throughput of everything presented to the router."""
+        return self.router.offered
+
+    def lane_packet_counts(self) -> Dict[str, int]:
+        """Packets per parallel lane, keyed by shard label (transit under
+        ``*``); empty for single-process runs."""
+        sharded = self.router.filter
+        return {
+            (sharded.shard_label(lane.lane) if lane.lane >= 0 else "*"): lane.packets
+            for lane in self.lanes
+        }
+
+
+class ReplayPipeline:
+    """The shared stage sequence, instantiated per replay.
+
+    Backends feed packets through :meth:`process` (per packet) or
+    :meth:`process_batch` (per chunk) and close with :meth:`finalize` —
+    the *single* home of end-of-replay work: the final scheduler advance
+    and the blocklist compaction that makes final table contents
+    GC-phase-independent (previously copy-pasted in every replay loop).
+    """
+
+    def __init__(self, config: PipelineConfig) -> None:
+        self.config = config
+        self.router = EdgeRouter(
+            config.packet_filter,
+            blocklist=BlockedConnectionStore() if config.use_blocklist else None,
+            throughput_interval=config.throughput_interval,
+            drop_window=config.drop_window,
+        )
+        self.scheduler = config.scheduler
+        self.inbound = 0
+        self.dropped = 0
+        self.first_ts: Optional[float] = None
+        self.last_ts = 0.0
+
+    # -- per-packet traversal -------------------------------------------
+
+    def process(self, packet: Packet) -> Verdict:
+        """Run one packet through all five stages."""
+        now = packet.timestamp
+        if self.first_ts is None:
+            self.first_ts = now
+        self.last_ts = now
+        if self.scheduler is not None:
+            self.scheduler.advance_to(now)
+        verdict = self.router.forward(packet)
+        if packet.direction is Direction.INBOUND:
+            self.inbound += 1
+            if verdict is Verdict.DROP:
+                self.dropped += 1
+        return verdict
+
+    # -- chunked traversal ----------------------------------------------
+
+    def process_batch(self, packets: Iterable[Packet]) -> List[Verdict]:
+        """Run a timestamp-ordered chunk through all five stages.
+
+        Identical to ``[self.process(p) for p in packets]``.  Without a
+        scheduler the whole chunk goes through the router's batched path
+        in one piece.  With a scheduler, the chunk is split at event
+        boundaries: every pending event fires exactly when the per-packet
+        loop would have fired it — before the first packet whose
+        timestamp reaches the event time — so probes observe identical
+        filter state.
+        """
+        packet_list = packets if isinstance(packets, list) else list(packets)
+        if not packet_list:
+            return []
+        if self.first_ts is None:
+            self.first_ts = packet_list[0].timestamp
+        self.last_ts = packet_list[-1].timestamp
+        scheduler = self.scheduler
+        if scheduler is None:
+            return self._run_chunk(packet_list)
+        verdicts: List[Verdict] = []
+        position = 0
+        total = len(packet_list)
+        while position < total:
+            next_fire = scheduler.next_time()
+            if next_fire is None:
+                verdicts.extend(self._run_chunk(packet_list[position:]))
+                break
+            end = position
+            while end < total and packet_list[end].timestamp < next_fire:
+                end += 1
+            if end > position:
+                verdicts.extend(self._run_chunk(packet_list[position:end]))
+                position = end
+            if position < total:
+                # The next packet's timestamp has reached the event time;
+                # fire everything due before processing it, exactly as the
+                # per-packet loop's scheduler-advance stage does.
+                scheduler.advance_to(packet_list[position].timestamp)
+        return verdicts
+
+    def _run_chunk(self, chunk: List[Packet]) -> List[Verdict]:
+        verdicts = self.router.process_batch(chunk)
+        inbound = dropped = 0
+        INBOUND, DROP = Direction.INBOUND, Verdict.DROP
+        for packet, verdict in zip(chunk, verdicts):
+            if packet.direction is INBOUND:
+                inbound += 1
+                if verdict is DROP:
+                    dropped += 1
+        self.inbound += inbound
+        self.dropped += dropped
+        return verdicts
+
+    # -- lane merging (parallel backend) --------------------------------
+
+    def merge_lane(self, lane) -> None:
+        """Fold one partitioned-replay lane's measurements and counters
+        into this pipeline (series bins, drop windows, packet counts)."""
+        self.router.merge_lane(lane)
+        self.inbound += lane.inbound_packets
+        self.dropped += lane.inbound_dropped
+
+    def observe_span(self, first_ts: float, last_ts: float) -> None:
+        """Declare the trace span for replays that never saw the packets
+        in-process (the parallel merge path)."""
+        if self.first_ts is None:
+            self.first_ts = first_ts
+        self.last_ts = last_ts
+
+    # -- finalize hook --------------------------------------------------
+
+    def finalize(self, *, workers: int = 1, lanes: Optional[List[Any]] = None) -> ReplayResult:
+        """Close the replay and assemble the unified result.
+
+        The one place end-of-replay work happens, for every backend:
+        the scheduler is advanced to the trace's end (so its clock
+        matches the per-packet loop's), and the blocklist is compacted at
+        the last timestamp — the surviving table is exactly the entries
+        still within retention, independent of interior GC phase and
+        therefore identical across backends.
+        """
+        if self.first_ts is not None:
+            if self.scheduler is not None:
+                self.scheduler.advance_to(self.last_ts)
+            if self.router.blocklist is not None:
+                self.router.blocklist.compact(self.last_ts)
+        return ReplayResult(
+            router=self.router,
+            packets=self.router.packets,
+            inbound_packets=self.inbound,
+            inbound_dropped=self.dropped,
+            duration=(
+                self.last_ts - self.first_ts if self.first_ts is not None else 0.0
+            ),
+            workers=workers,
+            lanes=lanes if lanes is not None else [],
+        )
+
+
+# ---------------------------------------------------------------------------
+
+
+class ExecutionBackend(ABC):
+    """How a packet stream traverses the stage pipeline."""
+
+    name = "backend"
+
+    def describe(self) -> str:
+        """Human-readable engine label (CLI output)."""
+        return self.name
+
+    @abstractmethod
+    def run(self, packets: Iterable[Packet], config: PipelineConfig) -> ReplayResult:
+        """Replay ``packets`` through a fresh pipeline built from ``config``."""
+
+
+class SequentialBackend(ExecutionBackend):
+    """Per-packet traversal — the reference engine every other backend
+    must reproduce bit for bit."""
+
+    name = "sequential"
+
+    def run(self, packets: Iterable[Packet], config: PipelineConfig) -> ReplayResult:
+        pipeline = ReplayPipeline(config)
+        process = pipeline.process
+        for packet in packets:
+            process(packet)
+        return pipeline.finalize()
+
+
+class BatchedBackend(ExecutionBackend):
+    """Chunked traversal through the batched stage implementations.
+
+    Bitmap filters take the fused columnar fast path
+    (:mod:`repro.sim.fastpath`); everything else goes through the
+    first-class :meth:`PacketFilter.process_batch` protocol (router
+    stage-split when no blocklist is attached, per-packet fallback when
+    one is — blocked-σ suppression must interleave with verdicts).
+    ``chunk_size`` bounds columnarization memory; ``None`` replays the
+    stream as one chunk.
+    """
+
+    name = "batched"
+
+    def __init__(self, chunk_size: Optional[int] = None) -> None:
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1: {chunk_size}")
+        self.chunk_size = chunk_size
+
+    def run(self, packets: Iterable[Packet], config: PipelineConfig) -> ReplayResult:
+        pipeline = ReplayPipeline(config)
+        packet_list = packets if isinstance(packets, list) else list(packets)
+        if self.chunk_size is None:
+            pipeline.process_batch(packet_list)
+        else:
+            for start in range(0, len(packet_list), self.chunk_size):
+                pipeline.process_batch(packet_list[start:start + self.chunk_size])
+        return pipeline.finalize()
+
+
+class ParallelBackend(ExecutionBackend):
+    """Multiprocess sharded traversal (:mod:`repro.sim.parallel`).
+
+    The stream partitions into per-shard lanes; each worker process
+    drives one lane through the batched backend (``lane_batched=False``
+    selects the sequential backend per lane — same merged result, useful
+    for isolating fast-path regressions), and the per-lane records merge
+    back through the shared pipeline finalize hook.
+    """
+
+    name = "parallel"
+
+    def __init__(self, workers: int, lane_batched: bool = True) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1: {workers}")
+        self.workers = workers
+        self.lane_batched = lane_batched
+
+    def describe(self) -> str:
+        return f"parallel x{self.workers}"
+
+    def run(self, packets: Iterable[Packet], config: PipelineConfig) -> ReplayResult:
+        if config.scheduler is not None:
+            raise ValueError(
+                "parallel replay cannot drive a scheduler — its probes "
+                "would have to interleave across worker processes"
+            )
+        from repro.sim.parallel import parallel_replay
+
+        return parallel_replay(
+            packets,
+            config.packet_filter,
+            workers=self.workers,
+            use_blocklist=config.use_blocklist,
+            throughput_interval=config.throughput_interval,
+            drop_window=config.drop_window,
+            batched=self.lane_batched,
+        )
+
+
+def select_backend(
+    batched: Optional[bool] = None,
+    workers: int = 1,
+    scheduler: Optional[EventScheduler] = None,
+    chunk_size: Optional[int] = None,
+) -> ExecutionBackend:
+    """Map the ``(batched, workers, scheduler)`` knobs onto one backend.
+
+    ``batched=None`` means "backend default": sequential in-process,
+    batched lanes under the parallel backend.  Incoherent combinations
+    raise instead of silently downgrading:
+
+    ======== ======= ========= ==========================================
+    batched  workers scheduler backend
+    ======== ======= ========= ==========================================
+    None     1       any       sequential
+    False    1       any       sequential
+    True     1       None      batched (one chunk)
+    True     1       set       batched, chunks split at event boundaries
+    None     >1      None      parallel, batched lanes
+    True     >1      None      parallel, batched lanes
+    False    >1      None      parallel, sequential lanes
+    any      >1      set       **ValueError** (probes cannot interleave
+                               across worker processes)
+    any      <1      any       **ValueError**
+    ======== ======= ========= ==========================================
+
+    ``chunk_size`` is only meaningful for the batched backend; asking for
+    it anywhere else is an error, not a silent ignore.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1: {workers}")
+    if workers > 1:
+        if scheduler is not None:
+            raise ValueError(
+                "parallel replay cannot drive a scheduler — its probes "
+                "would have to interleave across worker processes"
+            )
+        if chunk_size is not None:
+            raise ValueError(
+                "chunk_size applies to the batched backend only; the "
+                "parallel backend batches whole lanes"
+            )
+        return ParallelBackend(workers, lane_batched=batched is not False)
+    if batched:
+        return BatchedBackend(chunk_size=chunk_size)
+    if chunk_size is not None:
+        raise ValueError("chunk_size requires batched=True")
+    return SequentialBackend()

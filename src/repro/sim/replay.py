@@ -1,44 +1,29 @@
-"""Trace replay — the section 5.3 simulations as reusable harness code."""
+"""Trace replay — the section 5.3 simulations as reusable harness code.
+
+:func:`replay` is a thin front door over the unified engine in
+:mod:`repro.sim.pipeline`: it maps the ``(batched, workers, scheduler)``
+knobs onto one :class:`~repro.sim.pipeline.ExecutionBackend` and runs the
+shared stage pipeline.  Every combination either selects a backend or
+raises — there are no silent mode downgrades.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.filters.base import PacketFilter, Verdict
-from repro.filters.blocklist import BlockedConnectionStore
-from repro.net.packet import Direction, Packet
+from repro.filters.base import PacketFilter
+from repro.net.packet import Packet
 from repro.sim.engine import EventScheduler
-from repro.sim.metrics import ThroughputSeries, scatter_points
-from repro.sim.router import EdgeRouter
+from repro.sim.metrics import scatter_points
+from repro.sim.pipeline import (
+    ExecutionBackend,
+    PipelineConfig,
+    ReplayResult,
+    select_backend,
+)
 
-
-@dataclass
-class ReplayResult:
-    """Everything a replay produces."""
-
-    router: EdgeRouter
-    packets: int
-    inbound_packets: int
-    inbound_dropped: int
-    duration: float
-
-    @property
-    def inbound_drop_rate(self) -> float:
-        """Fraction of inbound packets dropped (Figure 8's metric)."""
-        if self.inbound_packets == 0:
-            return 0.0
-        return self.inbound_dropped / self.inbound_packets
-
-    @property
-    def passed(self) -> ThroughputSeries:
-        """Throughput of traffic the filter admitted."""
-        return self.router.passed
-
-    @property
-    def offered(self) -> ThroughputSeries:
-        """Throughput of everything presented to the router."""
-        return self.router.offered
+__all__ = ["ReplayResult", "replay", "DropRateComparison", "compare_drop_rates"]
 
 
 def replay(
@@ -48,8 +33,10 @@ def replay(
     throughput_interval: float = 1.0,
     drop_window: float = 10.0,
     scheduler: Optional[EventScheduler] = None,
-    batched: bool = False,
+    batched: Optional[bool] = None,
     workers: int = 1,
+    chunk_size: Optional[int] = None,
+    backend: Optional[ExecutionBackend] = None,
 ) -> ReplayResult:
     """Replay a timestamp-ordered packet stream through a filter.
 
@@ -57,96 +44,48 @@ def replay(
     (dropped inbound connections stay dropped).  An optional scheduler
     lets callers attach periodic probes; it is advanced in trace time.
 
-    ``batched=True`` routes the whole stream through
-    :meth:`EdgeRouter.process_batch` — the columnar fast path for bitmap
-    filters (see :mod:`repro.sim.fastpath`), with identical results.  A
-    scheduler forces the per-packet path, since its probes must interleave
-    with individual packets.
+    ``batched`` selects the columnar chunked engine
+    (:class:`~repro.sim.pipeline.BatchedBackend`): the fused fast path
+    for bitmap filters, the generic
+    :meth:`~repro.filters.base.PacketFilter.process_batch` protocol for
+    everything else, with identical results either way.  ``None`` (the
+    default) lets the backend decide: sequential in-process, batched
+    lanes under the parallel engine.  With a scheduler attached the
+    batched engine splits chunks at event boundaries, so probes fire at
+    exactly the per-packet moments; ``batched=False`` forces the
+    per-packet loop everywhere, including parallel lanes.
 
     ``workers > 1`` dispatches to the multiprocess sharded engine
-    (:func:`repro.sim.parallel.parallel_replay`): the stream is
-    partitioned by shard ownership, one worker process replays each lane
-    with the batched fast path, and the merged result carries the same
-    aggregate counts, series bins and per-shard statistics as a
-    single-process run.  Requires a
-    :class:`~repro.filters.sharded.ShardedFilter` and no scheduler.
-    """
-    if workers < 1:
-        raise ValueError(f"workers must be >= 1: {workers}")
-    if workers > 1:
-        if scheduler is not None:
-            raise ValueError(
-                "parallel replay cannot drive a scheduler — its probes "
-                "would have to interleave across worker processes"
-            )
-        from repro.sim.parallel import parallel_replay
+    (:class:`~repro.sim.pipeline.ParallelBackend` /
+    :func:`repro.sim.parallel.parallel_replay`): the stream is
+    partitioned by shard ownership, one worker process replays each lane,
+    and the merged result carries the same aggregate counts, series bins
+    and per-shard statistics as a single-process run.  Requires a
+    :class:`~repro.filters.sharded.ShardedFilter` and no scheduler
+    (incoherent combinations raise —
+    see :func:`~repro.sim.pipeline.select_backend` for the full matrix).
 
-        return parallel_replay(
-            packets,
-            packet_filter,
-            workers=workers,
-            use_blocklist=use_blocklist,
-            throughput_interval=throughput_interval,
-            drop_window=drop_window,
+    An explicit ``backend`` bypasses the knob dispatch entirely (and is
+    mutually exclusive with ``batched``/``workers``/``chunk_size``).
+    """
+    if backend is None:
+        backend = select_backend(
+            batched=batched, workers=workers, scheduler=scheduler,
+            chunk_size=chunk_size,
         )
-    router = EdgeRouter(
-        packet_filter,
-        blocklist=BlockedConnectionStore() if use_blocklist else None,
+    elif batched is not None or workers != 1 or chunk_size is not None:
+        raise ValueError(
+            "pass either backend= or the batched/workers/chunk_size knobs, "
+            "not both"
+        )
+    config = PipelineConfig(
+        packet_filter=packet_filter,
+        use_blocklist=use_blocklist,
         throughput_interval=throughput_interval,
         drop_window=drop_window,
+        scheduler=scheduler,
     )
-    if batched and scheduler is None:
-        packet_list = packets if isinstance(packets, list) else list(packets)
-        verdicts = router.process_batch(packet_list)
-        inbound = 0
-        dropped = 0
-        for packet, verdict in zip(packet_list, verdicts):
-            if packet.direction is Direction.INBOUND:
-                inbound += 1
-                if verdict is Verdict.DROP:
-                    dropped += 1
-        if router.blocklist is not None and packet_list:
-            router.blocklist.compact(packet_list[-1].timestamp)
-        return ReplayResult(
-            router=router,
-            packets=len(packet_list),
-            inbound_packets=inbound,
-            inbound_dropped=dropped,
-            duration=(
-                packet_list[-1].timestamp - packet_list[0].timestamp
-                if packet_list
-                else 0.0
-            ),
-        )
-    total = 0
-    inbound = 0
-    dropped = 0
-    first_ts: Optional[float] = None
-    last_ts = 0.0
-    for packet in packets:
-        if first_ts is None:
-            first_ts = packet.timestamp
-        last_ts = packet.timestamp
-        if scheduler is not None:
-            scheduler.advance_to(packet.timestamp)
-        verdict = router.forward(packet)
-        total += 1
-        if packet.direction is Direction.INBOUND:
-            inbound += 1
-            if verdict is Verdict.DROP:
-                dropped += 1
-    if router.blocklist is not None and first_ts is not None:
-        # End-of-replay compaction: the surviving table is exactly the
-        # entries still within retention, independent of interior GC phase
-        # (and hence identical between this path and the partitioned one).
-        router.blocklist.compact(last_ts)
-    return ReplayResult(
-        router=router,
-        packets=total,
-        inbound_packets=inbound,
-        inbound_dropped=dropped,
-        duration=(last_ts - first_ts) if first_ts is not None else 0.0,
-    )
+    return backend.run(packets, config)
 
 
 @dataclass
@@ -167,6 +106,8 @@ def compare_drop_rates(
     use_blocklist: bool = False,
     drop_window: float = 10.0,
     min_window_packets: int = 20,
+    batched: Optional[bool] = None,
+    workers: int = 1,
 ) -> DropRateComparison:
     """Replay the same trace through each filter independently.
 
@@ -174,11 +115,17 @@ def compare_drop_rates(
     (x-axis) against the bitmap filter (y-axis); the blocklist is off by
     default there so the filters' raw decisions are compared packet by
     packet.  ``points`` pairs the first two filters in insertion order.
+
+    ``batched`` / ``workers`` pass straight through to :func:`replay`,
+    so Figure-8 comparisons on large traces can use the columnar and
+    multiprocess fast paths — the per-window rates are identical by the
+    backends' equivalence contract.
     """
     if len(filters) < 2:
         raise ValueError("need at least two filters to compare")
     results = {
-        name: replay(packets, flt, use_blocklist=use_blocklist, drop_window=drop_window)
+        name: replay(packets, flt, use_blocklist=use_blocklist,
+                     drop_window=drop_window, batched=batched, workers=workers)
         for name, flt in filters.items()
     }
     names = list(filters)

@@ -58,14 +58,43 @@ class EdgeRouter:
         """Run a timestamp-ordered batch through the router.
 
         Produces exactly the verdicts ``[self.forward(p) for p in packets]``
-        would, but routes bitmap filters through the fused columnar loop in
-        :mod:`repro.sim.fastpath`; other filters fall back to the loop.
+        would.  Bitmap filters take the fused columnar loop in
+        :mod:`repro.sim.fastpath`; every other filter goes through the
+        first-class :meth:`PacketFilter.process_batch` protocol with the
+        router's accounting stages split around it.  A blocklist forces
+        the per-packet loop for non-bitmap filters — blocked-σ
+        suppression must interleave with verdicts (a drop inside the
+        batch blocks the connection's later packets), and only the fused
+        bitmap loop implements that interleaving in batch form.
         """
         from repro.sim.fastpath import process_packets_fast, supports_fastpath
 
         if supports_fastpath(self.filter):
             return process_packets_fast(self, packets)
+        if self.blocklist is None:
+            return self._process_batch_generic(packets)
         return [self.forward(packet) for packet in packets]
+
+    def _process_batch_generic(self, packets: Sequence[Packet]) -> List[Verdict]:
+        """Stage-split batch for any filter, blocklist-free.
+
+        Offered accounting, one :meth:`PacketFilter.process_batch` call
+        for the verdicts, then the metrics stage — equivalent to the
+        per-packet loop because filter state never depends on router
+        accounting and the bins are order-independent sums.
+        """
+        for packet in packets:
+            if packet.direction is None:
+                raise ValueError("packet has no direction set")
+            self.offered.record(packet)
+        self.packets += len(packets)
+        verdicts = self.filter.process_batch(packets)
+        for packet, verdict in zip(packets, verdicts):
+            if packet.direction is Direction.INBOUND:
+                self.inbound_drops.record(packet.timestamp, verdict is Verdict.DROP)
+            if verdict is Verdict.PASS:
+                self.passed.record(packet)
+        return verdicts
 
     def merge_lane(self, lane) -> "EdgeRouter":
         """Fold one partitioned-replay lane's measurements into this router.

@@ -141,3 +141,31 @@ class TestThresholdMonotonicity:
             )
         assert results[0.2] <= results[1.0] <= results[5.0]
         assert results[0.2] < results[5.0]
+
+
+class TestPipelineIntegration:
+    """The closed loop now drives the same engine as open-loop replay."""
+
+    def test_result_carries_replay_view(self):
+        sim = ClosedLoopSimulator(bitmap_filter())
+        specs = [spec(Initiator.CLIENT), spec(Initiator.REMOTE, sport=3001)]
+        result = sim.run(specs)
+        replay = result.replay
+        assert replay is not None
+        assert replay.packets == result.packets_sent > 0
+        # The result's series ARE the router's series — one accounting.
+        assert replay.router.passed is result.passed
+        assert replay.router.offered is result.offered
+        assert replay.inbound_dropped >= result.connections_refused
+
+    def test_blocklist_off_by_default(self):
+        sim = ClosedLoopSimulator(bitmap_filter())
+        result = sim.run([spec(Initiator.REMOTE)])
+        assert result.replay.router.blocklist is None
+
+    def test_blocklist_opt_in(self):
+        sim = ClosedLoopSimulator(bitmap_filter(), use_blocklist=True)
+        result = sim.run([spec(Initiator.REMOTE)])
+        blocklist = result.replay.router.blocklist
+        assert blocklist is not None
+        assert len(blocklist) >= 1  # the refused σ is persisted

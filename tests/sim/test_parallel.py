@@ -84,6 +84,8 @@ class TestEquivalence:
         single = replay(packets, make_sharded(), use_blocklist=True)
         parallel = replay(packets, make_sharded(), use_blocklist=True, workers=2)
         assert isinstance(parallel, ParallelReplayResult)
+        assert parallel.workers == 2
+        assert parallel.lanes  # per-lane records ride along on the result
         assert fingerprint(parallel) == fingerprint(single)
 
     def test_core_stats_flushed_per_shard(self):

@@ -1,0 +1,340 @@
+"""Tests for the unified replay engine: backend dispatch and equivalence.
+
+Two contracts under test.  First, :func:`repro.sim.pipeline.select_backend`
+maps every coherent ``(batched, workers, scheduler)`` combination onto
+exactly one backend and *raises* on the incoherent ones — no silent mode
+downgrades.  Second, every backend is bit-identical: same verdicts, same
+statistics, same RNG consumption as the sequential reference loop.
+"""
+
+import pytest
+
+from repro.core.bitmap_filter import BitmapFilterConfig
+from repro.filters.bitmap import BitmapPacketFilter
+from repro.filters.chain import FilterChain
+from repro.filters.counting import CountingBitmapFilter
+from repro.filters.ratelimit import RedPolicerFilter, TokenBucketFilter
+from repro.filters.sharded import ShardedFilter
+from repro.filters.spi import SPIFilter
+from repro.net.inet import parse_ipv4
+from repro.sim.engine import EventScheduler
+from repro.sim.parallel import ParallelReplayResult
+from repro.sim.pipeline import (
+    BatchedBackend,
+    ParallelBackend,
+    ReplayResult,
+    SequentialBackend,
+    select_backend,
+)
+from repro.sim.replay import compare_drop_rates, replay
+from repro.workload import TraceConfig, TraceGenerator
+
+BASE = parse_ipv4("10.1.0.0")
+
+
+def trace(seed, duration=25.0, rate=6.0):
+    config = TraceConfig(duration=duration, connection_rate=rate, seed=seed)
+    return TraceGenerator(config).packet_list()
+
+
+def make_sharded(shard_count=4, size=2 ** 14):
+    prefix = 24 + shard_count.bit_length() - 1
+    step = 1 << (32 - prefix)
+    return ShardedFilter([
+        (BASE + i * step, prefix,
+         BitmapPacketFilter(BitmapFilterConfig(size=size, vectors=4, hashes=3,
+                                               rotate_interval=5.0)))
+        for i in range(shard_count)
+    ])
+
+
+def fingerprint(result):
+    """Everything two backends must agree on, byte for byte."""
+    router = result.router
+    return {
+        "packets": result.packets,
+        "inbound_packets": result.inbound_packets,
+        "inbound_dropped": result.inbound_dropped,
+        "duration": result.duration,
+        "filter_stats": router.filter.stats.as_dict(),
+        "offered_bins": router.offered._bins,
+        "passed_bins": router.passed._bins,
+        "drop_packets": router.inbound_drops._packets,
+        "drop_dropped": router.inbound_drops._dropped,
+        "blocked": (None if router.blocklist is None
+                    else dict(router.blocklist._blocked)),
+        "suppressed": (0 if router.blocklist is None
+                       else router.blocklist.suppressed_packets),
+    }
+
+
+class TestDispatchMatrix:
+    """select_backend's table, row by row."""
+
+    def test_default_is_sequential(self):
+        assert isinstance(select_backend(), SequentialBackend)
+
+    def test_batched_none_and_false_are_sequential(self):
+        assert isinstance(select_backend(batched=None), SequentialBackend)
+        assert isinstance(select_backend(batched=False), SequentialBackend)
+
+    def test_batched_true_is_batched(self):
+        backend = select_backend(batched=True)
+        assert isinstance(backend, BatchedBackend)
+        assert backend.chunk_size is None
+
+    def test_batched_with_chunk_size(self):
+        assert select_backend(batched=True, chunk_size=512).chunk_size == 512
+
+    def test_batched_with_scheduler_is_coherent(self):
+        """The old silent downgrade is gone: batched + scheduler stays
+        batched, with event-boundary chunking."""
+        backend = select_backend(batched=True, scheduler=EventScheduler())
+        assert isinstance(backend, BatchedBackend)
+
+    def test_workers_default_to_batched_lanes(self):
+        backend = select_backend(workers=4)
+        assert isinstance(backend, ParallelBackend)
+        assert backend.workers == 4
+        assert backend.lane_batched is True
+
+    def test_workers_with_batched_false_get_sequential_lanes(self):
+        """The old silent upgrade is gone: batched=False is honored in
+        parallel lanes."""
+        backend = select_backend(batched=False, workers=2)
+        assert isinstance(backend, ParallelBackend)
+        assert backend.lane_batched is False
+
+    def test_workers_below_one_raise(self):
+        with pytest.raises(ValueError, match="workers"):
+            select_backend(workers=0)
+        with pytest.raises(ValueError, match="workers"):
+            replay(trace(1), SPIFilter(), workers=0)
+
+    def test_workers_with_scheduler_raise(self):
+        with pytest.raises(ValueError, match="scheduler"):
+            select_backend(workers=2, scheduler=EventScheduler())
+        with pytest.raises(ValueError, match="scheduler"):
+            replay(trace(1), make_sharded(), workers=2,
+                   scheduler=EventScheduler())
+
+    def test_workers_with_chunk_size_raise(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            select_backend(workers=2, chunk_size=64)
+
+    def test_chunk_size_without_batched_raises(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            select_backend(chunk_size=64)
+        with pytest.raises(ValueError, match="chunk_size"):
+            replay(trace(1), SPIFilter(), chunk_size=64)
+
+    def test_bad_chunk_size_raises(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            BatchedBackend(chunk_size=0)
+
+    def test_explicit_backend_excludes_knobs(self):
+        packets = trace(1)
+        with pytest.raises(ValueError, match="not both"):
+            replay(packets, SPIFilter(), backend=SequentialBackend(),
+                   batched=True)
+        with pytest.raises(ValueError, match="not both"):
+            replay(packets, make_sharded(), backend=SequentialBackend(),
+                   workers=2)
+        with pytest.raises(ValueError, match="not both"):
+            replay(packets, SPIFilter(), backend=BatchedBackend(),
+                   chunk_size=64)
+
+    def test_explicit_backend_is_used(self):
+        packets = trace(1)
+        by_knob = replay(packets, SPIFilter(), batched=True)
+        by_backend = replay(packets, SPIFilter(), backend=BatchedBackend())
+        assert fingerprint(by_backend) == fingerprint(by_knob)
+
+    def test_describe_labels(self):
+        assert select_backend().describe() == "sequential"
+        assert select_backend(batched=True).describe() == "batched"
+        assert select_backend(workers=3).describe() == "parallel x3"
+
+
+class TestBackendEquivalence:
+    """Sequential × batched × parallel over the same sharded filter."""
+
+    @pytest.mark.parametrize("seed", [2, 19])
+    def test_all_backends_agree(self, seed):
+        packets = trace(seed)
+        reference = fingerprint(
+            replay(packets, make_sharded(), use_blocklist=True, batched=False))
+        batched = fingerprint(
+            replay(packets, make_sharded(), use_blocklist=True, batched=True))
+        assert batched == reference
+        for workers in (2, 4):
+            parallel = fingerprint(
+                replay(packets, make_sharded(), use_blocklist=True,
+                       workers=workers))
+            assert parallel == reference
+
+    def test_sequential_parallel_lanes_agree(self):
+        """workers>1 with batched=False replays each lane per-packet and
+        still merges to the identical result."""
+        packets = trace(5)
+        reference = fingerprint(
+            replay(packets, make_sharded(), use_blocklist=True))
+        sequential_lanes = fingerprint(
+            replay(packets, make_sharded(), use_blocklist=True,
+                   workers=2, batched=False))
+        assert sequential_lanes == reference
+
+    def test_chunked_batching_agrees(self):
+        packets = trace(7)
+        whole = fingerprint(
+            replay(packets, make_sharded(), use_blocklist=True, batched=True))
+        for chunk_size in (1, 64, 1000, len(packets) + 10):
+            chunked = fingerprint(
+                replay(packets, make_sharded(), use_blocklist=True,
+                       batched=True, chunk_size=chunk_size))
+            assert chunked == whole
+
+
+GENERIC_FILTERS = {
+    "spi": lambda: SPIFilter(idle_timeout=120.0),
+    "counting": lambda: CountingBitmapFilter(
+        BitmapFilterConfig(size=2 ** 14, vectors=4, hashes=3,
+                           rotate_interval=5.0)),
+    "token-bucket": lambda: TokenBucketFilter(rate_mbps=0.5),
+    "red-policer": lambda: RedPolicerFilter.mbps(low_mbps=0.2, high_mbps=0.8),
+    "chain": lambda: FilterChain([SPIFilter(idle_timeout=120.0),
+                                  TokenBucketFilter(rate_mbps=0.5)]),
+}
+
+
+class TestGenericBatchProtocol:
+    """The default PacketFilter.process_batch and the router's generic
+    stage-split must match the per-packet loop for every filter —
+    including RNG-consuming ones, where order of draws is the contract."""
+
+    @pytest.mark.parametrize("name", sorted(GENERIC_FILTERS))
+    def test_batched_equals_sequential_without_blocklist(self, name):
+        packets = trace(4)
+        make = GENERIC_FILTERS[name]
+        sequential = replay(packets, make(), use_blocklist=False)
+        batched = replay(packets, make(), use_blocklist=False, batched=True)
+        assert fingerprint(batched) == fingerprint(sequential)
+
+    @pytest.mark.parametrize("name", sorted(GENERIC_FILTERS))
+    def test_batched_equals_sequential_with_blocklist(self, name):
+        """With a blocklist the batched backend falls back to the
+        per-packet loop for non-bitmap filters (suppression must
+        interleave with verdicts) — still identical, just not fused."""
+        packets = trace(4)
+        make = GENERIC_FILTERS[name]
+        sequential = replay(packets, make(), use_blocklist=True)
+        batched = replay(packets, make(), use_blocklist=True, batched=True)
+        assert fingerprint(batched) == fingerprint(sequential)
+
+    def test_filter_process_batch_verdicts_match(self):
+        """PacketFilter.process_batch directly: verdicts in order plus
+        identical member statistics."""
+        packets = trace(6)
+        for name, make in sorted(GENERIC_FILTERS.items()):
+            loop_filter, batch_filter = make(), make()
+            expected = [loop_filter.process(p) for p in packets]
+            got = batch_filter.process_batch(packets)
+            assert got == expected, name
+            assert batch_filter.stats.as_dict() == loop_filter.stats.as_dict()
+
+    def test_sharded_process_batch_matches_loop(self):
+        """ShardedFilter.process_batch partitions then batches per shard;
+        member stats, unrouted counts and route cache all line up."""
+        packets = trace(8)
+        loop_filter, batch_filter = make_sharded(), make_sharded()
+        expected = [loop_filter.process(p) for p in packets]
+        got = batch_filter.process_batch(packets)
+        assert got == expected
+        assert batch_filter.stats.as_dict() == loop_filter.stats.as_dict()
+        assert batch_filter.shard_stats() == loop_filter.shard_stats()
+        assert batch_filter.unrouted_packets == loop_filter.unrouted_packets
+
+
+class TestSchedulerChunking:
+    """batched=True + scheduler: event-boundary chunking, not a downgrade."""
+
+    def probe_log(self, packets, **replay_kwargs):
+        flt = BitmapPacketFilter(
+            BitmapFilterConfig(size=2 ** 14, vectors=4, hashes=3,
+                               rotate_interval=5.0))
+        scheduler = EventScheduler()
+        samples = []
+        # The probe observes live filter state: it only matches across
+        # backends if events fire at exactly the per-packet moments.
+        scheduler.every(2.0, lambda when: samples.append(
+            (when, flt.stats.total, flt.stats.as_dict()["dropped_inbound"])))
+        result = replay(packets, flt, scheduler=scheduler, **replay_kwargs)
+        return samples, scheduler, fingerprint(result)
+
+    def test_probes_fire_at_per_packet_moments(self):
+        packets = trace(12)
+        seq_samples, seq_sched, seq_print = self.probe_log(packets)
+        bat_samples, bat_sched, bat_print = self.probe_log(packets,
+                                                           batched=True)
+        assert bat_samples == seq_samples
+        assert len(bat_samples) > 5
+        assert bat_sched.fired == seq_sched.fired
+        assert bat_sched.now == seq_sched.now
+        assert bat_print == seq_print
+
+    def test_chunk_size_composes_with_scheduler(self):
+        packets = trace(12)
+        seq_samples, _, seq_print = self.probe_log(packets)
+        chunk_samples, _, chunk_print = self.probe_log(packets, batched=True,
+                                                       chunk_size=100)
+        assert chunk_samples == seq_samples
+        assert chunk_print == seq_print
+
+
+class TestCompareDropRatesPassthrough:
+    def make_filters(self):
+        return {
+            "spi": SPIFilter(idle_timeout=240.0),
+            "bitmap": BitmapPacketFilter(
+                BitmapFilterConfig(size=2 ** 14, vectors=4, hashes=3,
+                                   rotate_interval=5.0)),
+        }
+
+    def test_batched_passthrough_identical(self):
+        packets = trace(15)
+        reference = compare_drop_rates(packets, self.make_filters())
+        batched = compare_drop_rates(packets, self.make_filters(),
+                                     batched=True)
+        assert batched.points == reference.points
+        for name in ("spi", "bitmap"):
+            assert batched.overall(name) == reference.overall(name)
+
+    def test_workers_passthrough_identical(self):
+        packets = trace(15)
+        filters = {"a": make_sharded(), "b": make_sharded(size=2 ** 12)}
+        reference = compare_drop_rates(packets, filters)
+        parallel = compare_drop_rates(
+            packets, {"a": make_sharded(), "b": make_sharded(size=2 ** 12)},
+            workers=2)
+        assert parallel.points == reference.points
+        for name in ("a", "b"):
+            assert parallel.overall(name) == reference.overall(name)
+
+
+class TestUnifiedResultShape:
+    def test_parallel_result_is_replay_result(self):
+        """The pre-unification result split is gone: one class, aliased."""
+        assert ParallelReplayResult is ReplayResult
+
+    def test_single_process_shape(self):
+        result = replay(trace(1), SPIFilter())
+        assert result.workers == 1
+        assert result.lanes == []
+        assert result.lane_packet_counts() == {}
+
+    def test_parallel_shape(self):
+        result = replay(trace(1), make_sharded(), workers=2)
+        assert result.workers == 2
+        assert result.lanes
+        counts = result.lane_packet_counts()
+        assert sum(counts.values()) == result.packets
