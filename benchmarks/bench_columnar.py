@@ -1,0 +1,247 @@
+#!/usr/bin/env python
+"""Columnar-plane benchmark: end-to-end generate+replay, object vs table.
+
+PRs 1-3 made the replay *loop* fast; this harness measures what the
+columnar packet plane buys end to end.  Three pipelines run over the same
+calibrated ~1M-packet synthetic trace, each in its own subprocess so peak
+RSS is attributable per mode:
+
+* ``object``   — the PR-3 baseline: ``TraceGenerator.packet_list()``
+  (a ``List[Packet]``) replayed through the batched engine, which must
+  columnarize via ``PacketColumns.from_packets`` per chunk;
+* ``columnar`` — ``TraceGenerator.table()``: one native
+  :class:`~repro.net.table.PacketTable`, no packet objects anywhere;
+* ``stream``   — ``TraceGenerator.iter_tables(chunk_size)``: bounded-
+  memory chunked tables fed straight to the batched engine.
+
+All three must produce bit-identical verdicts, filter statistics and
+blocklists; the harness fails otherwise.  The full run requires
+``columnar`` to be at least ``TARGET_SPEEDUP``x faster than ``object``
+(generation + replay wall time) and writes the measurements, including a
+peak-RSS column, to ``BENCH_columnar_trace.json``.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_columnar.py            # full
+    PYTHONPATH=src python benchmarks/bench_columnar.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+TARGET_SPEEDUP = 2.0
+PROBE_DURATION = 30.0
+MODES = ("object", "columnar", "stream")
+_CHILD_MARKER = "BENCH_COLUMNAR_RESULT:"
+
+
+def _make_filter():
+    from repro.core.bitmap_filter import BitmapFilterConfig
+    from repro.filters.bitmap import BitmapPacketFilter
+
+    return BitmapPacketFilter(BitmapFilterConfig())
+
+
+def fingerprint(result) -> dict:
+    """Every counter the three pipelines must agree on."""
+    router = result.router
+    return {
+        "packets": result.packets,
+        "inbound_packets": result.inbound_packets,
+        "inbound_dropped": result.inbound_dropped,
+        "filter_stats": router.filter.stats.as_dict(),
+        "core_stats": router.filter.core.stats.as_dict(),
+        "blocklist_size": len(router.blocklist),
+        "suppressed": router.blocklist.suppressed_packets,
+        "offered_bins": len(router.offered._bins),
+        "passed_bins": len(router.passed._bins),
+    }
+
+
+def peak_rss_bytes() -> int:
+    """This process's peak resident set size (ru_maxrss is KiB on Linux,
+    bytes on macOS)."""
+    import resource
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return peak * 1024 if sys.platform != "darwin" else peak
+
+
+def run_child(mode: str, duration: float, rate: float, seed: int,
+              chunk_size: int) -> dict:
+    """One pipeline, measured inside this (sub)process."""
+    from repro.sim.replay import replay
+    from repro.workload.generator import TraceConfig, TraceGenerator
+
+    config = TraceConfig(duration=duration, connection_rate=rate, seed=seed)
+    start = time.perf_counter()
+    if mode == "object":
+        trace = TraceGenerator(config).packet_list()
+        count = len(trace)
+    elif mode == "columnar":
+        trace = TraceGenerator(config).table()
+        count = len(trace)
+    elif mode == "stream":
+        trace = TraceGenerator(config).iter_tables(chunk_size=chunk_size)
+        count = None  # unknown until replayed; the stream never fully exists
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(f"unknown mode: {mode}")
+    generated = time.perf_counter()
+
+    result = replay(trace, _make_filter(), use_blocklist=True, batched=True)
+    replayed = time.perf_counter()
+
+    gen_s = generated - start
+    replay_s = replayed - generated
+    if count is None:
+        count = result.packets
+        gen_s = None  # generation is interleaved with replay when streaming
+    return {
+        "mode": mode,
+        "packets": count,
+        "generate_s": None if gen_s is None else round(gen_s, 3),
+        "replay_s": round(replay_s, 3),
+        "total_s": round(replayed - start, 3),
+        "peak_rss_mb": round(peak_rss_bytes() / (1024 * 1024), 1),
+        "fingerprint": fingerprint(result),
+    }
+
+
+def run_mode(mode: str, duration: float, rate: float, seed: int,
+             chunk_size: int) -> dict:
+    """Run one pipeline in a fresh subprocess (isolated peak RSS)."""
+    command = [
+        sys.executable, str(Path(__file__).resolve()),
+        "--child", mode,
+        "--duration", repr(duration),
+        "--rate", repr(rate),
+        "--seed", str(seed),
+        "--chunk-size", str(chunk_size),
+    ]
+    proc = subprocess.run(command, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise RuntimeError(f"{mode} child failed with {proc.returncode}")
+    for line in proc.stdout.splitlines():
+        if line.startswith(_CHILD_MARKER):
+            return json.loads(line[len(_CHILD_MARKER):])
+    raise RuntimeError(f"{mode} child produced no result line:\n{proc.stdout}")
+
+
+def calibrate_duration(target_packets: int, rate: float, seed: int) -> float:
+    """Trace seconds that land within ~1% of ``target_packets``."""
+    from repro.workload.generator import TraceConfig, TraceGenerator
+
+    probe = TraceGenerator(
+        TraceConfig(duration=PROBE_DURATION, connection_rate=rate, seed=seed)
+    ).table()
+    duration = target_packets / max(len(probe) / PROBE_DURATION, 1.0)
+    full = TraceGenerator(
+        TraceConfig(duration=duration, connection_rate=rate, seed=seed)
+    ).table()
+    if abs(len(full) - target_packets) > 0.05 * target_packets:
+        # Short probes mis-estimate long-trace density (reconnects,
+        # long-lived flows); one proportional correction is enough.
+        duration *= target_packets / len(full)
+    return duration
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--packets", type=int, default=1_000_000,
+                        help="target trace length (default: 1M)")
+    parser.add_argument("--rate", type=float, default=16.0,
+                        help="connection arrivals per second (default: 16)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--chunk-size", type=int, default=65536,
+                        help="stream-mode table chunk rows")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_columnar_trace.json")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: ~50k packets, no file write, "
+                             "no speedup-target enforcement — only the "
+                             "equivalence checks gate the exit code")
+    parser.add_argument("--child", choices=MODES, default=None,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--duration", type=float, default=None,
+                        help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.child:
+        measured = run_child(args.child, args.duration, args.rate, args.seed,
+                             args.chunk_size)
+        print(_CHILD_MARKER + json.dumps(measured))
+        return 0
+
+    if args.quick:
+        args.packets = min(args.packets, 50_000)
+
+    duration = calibrate_duration(args.packets, args.rate, args.seed)
+    print(f"trace: ~{args.packets:,} packets over {duration:.0f}s of trace "
+          f"time (rate {args.rate:g}/s, seed {args.seed})")
+
+    results = {}
+    for mode in MODES:
+        results[mode] = run_mode(mode, duration, args.rate, args.seed,
+                                 args.chunk_size)
+        entry = results[mode]
+        gen = "interleaved" if entry["generate_s"] is None else f"{entry['generate_s']:.2f}s"
+        print(f"{mode:>8}: gen {gen}, replay {entry['replay_s']:.2f}s, "
+              f"total {entry['total_s']:.2f}s, peak RSS {entry['peak_rss_mb']:.0f} MB")
+
+    reference = results["object"]["fingerprint"]
+    identical = all(results[mode]["fingerprint"] == reference for mode in MODES)
+    if not identical:
+        print("FAIL: pipelines diverged", file=sys.stderr)
+        for mode in MODES:
+            print(f"{mode}: {results[mode]['fingerprint']}", file=sys.stderr)
+        return 1
+    print("verdicts/stats/blocklist identical across all pipelines")
+
+    speedup = results["object"]["total_s"] / results["columnar"]["total_s"]
+    rss_ratio = (results["object"]["peak_rss_mb"]
+                 / max(results["stream"]["peak_rss_mb"], 0.1))
+    report = {
+        "trace": {
+            "packets": results["object"]["packets"],
+            "trace_duration_s": round(duration, 1),
+            "connection_rate": args.rate,
+            "seed": args.seed,
+        },
+        "modes": {
+            mode: {k: v for k, v in results[mode].items()
+                   if k not in ("mode", "fingerprint")}
+            for mode in MODES
+        },
+        "speedup_columnar_vs_object": round(speedup, 2),
+        "target_speedup": TARGET_SPEEDUP,
+        "peak_rss_object_vs_stream": round(rss_ratio, 2),
+        "identical_results": {
+            "inbound_dropped": reference["inbound_dropped"],
+            "blocked_connections": reference["blocklist_size"],
+            "filter_stats": reference["filter_stats"],
+        },
+    }
+
+    if args.quick:
+        print(f"speedup: {speedup:.2f}x (quick mode, target not enforced)")
+        return 0
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"speedup: {speedup:.2f}x (target >= {TARGET_SPEEDUP}x), "
+          f"stream-mode RSS {rss_ratio:.1f}x smaller -> {args.output}")
+    if speedup < TARGET_SPEEDUP:
+        print("FAIL: speedup below target", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

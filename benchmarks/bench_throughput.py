@@ -269,6 +269,15 @@ def main(argv=None) -> int:
 
     speedup = legacy_s / batched_s
     memo = legacy.router.filter.hash_memo, batched.router.filter.hash_memo
+    # Regression gate: a flow-repetitive trace must produce memo *hits* —
+    # zero hits means the memo is being recreated per chunk or get_many
+    # dedupes without crediting reuse (the PR-3 accounting bug).
+    if memo[1].hits <= 0:
+        print(f"FAIL: hash-index memo recorded no hits "
+              f"(hits={memo[1].hits}, misses={memo[1].misses})",
+              file=sys.stderr)
+        return 1
+    print(f"hash-index memo: {memo[1].hits:,} hits / {memo[1].misses:,} misses")
     report = {
         "trace": {
             "packets": len(packets),

@@ -123,20 +123,28 @@ def _load_pcap(path: str, network_cidr: str):
     from repro.net.headers import HeaderError, decode_packet
     from repro.net.inet import in_network
     from repro.net.packet import Direction
-    from repro.net.pcap import PcapReader
+    from repro.net.pcap import iter_pcap
 
     network, prefix = _parse_cidr(network_cidr)
     packets = []
-    with open(path, "rb") as fileobj:
-        for record in PcapReader(fileobj):
-            try:
-                packet = decode_packet(record.data, record.timestamp)
-            except HeaderError:
-                continue
-            inside = in_network(packet.pair.src_addr, network, prefix)
-            packet.direction = Direction.OUTBOUND if inside else Direction.INBOUND
-            packets.append(packet)
+    for record in iter_pcap(path):
+        try:
+            packet = decode_packet(record.data, record.timestamp)
+        except HeaderError:
+            continue
+        inside = in_network(packet.pair.src_addr, network, prefix)
+        packet.direction = Direction.OUTBOUND if inside else Direction.INBOUND
+        packets.append(packet)
     return packets
+
+
+def _load_table(path: str, network_cidr: str):
+    """Stream a pcap straight into a columnar PacketTable (never holds
+    the capture twice: records decode one at a time into columns)."""
+    from repro.net.table import PacketTable
+
+    network, prefix = _parse_cidr(network_cidr)
+    return PacketTable.from_pcap(path, network, prefix)
 
 
 def cmd_trace(args) -> int:
@@ -254,8 +262,8 @@ def cmd_filter(args) -> int:
     from repro.sim.pipeline import select_backend
     from repro.sim.replay import replay
 
-    packets = _load_pcap(args.pcap, args.network)
-    if not packets:
+    packets = _load_table(args.pcap, args.network)
+    if not len(packets):
         print("no parseable packets", file=sys.stderr)
         return 1
 
@@ -328,7 +336,7 @@ def cmd_figures(args) -> int:
     from repro.sim.replay import compare_drop_rates, replay
 
     if args.pcap is not None:
-        packets = _load_pcap(args.pcap, args.network)
+        packets = _load_table(args.pcap, args.network)
     else:
         from repro.workload.generator import TraceConfig, TraceGenerator
 
@@ -337,12 +345,14 @@ def cmd_figures(args) -> int:
         packets = TraceGenerator(
             TraceConfig(duration=args.duration, connection_rate=args.rate,
                         seed=args.seed)
-        ).packet_list()
-    if not packets:
+        ).table()
+    if not len(packets):
         print("no parseable packets", file=sys.stderr)
         return 1
     print(f"{len(packets):,} packets\n")
 
+    # PacketTable iteration materializes one Packet at a time, so the
+    # object-based analyzer streams over the columnar trace.
     analyzer = TrafficAnalyzer().analyze(packets)
 
     print("== Table 2: protocol distribution ==")
@@ -405,7 +415,7 @@ def cmd_figures(args) -> int:
         use_blocklist=True,
         batched=True,
     )
-    horizon = packets[-1].timestamp * 0.6
+    horizon = packets.last_timestamp * 0.6
     for title, result in (("Figure 9-a: uplink before", baseline),
                           ("Figure 9-b: uplink after (H marked)", limited)):
         series = [(t, v) for t, v in result.passed.series_mbps(Direction.OUTBOUND)

@@ -40,6 +40,20 @@ def splitmix64(value: int) -> int:
     return value ^ (value >> 31)
 
 
+def derive_seed(seed: int, index: int) -> int:
+    """Derive an independent per-stream RNG seed from ``(seed, index)``.
+
+    The obvious ``(seed << k) ^ index`` layout collides as soon as
+    ``index`` outgrows ``k`` bits — e.g. ``(7 << 20) ^ 2**20`` equals
+    ``(6 << 20) ^ 0`` — silently reusing RNG streams across connections
+    in large traces.  Running both inputs through the splitmix64 bijection
+    keeps distinct ``index`` values collision-free under one ``seed`` and
+    makes cross-seed collisions statistically negligible instead of
+    structural.
+    """
+    return splitmix64(splitmix64(seed) ^ index)
+
+
 def mix_tuple(fields: Sequence[int], seed: int = 0) -> int:
     """Hash a tuple of integers (socket-pair fields) to 64 bits.
 
@@ -155,19 +169,31 @@ class HashIndexMemo:
 
     def get_many(self, keys: Sequence[Tuple[int, ...]]) -> List[Tuple[int, ...]]:
         """Resolve a batch of keys, hashing the distinct misses via
-        :meth:`HashFamily.indices_many` in one pass."""
+        :meth:`HashFamily.indices_many` in one pass.
+
+        Hit/miss accounting matches the per-key :meth:`get` loop exactly:
+        a key's *first* occurrence in the batch is a miss when absent, and
+        every repeat occurrence — in this batch or a later one — is a hit.
+        (A previous version deduped misses before resolving them, so a
+        flow's thousands of in-batch repeats were never credited and a
+        whole-trace batch reported zero hits despite total reuse.)
+        """
         entries = self._entries
         move = entries.move_to_end
         out: List[Tuple[int, ...]] = [()] * len(keys)
         missing: "OrderedDict[Tuple[int, ...], None]" = OrderedDict()
+        hits = 0
         for position, key in enumerate(keys):
             indices = entries.get(key)
             if indices is not None:
-                self.hits += 1
+                hits += 1
                 move(key)
                 out[position] = indices
+            elif key in missing:
+                hits += 1
             else:
                 missing[key] = None
+        self.hits += hits
         if missing:
             self.misses += len(missing)
             distinct = list(missing)
@@ -177,7 +203,13 @@ class HashIndexMemo:
                 entries.popitem(last=False)
             for position, key in enumerate(keys):
                 if not out[position]:
-                    out[position] = entries.get(key) or self.get(key)
+                    indices = entries.get(key)
+                    if indices is None:
+                        # Evicted within this very batch (capacity smaller
+                        # than the batch's distinct-key count); re-resolve
+                        # through the accounted per-key path.
+                        indices = self.get(key)
+                    out[position] = indices
         return out
 
     def clear(self) -> None:

@@ -52,12 +52,18 @@ class BlockedConnectionStore:
         """True when the packet belongs to a blocked connection; accounts
         it and refreshes the block timestamp (an active retry keeps the
         connection blocked)."""
-        self._maybe_gc(packet.timestamp)
-        if not self.is_blocked(packet.pair, packet.timestamp):
+        return self.suppress_fields(packet.pair, packet.timestamp, packet.size)
+
+    def suppress_fields(self, pair: SocketPair, now: float, size: int) -> bool:
+        """Field-wise :meth:`suppress` — the columnar replay path carries
+        (pair, timestamp, size) as separate columns and never builds a
+        :class:`Packet` just to ask this question."""
+        self._maybe_gc(now)
+        if not self.is_blocked(pair, now):
             return False
-        self._blocked[packet.pair.canonical] = packet.timestamp
+        self._blocked[pair.canonical] = now
         self.suppressed_packets += 1
-        self.suppressed_bytes += packet.size
+        self.suppressed_bytes += size
         return True
 
     def _maybe_gc(self, now: float) -> None:

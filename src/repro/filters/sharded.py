@@ -132,6 +132,41 @@ class ShardedFilter(PacketFilter):
                 lanes[position].append(packet)
         return lanes, default_lane
 
+    def partition_table(self, table):
+        """Columnar twin of :meth:`partition_packets`.
+
+        Routes by interned flow instead of per packet: the owning shard
+        of each ``(pair_id, direction)`` is resolved once against the
+        table's pools, rows are grouped with
+        :meth:`~repro.net.table.PacketTable.lane_positions` and gathered
+        into pool-sharing sub-tables with
+        :meth:`~repro.net.table.PacketTable.select`.  Returns
+        ``(lane_tables, default_table)`` with every lane preserving row
+        order — the same split :meth:`partition_packets` produces on
+        ``table.to_packets()``.
+        """
+        pairs = table.pairs
+        shard_index_for = self.shard_index_for
+        out_lane: Dict[int, int] = {}
+        in_lane: Dict[int, int] = {}
+        lane_by_row: List[int] = []
+        append = lane_by_row.append
+        for pid, is_out in zip(table.pair_ids, table.outbound):
+            if is_out:
+                lane = out_lane.get(pid)
+                if lane is None:
+                    lane = out_lane[pid] = shard_index_for(pairs[pid].src_addr)
+            else:
+                lane = in_lane.get(pid)
+                if lane is None:
+                    lane = in_lane[pid] = shard_index_for(pairs[pid].dst_addr)
+            append(lane)
+        groups = table.lane_positions(lane_by_row, len(self.shards))
+        return (
+            [table.select(group) for group in groups[:-1]],
+            table.select(groups[-1]),
+        )
+
     def decide(self, packet: Packet) -> Verdict:
         shard = self._shard_for(packet)
         if shard is None:

@@ -22,8 +22,9 @@ from repro.net.headers import (
     decode_packet,
     encode_packet,
 )
-from repro.net.pcap import PcapReader, PcapWriter, read_pcap, write_pcap
+from repro.net.pcap import PcapReader, PcapWriter, iter_pcap, read_pcap, write_pcap
 from repro.net.flows import ConnectionTable, FlowRecord, TCPState
+from repro.net.table import HAVE_NUMPY, PacketTable, PacketView, as_table
 
 __all__ = [
     "IPPROTO_TCP",
@@ -42,9 +43,14 @@ __all__ = [
     "encode_packet",
     "PcapReader",
     "PcapWriter",
+    "iter_pcap",
     "read_pcap",
     "write_pcap",
     "ConnectionTable",
     "FlowRecord",
     "TCPState",
+    "HAVE_NUMPY",
+    "PacketTable",
+    "PacketView",
+    "as_table",
 ]

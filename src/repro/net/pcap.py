@@ -145,5 +145,18 @@ def write_pcap(
 
 def read_pcap(path: str) -> List[PcapRecord]:
     """Read every record of a pcap file into memory."""
+    return list(iter_pcap(path))
+
+
+def iter_pcap(path: str) -> Iterator[PcapRecord]:
+    """Lazily yield every record of a pcap file.
+
+    Unlike :func:`read_pcap` this never materializes the capture as a
+    list — one record is in memory at a time, so a multi-gigabyte trace
+    can stream straight into a columnar
+    :class:`~repro.net.table.PacketTable` without being held twice.
+    The file stays open until the generator is exhausted or closed.
+    """
     with open(path, "rb") as fileobj:
-        return list(PcapReader(fileobj))
+        for record in PcapReader(fileobj):
+            yield record

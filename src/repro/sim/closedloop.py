@@ -25,6 +25,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.hashing import derive_seed
 from repro.filters.base import PacketFilter, Verdict
 from repro.net.packet import Packet
 from repro.sim.metrics import ThroughputSeries
@@ -136,7 +137,7 @@ class ClosedLoopSimulator:
         def admit(spec: ConnectionSpec, index: int, attempts: int = 0) -> None:
             nonlocal counter
             schedule = connection_packets(
-                spec, random.Random((seed << 20) ^ index)
+                spec, random.Random(derive_seed(seed, index))
             )
             if not schedule:
                 return

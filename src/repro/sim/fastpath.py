@@ -42,6 +42,7 @@ from repro.core.hashing import HashIndexMemo
 from repro.filters.base import Verdict
 from repro.filters.bitmap import BitmapPacketFilter
 from repro.net.packet import Direction, Packet
+from repro.net.table import _np, _np_enabled
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.sim.router import EdgeRouter
@@ -283,6 +284,265 @@ def process_packets_fast(
     stats.passed_bytes[Direction.INBOUND] += passed_in_b
     stats.dropped_bytes[Direction.OUTBOUND] += dropped_out_b
     stats.dropped_bytes[Direction.INBOUND] += dropped_in_b
+    return verdicts
+
+
+def process_table_fast(router: "EdgeRouter", table) -> List[Verdict]:
+    """The fused replay loop over a :class:`~repro.net.table.PacketTable`.
+
+    Produces exactly the verdicts, filter/bitmap stats, blocklist
+    contents and RNG consumption of ``process_packets_fast(router,
+    table.to_packets())`` — without materialising a single
+    :class:`Packet`.  Interned ``pair_ids`` unlock flow-level caching the
+    object loop cannot afford:
+
+    * each flow is hashed at most **once per direction per table**
+      (:meth:`PacketTable.seen_directions` + :meth:`HashIndexMemo.get_many`)
+      instead of once per packet — so the memo's hit counter measures
+      cross-chunk flow reuse here, not per-packet repeats;
+    * an outbound flow **marks once per rotation window** — marking is
+      idempotent while no vector rotates, so repeats skip the k×m bit
+      loop (stats still count every packet);
+    * an inbound flow that tested *hit* stays a hit until the next
+      rotation — bits are only ever set within a window — so repeats
+      skip the probe loop; misses always re-test (an intervening mark
+      may flip them) and hits never consume RNG, keeping the stream's
+      draw order intact;
+    * the blocklist's canonical pair is computed once per flow, and its
+      GC clock is inlined to a float compare per packet.
+    """
+    flt = router.filter
+    if not supports_fastpath(flt):  # pragma: no cover - guarded by caller
+        return [router.forward(view) for view in table.iter_views()]
+    total = len(table)
+    router.packets += total
+    verdicts: List[Verdict] = []
+    if total == 0:
+        return verdicts
+
+    # Per-flow hash indices: one key per (flow, direction) actually present.
+    hole = flt.core.config.field_mode is FieldMode.HOLE_PUNCHING
+    pairs = table.pairs
+    seen = table.seen_directions()
+    keys: List[Tuple[int, ...]] = []
+    slots: List[int] = []  # pid << 1 | is_outbound
+    for pid, bits in enumerate(seen):
+        if not bits:
+            continue
+        pair = pairs[pid]
+        if bits & 1:  # SEEN_OUTBOUND
+            keys.append(socket_key(pair, Direction.OUTBOUND, hole))
+            slots.append((pid << 1) | 1)
+        if bits & 2:  # SEEN_INBOUND
+            keys.append(socket_key(pair, Direction.INBOUND, hole))
+            slots.append(pid << 1)
+    idx_out: List[Tuple[int, ...]] = [()] * len(pairs)
+    idx_in: List[Tuple[int, ...]] = [()] * len(pairs)
+    for slot, indices in zip(slots, flt.hash_memo.get_many(keys)):
+        if slot & 1:
+            idx_out[slot >> 1] = indices
+        else:
+            idx_in[slot >> 1] = indices
+
+    PASS, DROP = Verdict.PASS, Verdict.DROP
+
+    core = flt.core
+    config = core.config
+    k = config.vectors
+    nbytes = (config.size + 7) // 8
+    bufs = [bytearray(vector.to_bytes()) for vector in core.vectors]
+    rng_random = core._rng.random
+
+    controller = flt.drop_controller
+    record_upload = controller.meter.record
+    static_p: Optional[float] = (
+        controller.policy.probability(0.0)
+        if isinstance(controller.policy, StaticDropPolicy)
+        else None
+    )
+    probability_at = controller.probability
+
+    blocklist = router.blocklist
+    if blocklist is not None:
+        blocked = blocklist._blocked
+        retention = blocklist.retention
+        gc_interval = blocklist._gc_interval
+        next_gc = blocklist._next_gc
+        canon_cache: List[Optional[object]] = [None] * len(pairs)
+        supp_n = supp_b = 0
+    else:
+        blocked = None
+
+    offered_bins = router.offered._bins
+    passed_bins = router.passed._bins
+    series_interval = router.offered.interval
+    offered_out = offered_bins[Direction.OUTBOUND]
+    offered_in = offered_bins[Direction.INBOUND]
+    passed_out = passed_bins[Direction.OUTBOUND]
+    passed_in = passed_bins[Direction.INBOUND]
+    drop_window = router.inbound_drops.window
+    window_packets = router.inbound_drops._packets
+    window_dropped = router.inbound_drops._dropped
+
+    passed_out_n = passed_in_n = dropped_out_n = dropped_in_n = 0
+    passed_out_b = passed_in_b = dropped_out_b = dropped_in_b = 0
+    marked = hits = misses = bitmap_dropped = 0
+
+    append = verdicts.append
+    next_rotation = core._next_rotation
+    current = bufs[core.idx]
+
+    # Rotation generation: flow caches are valid exactly while no vector
+    # has rotated (bits only accumulate within a window).
+    generation = 0
+    marked_gen: dict = {}
+    hit_gen: dict = {}
+    marked_get = marked_gen.get
+    hit_get = hit_gen.get
+
+    # Series/window bin indices precomputed column-wise.  ``int(x)`` and
+    # a float64→int64 cast both truncate toward zero, so the numpy path
+    # is value-identical to the per-packet ``int(now / interval)``.
+    timestamps = table.timestamps
+    if _np_enabled() and total > 64:
+        ts_np = _np.frombuffer(timestamps, dtype=_np.float64)
+        series_bins = (ts_np / series_interval).astype(_np.int64).tolist()
+        window_bins = (ts_np / drop_window).astype(_np.int64).tolist()
+    else:
+        series_bins = [int(now / series_interval) for now in timestamps]
+        window_bins = [int(now / drop_window) for now in timestamps]
+
+    for now, size, is_out, pid, series_bin, window_index in zip(
+        timestamps, table.sizes, table.outbound, table.pair_ids,
+        series_bins, window_bins,
+    ):
+        if is_out:
+            offered_out[series_bin] = offered_out.get(series_bin, 0) + size
+        else:
+            offered_in[series_bin] = offered_in.get(series_bin, 0) + size
+
+        if blocked is not None:
+            # Inlined BlockedConnectionStore._maybe_gc / suppress_fields.
+            if retention is not None:
+                if next_gc is None:
+                    next_gc = now + gc_interval
+                elif now >= next_gc:
+                    next_gc = now + gc_interval
+                    horizon = now - retention
+                    for stale in [
+                        entry for entry, stamped in blocked.items()
+                        if stamped < horizon
+                    ]:
+                        del blocked[stale]
+            canon = canon_cache[pid]
+            if canon is None:
+                canon = canon_cache[pid] = pairs[pid].canonical
+            stamped = blocked.get(canon)
+            if stamped is not None:
+                if retention is not None and now - stamped > retention:
+                    del blocked[canon]
+                else:
+                    blocked[canon] = now
+                    supp_n += 1
+                    supp_b += size
+                    append(DROP)
+                    if not is_out:
+                        window_packets[window_index] = (
+                            window_packets.get(window_index, 0) + 1
+                        )
+                        window_dropped[window_index] = (
+                            window_dropped.get(window_index, 0) + 1
+                        )
+                    continue
+
+        if next_rotation is None or now >= next_rotation:
+            vacated = core.idx
+            ran = core.advance_to(now)
+            if ran >= k:
+                bufs = [bytearray(nbytes) for _ in range(k)]
+            elif ran:
+                for step in range(ran):
+                    bufs[(vacated + step) % k] = bytearray(nbytes)
+            next_rotation = core._next_rotation
+            current = bufs[core.idx]
+            if ran:
+                generation += 1
+
+        if is_out:
+            if marked_get(pid) != generation:
+                marked_gen[pid] = generation
+                for index in idx_out[pid]:
+                    byte = index >> 3
+                    bit = 1 << (index & 7)
+                    for buf in bufs:
+                        buf[byte] |= bit
+            marked += 1
+            record_upload(now, size)
+            passed_out_n += 1
+            passed_out_b += size
+            passed_out[series_bin] = passed_out.get(series_bin, 0) + size
+            append(PASS)
+            continue
+
+        if hit_get(pid) == generation:
+            hit = True
+        else:
+            hit = True
+            for index in idx_in[pid]:
+                if not current[index >> 3] & (1 << (index & 7)):
+                    hit = False
+                    break
+            if hit:
+                hit_gen[pid] = generation
+        if hit:
+            hits += 1
+            dropped = False
+        else:
+            misses += 1
+            probability = static_p if static_p is not None else probability_at(now)
+            if probability >= 1.0 or rng_random() < probability:
+                bitmap_dropped += 1
+                dropped = True
+            else:
+                dropped = False
+
+        window_packets[window_index] = window_packets.get(window_index, 0) + 1
+        if dropped:
+            window_dropped[window_index] = window_dropped.get(window_index, 0) + 1
+            dropped_in_n += 1
+            dropped_in_b += size
+            if blocked is not None:
+                canon = canon_cache[pid]
+                if canon is None:
+                    canon = canon_cache[pid] = pairs[pid].canonical
+                blocked[canon] = now
+            append(DROP)
+        else:
+            passed_in_n += 1
+            passed_in_b += size
+            passed_in[series_bin] = passed_in.get(series_bin, 0) + size
+            append(PASS)
+
+    for vector, buf in zip(core.vectors, bufs):
+        vector._bits = int.from_bytes(buf, "little")
+    core_stats = core.stats
+    core_stats.outbound_marked += marked
+    core_stats.inbound_hits += hits
+    core_stats.inbound_misses += misses
+    core_stats.inbound_dropped += bitmap_dropped
+    stats = flt.stats
+    stats.passed[Direction.OUTBOUND] += passed_out_n
+    stats.passed[Direction.INBOUND] += passed_in_n
+    stats.dropped[Direction.OUTBOUND] += dropped_out_n
+    stats.dropped[Direction.INBOUND] += dropped_in_n
+    stats.passed_bytes[Direction.OUTBOUND] += passed_out_b
+    stats.passed_bytes[Direction.INBOUND] += passed_in_b
+    stats.dropped_bytes[Direction.OUTBOUND] += dropped_out_b
+    stats.dropped_bytes[Direction.INBOUND] += dropped_in_b
+    if blocklist is not None:
+        blocklist._next_gc = next_gc
+        blocklist.suppressed_packets += supp_n
+        blocklist.suppressed_bytes += supp_b
     return verdicts
 
 

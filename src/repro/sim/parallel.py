@@ -28,12 +28,13 @@ import copy
 import multiprocessing
 import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.bitmap_filter import BitmapFilterStats
 from repro.filters.base import FilterStats, PacketFilter, Verdict
 from repro.filters.sharded import ShardedFilter
 from repro.net.packet import Packet, SocketPair
+from repro.net.table import PacketTable, as_table
 from repro.sim.metrics import DropRateSampler, ThroughputSeries
 from repro.sim.pipeline import PipelineConfig, ReplayPipeline, ReplayResult
 
@@ -156,7 +157,7 @@ def _pool_context():
 
 
 def parallel_replay(
-    packets: Sequence[Packet],
+    packets,
     packet_filter: ShardedFilter,
     workers: Optional[int] = None,
     use_blocklist: bool = True,
@@ -165,6 +166,12 @@ def parallel_replay(
     batched: bool = True,
 ) -> ParallelReplayResult:
     """Replay a packet stream through a sharded filter, one worker per lane.
+
+    ``packets`` may be a packet list, a :class:`PacketTable`, or an
+    iterable of either (a stream of generator chunks is merged into one
+    table first).  Columnar input partitions by interned flow
+    (:meth:`ShardedFilter.partition_table`) into pool-sharing lane
+    tables, and each lane replays columnar end to end.
 
     Produces the same merged verdict counts, throughput-series bins,
     drop-rate windows and per-shard statistics as
@@ -189,12 +196,29 @@ def parallel_replay(
     if workers < 1:
         raise ValueError(f"workers must be >= 1: {workers}")
 
-    packet_list = packets if isinstance(packets, list) else list(packets)
-    lanes, default_lane = packet_filter.partition_packets(packet_list)
+    if not isinstance(packets, (list, PacketTable)):
+        materialized = list(packets)
+        if materialized and isinstance(materialized[0], PacketTable):
+            # A stream of generator chunks: merge into one table (exact
+            # re-interning converter) and partition columnar.
+            packets = as_table(materialized)
+        else:
+            packets = materialized
+    if isinstance(packets, PacketTable):
+        span = (
+            (packets.timestamps[0], packets.timestamps[-1])
+            if len(packets) else None
+        )
+        lanes, default_lane = packet_filter.partition_table(packets)
+    else:
+        span = (
+            (packets[0].timestamp, packets[-1].timestamp) if packets else None
+        )
+        lanes, default_lane = packet_filter.partition_packets(packets)
 
     tasks: List[Tuple] = []
     for position, lane_packets in enumerate(lanes):
-        if not lane_packets:
+        if not len(lane_packets):
             continue
         # Each lane replays a *copy* of its shard filter: worker processes
         # would copy on pickle anyway, and the in-process workers=1 path
@@ -203,7 +227,7 @@ def parallel_replay(
         shard = copy.deepcopy(packet_filter.shards[position][2])
         tasks.append((position, shard, lane_packets, use_blocklist,
                       throughput_interval, drop_window, batched))
-    if default_lane:
+    if len(default_lane):
         tasks.append((-1, DefaultLaneFilter(packet_filter.default_verdict),
                       default_lane, use_blocklist, throughput_interval,
                       drop_window, batched))
@@ -214,13 +238,13 @@ def parallel_replay(
         with _pool_context().Pool(processes=min(workers, len(tasks))) as pool:
             records = pool.map(_replay_lane, tasks)
 
-    return _merge(packet_filter, packet_list, records, workers,
+    return _merge(packet_filter, span, records, workers,
                   use_blocklist, throughput_interval, drop_window)
 
 
 def _merge(
     packet_filter: ShardedFilter,
-    packet_list: List[Packet],
+    span: Optional[Tuple[float, float]],
     records: List[LaneResult],
     workers: int,
     use_blocklist: bool,
@@ -263,7 +287,6 @@ def _merge(
             blocklist._blocked.update(record.blocked)
             blocklist.suppressed_packets += record.suppressed_packets
             blocklist.suppressed_bytes += record.suppressed_bytes
-    if packet_list:
-        pipeline.observe_span(packet_list[0].timestamp,
-                              packet_list[-1].timestamp)
+    if span is not None:
+        pipeline.observe_span(*span)
     return pipeline.finalize(workers=workers, lanes=records)

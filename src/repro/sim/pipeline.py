@@ -44,15 +44,42 @@ downgrading.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Optional
 
 from repro.filters.base import PacketFilter, Verdict
 from repro.filters.blocklist import BlockedConnectionStore
 from repro.net.packet import Direction, Packet
+from repro.net.table import PacketTable
 from repro.sim.engine import EventScheduler
 from repro.sim.metrics import ThroughputSeries
 from repro.sim.router import EdgeRouter
+
+
+def iter_packetlike(packets) -> Iterator:
+    """Flatten any accepted stream shape into packet-shaped objects.
+
+    Accepts a ``List[Packet]``, any iterable of packets, one
+    :class:`PacketTable`, or an iterable of tables (e.g.
+    :meth:`TraceGenerator.iter_tables`).  Table rows come out as a single
+    reused zero-allocation :class:`~repro.net.table.PacketView` cursor —
+    consume each item before advancing, do not retain it.
+    """
+    if isinstance(packets, PacketTable):
+        yield from packets.iter_views()
+        return
+    iterator = iter(packets)
+    first = next(iterator, None)
+    if first is None:
+        return
+    if isinstance(first, PacketTable):
+        yield from first.iter_views()
+        for table in iterator:
+            yield from table.iter_views()
+        return
+    yield first
+    yield from iterator
 
 
 @dataclass
@@ -197,6 +224,58 @@ class ReplayPipeline:
                 scheduler.advance_to(packet_list[position].timestamp)
         return verdicts
 
+    def process_table(self, table: PacketTable) -> List[Verdict]:
+        """Run a timestamp-ordered :class:`PacketTable` through all five
+        stages — the columnar twin of :meth:`process_batch`, with the
+        same event-splitting contract.  Scheduler boundaries are found by
+        binary search on the timestamp column and the chunk is handed
+        down as pool-sharing :meth:`PacketTable.slice` segments.
+        """
+        total = len(table)
+        if not total:
+            return []
+        timestamps = table.timestamps
+        if self.first_ts is None:
+            self.first_ts = timestamps[0]
+        self.last_ts = timestamps[-1]
+        scheduler = self.scheduler
+        if scheduler is None:
+            return self._run_table_chunk(table)
+        verdicts: List[Verdict] = []
+        position = 0
+        while position < total:
+            next_fire = scheduler.next_time()
+            if next_fire is None:
+                end = total
+            else:
+                # First packet whose timestamp has reached the event time.
+                end = bisect_left(timestamps, next_fire, position)
+            if end > position:
+                segment = (
+                    table if end - position == total
+                    else table.slice(position, end)
+                )
+                verdicts.extend(self._run_table_chunk(segment))
+                position = end
+            if next_fire is None:
+                break
+            if position < total:
+                scheduler.advance_to(timestamps[position])
+        return verdicts
+
+    def _run_table_chunk(self, chunk: PacketTable) -> List[Verdict]:
+        verdicts = self.router.process_table(chunk)
+        inbound = dropped = 0
+        DROP = Verdict.DROP
+        for is_out, verdict in zip(chunk.outbound, verdicts):
+            if not is_out:
+                inbound += 1
+                if verdict is DROP:
+                    dropped += 1
+        self.inbound += inbound
+        self.dropped += dropped
+        return verdicts
+
     def _run_chunk(self, chunk: List[Packet]) -> List[Verdict]:
         verdicts = self.router.process_batch(chunk)
         inbound = dropped = 0
@@ -282,7 +361,7 @@ class SequentialBackend(ExecutionBackend):
     def run(self, packets: Iterable[Packet], config: PipelineConfig) -> ReplayResult:
         pipeline = ReplayPipeline(config)
         process = pipeline.process
-        for packet in packets:
+        for packet in iter_packetlike(packets):
             process(packet)
         return pipeline.finalize()
 
@@ -308,12 +387,39 @@ class BatchedBackend(ExecutionBackend):
 
     def run(self, packets: Iterable[Packet], config: PipelineConfig) -> ReplayResult:
         pipeline = ReplayPipeline(config)
-        packet_list = packets if isinstance(packets, list) else list(packets)
-        if self.chunk_size is None:
+        limit = self.chunk_size
+
+        def feed_table(table: PacketTable) -> None:
+            if limit is None or len(table) <= limit:
+                pipeline.process_table(table)
+                return
+            for start in range(0, len(table), limit):
+                pipeline.process_table(table.slice(start, start + limit))
+
+        if isinstance(packets, PacketTable):
+            feed_table(packets)
+            return pipeline.finalize()
+        if isinstance(packets, list):
+            packet_list = packets
+        else:
+            # Peek: an iterable may yield PacketTable chunks (the
+            # generator's iter_tables stream) or plain packets.
+            iterator = iter(packets)
+            first = next(iterator, None)
+            if first is None:
+                return pipeline.finalize()
+            if isinstance(first, PacketTable):
+                feed_table(first)
+                for table in iterator:
+                    feed_table(table)
+                return pipeline.finalize()
+            packet_list = [first]
+            packet_list.extend(iterator)
+        if limit is None:
             pipeline.process_batch(packet_list)
         else:
-            for start in range(0, len(packet_list), self.chunk_size):
-                pipeline.process_batch(packet_list[start:start + self.chunk_size])
+            for start in range(0, len(packet_list), limit):
+                pipeline.process_batch(packet_list[start:start + limit])
         return pipeline.finalize()
 
 

@@ -14,6 +14,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.filters.base import PacketFilter
 from repro.net.packet import Packet
+from repro.net.table import PacketTable, as_table
 from repro.sim.engine import EventScheduler
 from repro.sim.metrics import scatter_points
 from repro.sim.pipeline import (
@@ -39,6 +40,12 @@ def replay(
     backend: Optional[ExecutionBackend] = None,
 ) -> ReplayResult:
     """Replay a timestamp-ordered packet stream through a filter.
+
+    ``packets`` may be a ``List[Packet]``, any packet iterable, a
+    columnar :class:`~repro.net.table.PacketTable`, or an iterable of
+    tables (:meth:`~repro.workload.generator.TraceGenerator.iter_tables`
+    streams chunks in bounded memory) — every backend accepts either
+    representation and produces identical results on equal streams.
 
     ``use_blocklist`` enables the blocked-σ persistence of section 5.3
     (dropped inbound connections stay dropped).  An optional scheduler
@@ -101,7 +108,7 @@ class DropRateComparison:
 
 
 def compare_drop_rates(
-    packets: List[Packet],
+    packets,
     filters: Dict[str, PacketFilter],
     use_blocklist: bool = False,
     drop_window: float = 10.0,
@@ -123,6 +130,12 @@ def compare_drop_rates(
     """
     if len(filters) < 2:
         raise ValueError("need at least two filters to compare")
+    if not isinstance(packets, (list, PacketTable)):
+        # The same stream replays once per filter — materialize one
+        # reusable representation (a generator of table chunks merges
+        # into a single table; packet iterables do the same via the
+        # exact Packet → row converter).
+        packets = as_table(packets)
     results = {
         name: replay(packets, flt, use_blocklist=use_blocklist,
                      drop_window=drop_window, batched=batched, workers=workers)

@@ -75,6 +75,26 @@ class EdgeRouter:
             return self._process_batch_generic(packets)
         return [self.forward(packet) for packet in packets]
 
+    def process_table(self, table) -> List[Verdict]:
+        """Run a timestamp-ordered :class:`~repro.net.table.PacketTable`
+        through the router.
+
+        Same verdicts as :meth:`process_batch` on ``table.to_packets()``.
+        Bitmap filters take the table-native fused loop
+        (:func:`repro.sim.fastpath.process_table_fast`) and never build a
+        :class:`Packet`; other filters fall back to the object protocols
+        through a single reused zero-allocation
+        :class:`~repro.net.table.PacketView` cursor (per-packet when a
+        blocklist must interleave, batch otherwise).
+        """
+        from repro.sim.fastpath import process_table_fast, supports_fastpath
+
+        if supports_fastpath(self.filter):
+            return process_table_fast(self, table)
+        if self.blocklist is None:
+            return self._process_batch_generic(table.to_packets())
+        return [self.forward(view) for view in table.iter_views()]
+
     def _process_batch_generic(self, packets: Sequence[Packet]) -> List[Verdict]:
         """Stage-split batch for any filter, blocklist-free.
 

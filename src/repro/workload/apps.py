@@ -18,11 +18,17 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.net.headers import TCPFlags
 from repro.net.inet import IPPROTO_TCP, IPPROTO_UDP
 from repro.net.packet import Direction, Packet, SocketPair
+
+#: One packet of a connection schedule, before socket pairs are attached:
+#: ``(timestamp, from_client, size, flags, payload)``.  The columnar
+#: generator consumes rows directly; :func:`connection_packets` wraps them
+#: into :class:`Packet` objects.
+ConnectionRow = Tuple[float, bool, int, int, bytes]
 from repro.workload.distributions import (
     connection_lifetime,
     out_in_delay,
@@ -137,41 +143,41 @@ class ConnectionSpec:
         )
 
 
-def _packet(
+def _row(
     spec: ConnectionSpec,
     timestamp: float,
     from_client: bool,
     payload_len: int,
     flags: int = 0,
     payload: bytes = b"",
-) -> Packet:
-    """Build one packet of a connection with a correct wire size."""
-    pair = spec.pair_from_client
-    direction = Direction.OUTBOUND
-    if not from_client:
-        pair = pair.inverse
-        direction = Direction.INBOUND
+) -> ConnectionRow:
+    """Build one schedule row of a connection with a correct wire size."""
     transport = TCP_HEADER if spec.protocol == IPPROTO_TCP else UDP_HEADER
     size = IP_HEADER + transport + max(payload_len, len(payload))
-    return Packet(timestamp, pair, size=size, flags=flags, payload=payload, direction=direction)
+    return (timestamp, from_client, size, flags, payload)
 
 
-def _tcp_packets(spec: ConnectionSpec, rng: random.Random) -> List[Packet]:
+def _tcp_rows(spec: ConnectionSpec, rng: random.Random) -> List[ConnectionRow]:
     """Expand a TCP spec: handshake, scripted dialogue, bulk data with
     delayed ACKs, and a FIN/RST close — all inside ``spec.duration`` so the
     SYN-to-FIN lifetime matches the drawn value."""
-    packets: List[Packet] = []
+    rows: List[ConnectionRow] = []
+    append = rows.append
     initiator_is_client = spec.initiator is Initiator.CLIENT
     rtt = spec.rtt
     syn = TCPFlags.SYN
     synack = TCPFlags.SYN | TCPFlags.ACK
     ack = TCPFlags.ACK
     psh_ack = TCPFlags.PSH | TCPFlags.ACK
+    # Every _tcp_rows row is TCP, so the _row() helper's per-call header
+    # arithmetic collapses to one hoisted constant (this function builds
+    # every data packet and ACK of every trace).
+    bare = IP_HEADER + TCP_HEADER
 
     t0 = spec.start
-    packets.append(_packet(spec, t0, initiator_is_client, 0, flags=syn))
-    packets.append(_packet(spec, t0 + rtt, not initiator_is_client, 0, flags=synack))
-    packets.append(_packet(spec, t0 + rtt + rtt * 0.1, initiator_is_client, 0, flags=ack))
+    append((t0, initiator_is_client, bare, syn, b""))
+    append((t0 + rtt, not initiator_is_client, bare, synack, b""))
+    append((t0 + rtt + rtt * 0.1, initiator_is_client, bare, ack, b""))
 
     data_start = t0 + rtt * 1.2
     close_start = max(data_start + rtt, spec.end - 2.2 * rtt)
@@ -179,67 +185,59 @@ def _tcp_packets(spec: ConnectionSpec, rng: random.Random) -> List[Packet]:
     # First payloads: initiator's request, responder's reply one RTT later.
     cursor = data_start
     if spec.request_payload:
-        packets.append(
-            _packet(
-                spec, cursor, initiator_is_client, 0, flags=psh_ack, payload=spec.request_payload
-            )
-        )
+        payload = spec.request_payload
+        append((cursor, initiator_is_client, bare + len(payload), psh_ack, payload))
         cursor += rtt
     if spec.response_payload:
-        packets.append(
-            _packet(
-                spec,
-                cursor,
-                not initiator_is_client,
-                0,
-                flags=psh_ack,
-                payload=spec.response_payload,
-            )
-        )
+        payload = spec.response_payload
+        append((cursor, not initiator_is_client, bare + len(payload), psh_ack, payload))
         cursor += rtt * 0.5
 
     # Scripted dialogue (offsets relative to the data phase).
     for message in spec.script:
         when = min(data_start + message.offset, close_start - rtt * 0.5)
         from_client = initiator_is_client == message.from_initiator
-        packets.append(_packet(spec, when, from_client, 0, flags=psh_ack, payload=message.payload))
+        payload = message.payload
+        append((when, from_client, bare + len(payload), psh_ack, payload))
 
     # Bulk data, paced across the remaining window, with stretch ACKs from
     # the receiving side (bidirectionality matters for the filters).
     bulk_start = max(cursor, data_start)
     span = max(close_start - bulk_start, rtt)
+    random = rng.random
     for from_client, total in (
         (True, spec.bytes_client_to_remote),
         (False, spec.bytes_remote_to_client),
     ):
         if total <= 0:
             continue
+        not_from_client = not from_client
         chunks = split_bytes(rng, total, spec.mean_packet)
         gap = span / (len(chunks) + 1)
         for index, chunk in enumerate(chunks, start=1):
-            when = bulk_start + index * gap * (1.0 + 0.1 * (rng.random() - 0.5))
-            packets.append(_packet(spec, when, from_client, chunk, flags=psh_ack))
+            when = bulk_start + index * gap * (1.0 + 0.1 * (random() - 0.5))
+            append((when, from_client, bare + chunk, psh_ack, b""))
             if index % 2 == 0:  # delayed ACK from the receiver (RFC 1122)
                 ack_delay = min(out_in_delay(rng), gap * 1.8, 1.0)
-                packets.append(_packet(spec, when + ack_delay, not from_client, 0, flags=ack))
+                append((when + ack_delay, not_from_client, bare, ack, b""))
 
     # Close.
     if spec.abortive_close:
         closer_is_client = initiator_is_client if rng.random() < 0.5 else not initiator_is_client
-        packets.append(_packet(spec, spec.end, closer_is_client, 0, flags=TCPFlags.RST))
+        append((spec.end, closer_is_client, bare, TCPFlags.RST, b""))
     else:
         fin_ack = TCPFlags.FIN | TCPFlags.ACK
-        packets.append(_packet(spec, spec.end, initiator_is_client, 0, flags=fin_ack))
-        packets.append(_packet(spec, spec.end + rtt, not initiator_is_client, 0, flags=fin_ack))
-        packets.append(_packet(spec, spec.end + 1.1 * rtt, initiator_is_client, 0, flags=ack))
+        append((spec.end, initiator_is_client, bare, fin_ack, b""))
+        append((spec.end + rtt, not initiator_is_client, bare, fin_ack, b""))
+        append((spec.end + 1.1 * rtt, initiator_is_client, bare, ack, b""))
 
-    packets.sort(key=lambda packet: packet.timestamp)
-    return packets
+    rows.sort(key=_row_time)
+    return rows
 
 
-def _udp_packets(spec: ConnectionSpec, rng: random.Random) -> List[Packet]:
+def _udp_rows(spec: ConnectionSpec, rng: random.Random) -> List[ConnectionRow]:
     """Expand a UDP spec into request/response datagram rounds."""
-    packets: List[Packet] = []
+    rows: List[ConnectionRow] = []
     initiator_is_client = spec.initiator is Initiator.CLIENT
     rounds = max(1, spec.udp_exchanges)
     gap = spec.duration / rounds
@@ -251,8 +249,8 @@ def _udp_packets(spec: ConnectionSpec, rng: random.Random) -> List[Packet]:
         when = spec.start + index * gap * (1.0 + 0.05 * (rng.random() - 0.5))
         request_payload = spec.request_payload if index == 0 else b""
         response_payload = spec.response_payload if index == 0 else b""
-        packets.append(
-            _packet(
+        rows.append(
+            _row(
                 spec,
                 when,
                 initiator_is_client,
@@ -261,8 +259,8 @@ def _udp_packets(spec: ConnectionSpec, rng: random.Random) -> List[Packet]:
             )
         )
         delay = min(out_in_delay(rng), gap if gap > 0 else spec.rtt)
-        packets.append(
-            _packet(
+        rows.append(
+            _row(
                 spec,
                 when + max(delay, spec.rtt * 0.5),
                 not initiator_is_client,
@@ -270,8 +268,12 @@ def _udp_packets(spec: ConnectionSpec, rng: random.Random) -> List[Packet]:
                 payload=response_payload,
             )
         )
-    packets.sort(key=lambda packet: packet.timestamp)
-    return packets
+    rows.sort(key=_row_time)
+    return rows
+
+
+def _row_time(row: ConnectionRow) -> float:
+    return row[0]
 
 
 def _chunked(total: int, rounds: int) -> List[int]:
@@ -283,11 +285,35 @@ def _chunked(total: int, rounds: int) -> List[int]:
     return sizes
 
 
+def connection_rows(spec: ConnectionSpec, rng: random.Random) -> List[ConnectionRow]:
+    """All schedule rows of a connection, in timestamp order.
+
+    A row is ``(timestamp, from_client, size, flags, payload)`` — the
+    connection's two socket pairs (client→remote and its inverse) are
+    attached by the consumer, so columnar trace assembly interns each
+    pair once per connection instead of constructing one per packet.
+    """
+    if spec.protocol == IPPROTO_TCP:
+        return _tcp_rows(spec, rng)
+    return _udp_rows(spec, rng)
+
+
 def connection_packets(spec: ConnectionSpec, rng: random.Random) -> List[Packet]:
     """All packets of a connection, in timestamp order."""
-    if spec.protocol == IPPROTO_TCP:
-        return _tcp_packets(spec, rng)
-    return _udp_packets(spec, rng)
+    pair = spec.pair_from_client
+    inverse = pair.inverse
+    outbound, inbound = Direction.OUTBOUND, Direction.INBOUND
+    return [
+        Packet(
+            timestamp,
+            pair if from_client else inverse,
+            size=size,
+            flags=flags,
+            payload=payload,
+            direction=outbound if from_client else inbound,
+        )
+        for timestamp, from_client, size, flags, payload in connection_rows(spec, rng)
+    ]
 
 
 # ---------------------------------------------------------------------------

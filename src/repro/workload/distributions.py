@@ -129,11 +129,20 @@ def split_bytes(
         raise ValueError(f"negative total: {total}")
     mean_packet = min(mean_packet, 1460)
     chunks: List[int] = []
+    append = chunks.append
+    random = rng.random
     remaining = total
+    # Unrolled max(1, min(size, 1460, remaining)) — this loop runs once
+    # per data packet of every generated trace.
     while remaining > 0:
-        size = int(mean_packet * (1.0 + jitter * (rng.random() * 2.0 - 1.0)))
-        size = max(1, min(size, 1460, remaining))
-        chunks.append(size)
+        size = int(mean_packet * (1.0 + jitter * (random() * 2.0 - 1.0)))
+        if size > 1460:
+            size = 1460
+        if size > remaining:
+            size = remaining
+        if size < 1:
+            size = 1
+        append(size)
         remaining -= size
     return chunks
 

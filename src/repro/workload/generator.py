@@ -18,15 +18,19 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.core.hashing import derive_seed
+from repro.net import table as _table_mod
 from repro.net.headers import encode_packet
 from repro.net.inet import IPPROTO_TCP
 from repro.net.packet import Packet
 from repro.net.pcap import PcapWriter
+from repro.net.table import PacketTable
 from repro.workload.apps import (
     APP_FACTORIES,
     ConnectionSpec,
     Initiator,
     connection_packets,
+    connection_rows,
 )
 from repro.workload.calibrate import DEFAULT_APP_MIX
 from repro.workload.topology import AddressSpace, ClientNetwork, HostModel
@@ -178,7 +182,7 @@ class TraceGenerator:
                 not heap or specs[admit_index].start <= heap[0][0]
             ):
                 spec = specs[admit_index]
-                rng = random.Random((self.config.seed << 20) ^ admit_index)
+                rng = random.Random(derive_seed(self.config.seed, admit_index))
                 schedule = connection_packets(spec, rng)
                 if schedule:
                     heapq.heappush(
@@ -198,6 +202,205 @@ class TraceGenerator:
         """The whole trace in memory (convenient for repeated replays)."""
         return list(self.packets())
 
+    # ------------------------------------------------------------------
+    # Columnar packet stream
+    # ------------------------------------------------------------------
+
+    def iter_tables(self, chunk_size: Optional[int] = 65536) -> Iterator[PacketTable]:
+        """The trace as a stream of :class:`PacketTable` chunks.
+
+        Emits the *same packets in the same order* as :meth:`packets`
+        (``tests/workload/test_table_generation.py`` holds the two
+        representations field-identical), but never builds a
+        ``List[Packet]``: each connection expands straight to schedule
+        rows, rows are merged by sorting — valid because every packet of
+        a connection is timestamped at or after its spec's start, so a
+        row is final once the next unexpanded spec starts later than it —
+        and chunks of at most ``chunk_size`` rows are emitted as they
+        fill.  Memory stays bounded by the rows of *concurrent*
+        connections plus one chunk, exactly the heap merge's guarantee.
+
+        All chunks share one growing interned-flow pool
+        (:meth:`PacketTable.spawn`), so ``pair_ids`` are stable across the
+        whole stream and consumers can carry per-flow state between
+        chunks.  ``chunk_size=None`` emits a single table at the end —
+        that is :meth:`table`.
+        """
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1: {chunk_size}")
+        specs = self.specs()
+        seed = self.config.seed
+        pool = PacketTable()
+        intern_pair = pool._pair_id
+        intern_payload = pool._payload_id
+        limit = chunk_size
+        flush_floor = max(limit or 0, 65536)
+
+        # Pending rows live as six parallel column lists, not row tuples —
+        # merging is an *index* sort by timestamp plus a gather per column,
+        # which numpy's stable argsort turns into a few C passes.  The heap
+        # merge's total order is (timestamp, admission counter, schedule
+        # position) — and rows enter the pending columns in exactly
+        # (counter, position) order, an order every *stable* timestamp
+        # sort preserves on ties, so sorting by timestamp alone reproduces
+        # the heap stream without carrying tiebreak fields.  (After a
+        # flush the surviving tail is kept timestamp-sorted with ties in
+        # counter order, and newly appended rows carry strictly larger
+        # counters, so the invariant holds across flushes.)
+        ts_l: List[float] = []
+        sz_l: List[int] = []
+        fl_l: List[int] = []
+        py_l: List[int] = []
+        ob_l: List[int] = []
+        pi_l: List[int] = []
+        current = pool.spawn()
+
+        # The numpy merge keeps the surviving (already-sorted) tail as
+        # numpy arrays between flushes — only the rows appended since the
+        # last flush cross the Python-object boundary, once.  The mode is
+        # latched for the stream's lifetime so tail state stays one type.
+        use_numpy = _table_mod._np_enabled()
+        np = _table_mod._np
+        if use_numpy:
+            tails = [
+                np.empty(0, dtype=dtype)
+                for dtype in (np.float64, np.int64, np.uint32, np.int64,
+                              np.int8, np.int64)
+            ]
+        else:
+            tails = [[], [], [], [], [], []]
+
+        def merge(frontier: Optional[float]) -> Tuple[tuple, int]:
+            """Stable-sort the pending rows (sorted tail + fresh columns)
+            by timestamp and split them at ``frontier``: rows timestamped
+            at or before it are final (every future row is no earlier and
+            carries a larger admission counter).  Returns ``(columns,
+            count)`` — six merged columns of which the first ``count``
+            rows are ready to emit — and retains the rest, still sorted,
+            as the new tail.  The numpy and stdlib paths compute the
+            identical permutation (both are stable sorts keyed on
+            timestamp with insertion-order ties).
+            """
+            nonlocal ts_l, sz_l, fl_l, py_l, ob_l, pi_l, tails
+            fresh = (ts_l, sz_l, fl_l, py_l, ob_l, pi_l)
+            if use_numpy:
+                dtypes = (np.float64, np.int64, np.uint32, np.int64,
+                          np.int8, np.int64)
+                combined = [
+                    np.concatenate([tail, np.asarray(values, dtype=dtype)])
+                    if values else tail
+                    for tail, values, dtype in zip(tails, fresh, dtypes)
+                ]
+                ts = combined[0]
+                order = np.argsort(ts, kind="stable")
+                merged_ts = ts[order]
+                cut = (
+                    len(order) if frontier is None
+                    else int(np.searchsorted(merged_ts, frontier, side="right"))
+                )
+                head, rest = order[:cut], order[cut:]
+                columns = [merged_ts[:cut]]
+                new_tails = [merged_ts[cut:]]
+                for column in combined[1:]:
+                    columns.append(column[head])
+                    new_tails.append(column[rest])
+                tails = new_tails
+            else:
+                combined = [tail + values for tail, values in zip(tails, fresh)]
+                ts = combined[0]
+                order = sorted(range(len(ts)), key=ts.__getitem__)
+                if frontier is None:
+                    cut = len(order)
+                else:
+                    # Manual bisect over the permutation — 3.9's bisect
+                    # has no key=.
+                    lo, hi = 0, len(order)
+                    while lo < hi:
+                        mid = (lo + hi) // 2
+                        if ts[order[mid]] <= frontier:
+                            lo = mid + 1
+                        else:
+                            hi = mid
+                    cut = lo
+                head, rest = order[:cut], order[cut:]
+                columns = []
+                new_tails = []
+                for column in combined:
+                    columns.append([column[i] for i in head])
+                    new_tails.append([column[i] for i in rest])
+                tails = new_tails
+            ts_l, sz_l, fl_l, py_l, ob_l, pi_l = [], [], [], [], [], []
+            return tuple(columns), cut
+
+        def emit(columns: tuple, count: int) -> List[PacketTable]:
+            """Append ``count`` merged rows to the current chunk; return
+            the chunks that filled up.  numpy columns land via raw-buffer
+            ``frombytes`` (same element layout as the array typecodes);
+            list columns via plain ``extend``.
+            """
+            nonlocal current
+            done: List[PacketTable] = []
+            start = 0
+            raw = not isinstance(columns[0], list)
+            while start < count:
+                take = count - start
+                if limit is not None:
+                    take = min(take, limit - len(current))
+                stop = start + take
+                targets = (
+                    current.timestamps, current.sizes, current.flags,
+                    current.payload_ids, current.outbound, current.pair_ids,
+                )
+                if raw:
+                    for target, column in zip(targets, columns):
+                        target.frombytes(column[start:stop].tobytes())
+                else:
+                    for target, column in zip(targets, columns):
+                        target.extend(column[start:stop])
+                start = stop
+                if limit is not None and len(current) >= limit:
+                    done.append(current)
+                    current = pool.spawn()
+            return done
+
+        # Flush on *growth* since the last sort, not absolute pending size:
+        # long-lived connections keep O(concurrent rows) pending at all
+        # times, and re-sorting that floor per spec would be quadratic.
+        grown = 0
+        for index, spec in enumerate(specs):
+            if grown >= flush_floor:
+                grown = 0
+                columns, cut = merge(spec.start)
+                if cut:
+                    for chunk in emit(columns, cut):
+                        yield chunk
+            rows = connection_rows(spec, random.Random(derive_seed(seed, index)))
+            if not rows:
+                continue
+            base = spec.pair_from_client
+            pid_out = intern_pair(base)
+            pid_in = intern_pair(base.inverse)
+            ts_l += [row[0] for row in rows]
+            ob_l += [1 if row[1] else 0 for row in rows]
+            sz_l += [row[2] for row in rows]
+            fl_l += [row[3] for row in rows]
+            py_l += [intern_payload(row[4]) if row[4] else 0 for row in rows]
+            pi_l += [pid_out if row[1] else pid_in for row in rows]
+            grown += len(rows)
+
+        columns, cut = merge(None)
+        for chunk in emit(columns, cut):
+            yield chunk
+        if len(current):
+            yield current
+
+    def table(self) -> PacketTable:
+        """The whole trace as one :class:`PacketTable`."""
+        result: Optional[PacketTable] = None
+        for chunk in self.iter_tables(chunk_size=None):
+            result = chunk
+        return result if result is not None else PacketTable()
+
     def write_pcap(self, path: str, snaplen: int = 65535) -> int:
         """Serialize the trace to a pcap file in wire format.
 
@@ -208,17 +411,21 @@ class TraceGenerator:
         written = 0
         with open(path, "wb") as fileobj:
             writer = PcapWriter(fileobj, snaplen=snaplen)
-            for packet in self.packets():
-                transport = 20 if packet.pair.protocol == IPPROTO_TCP else 8
-                payload_room = max(0, packet.size - 20 - transport)
-                data = encode_packet(
-                    packet.pair,
-                    payload=packet.payload[:payload_room],
-                    flags=packet.flags,
-                    pad_to=payload_room,
-                )
-                writer.write(packet.timestamp, data)
-                written += 1
+            # Stream columnar chunks and read rows through the reused
+            # view cursor: bounded memory, no per-packet objects.
+            for chunk in self.iter_tables():
+                for view in chunk.iter_views():
+                    pair = view.pair
+                    transport = 20 if pair.protocol == IPPROTO_TCP else 8
+                    payload_room = max(0, view.size - 20 - transport)
+                    data = encode_packet(
+                        pair,
+                        payload=view.payload[:payload_room],
+                        flags=view.flags,
+                        pad_to=payload_room,
+                    )
+                    writer.write(view.timestamp, data)
+                    written += 1
         return written
 
 

@@ -8,6 +8,8 @@ from hypothesis import strategies as st
 
 from repro.core.hashing import (
     HashFamily,
+    HashIndexMemo,
+    derive_seed,
     fnv1a_64,
     make_hash_family,
     mix_tuple,
@@ -169,3 +171,82 @@ def test_indices_always_in_range(fields):
 def test_hash_family_deterministic_property(fields):
     family = HashFamily(m=3, n_bits=20, seed=5)
     assert family.indices(fields) == family.indices(fields)
+
+
+class TestDeriveSeed:
+    """Per-stream RNG seed derivation (the generator's packet schedules)."""
+
+    def test_regression_colliding_indices(self):
+        # The old layout (seed << 20) ^ index collapses these two streams
+        # onto one value — index 2**20 under seed 7 lands exactly on
+        # index 0 under seed 6 — so both connections replayed the same
+        # packet-schedule RNG.  derive_seed must keep them apart.
+        assert (7 << 20) ^ 2 ** 20 == (6 << 20) ^ 0  # the collision itself
+        assert derive_seed(7, 2 ** 20) != derive_seed(6, 0)
+        assert (3 << 20) ^ (2 ** 21 + 5) == (1 << 20) ^ 5
+        assert derive_seed(3, 2 ** 21 + 5) != derive_seed(1, 5)
+
+    def test_colliding_indices_give_distinct_rng_streams(self):
+        a = random.Random(derive_seed(7, 2 ** 20))
+        b = random.Random(derive_seed(6, 0))
+        assert [a.random() for _ in range(8)] != [b.random() for _ in range(8)]
+
+    def test_injective_per_seed(self):
+        seeds = {derive_seed(7, index) for index in range(5000)}
+        assert len(seeds) == 5000
+        large = {derive_seed(7, 2 ** 20 + index) for index in range(5000)}
+        assert len(large) == 5000
+        assert not seeds & large
+
+    def test_deterministic(self):
+        assert derive_seed(42, 17) == derive_seed(42, 17)
+
+
+class TestHashIndexMemo:
+    """LRU memo accounting: repeats are hits, firsts are misses."""
+
+    def make(self, capacity=1 << 16):
+        return HashIndexMemo(make_hash_family(3, 2 ** 14), capacity=capacity)
+
+    def test_get_accounting(self):
+        memo = self.make()
+        key = (6, 1, 2, 3, 4)
+        first = memo.get(key)
+        assert (memo.hits, memo.misses) == (0, 1)
+        assert memo.get(key) == first
+        assert (memo.hits, memo.misses) == (1, 1)
+
+    def test_get_many_credits_in_batch_repeats(self):
+        # The PR-3 bug: misses were deduped before resolution, so a flow's
+        # thousands of repeats inside one batch earned zero hits.
+        memo = self.make()
+        k1, k2 = (6, 1, 1, 2, 2), (6, 3, 3, 4, 4)
+        memo.get_many([k1, k1, k2, k1, k2])
+        assert (memo.hits, memo.misses) == (3, 2)
+
+    def test_get_many_credits_cross_batch_reuse(self):
+        memo = self.make()
+        k1, k2 = (6, 1, 1, 2, 2), (6, 3, 3, 4, 4)
+        memo.get_many([k1, k2])
+        assert (memo.hits, memo.misses) == (0, 2)
+        memo.get_many([k1, k2, k1])
+        assert (memo.hits, memo.misses) == (3, 2)
+
+    def test_get_many_matches_per_key_get_accounting(self):
+        rng = random.Random(3)
+        keys = [(6, rng.randrange(8), 1, rng.randrange(8), 2)
+                for _ in range(200)]
+        batched = self.make()
+        batched_out = batched.get_many(keys)
+        looped = self.make()
+        looped_out = [looped.get(key) for key in keys]
+        assert batched_out == looped_out
+        assert (batched.hits, batched.misses) == (looped.hits, looped.misses)
+
+    def test_get_many_survives_capacity_smaller_than_batch(self):
+        memo = self.make(capacity=4)
+        keys = [(6, index, 0, 0, 0) for index in range(16)]
+        out = memo.get_many(keys)
+        family = make_hash_family(3, 2 ** 14)
+        assert out == [tuple(family.indices(key)) for key in keys]
+        assert len(memo) <= 4

@@ -13,6 +13,7 @@ from repro.net.pcap import (
     PcapReader,
     PcapRecord,
     PcapWriter,
+    iter_pcap,
     read_pcap,
     write_pcap,
 )
@@ -77,6 +78,91 @@ class TestFileHelpers:
         write_pcap(path, [PcapRecord(0.1, 99, b"abc")])
         [record] = read_pcap(path)
         assert record.orig_len == 99
+
+
+class TestIterPcap:
+    def test_matches_read_pcap(self, tmp_path):
+        path = str(tmp_path / "trace.pcap")
+        data = encode_packet(tcp_pair(), payload=b"stream")
+        write_pcap(path, [(float(i) / 4, data) for i in range(20)])
+        assert list(iter_pcap(path)) == read_pcap(path)
+
+    def test_lazy_one_record_at_a_time(self, tmp_path):
+        path = str(tmp_path / "trace.pcap")
+        data = encode_packet(tcp_pair())
+        write_pcap(path, [(0.0, data), (1.0, data), (2.0, data)])
+        stream = iter_pcap(path)
+        first = next(stream)
+        assert first.timestamp == pytest.approx(0.0, abs=1e-6)
+        stream.close()  # abandoning mid-stream must not leak the file
+
+    def test_empty_capture(self, tmp_path):
+        path = str(tmp_path / "empty.pcap")
+        write_pcap(path, [])
+        assert list(iter_pcap(path)) == []
+
+
+class TestTableIngest:
+    """Streaming pcap -> PacketTable (never holds the capture twice)."""
+
+    NETWORK = 0x0A010000  # 10.1.0.0/16: tcp_pair's client side is inside
+
+    def write_trace(self, tmp_path, count=12, payload=b"p2p!"):
+        path = str(tmp_path / "trace.pcap")
+        data = encode_packet(tcp_pair(), payload=payload)
+        reverse = encode_packet(tcp_pair().inverse, payload=payload)
+        records = []
+        for index in range(count):
+            records.append((float(index), data if index % 2 == 0 else reverse))
+        write_pcap(path, records)
+        return path
+
+    def test_round_trip_and_direction(self, tmp_path):
+        from repro.net.packet import Direction
+        from repro.net.table import PacketTable
+
+        path = self.write_trace(tmp_path)
+        table = PacketTable.from_pcap(path, self.NETWORK, 16)
+        assert len(table) == 12
+        for position, packet in enumerate(table.to_packets()):
+            expected = (Direction.OUTBOUND if position % 2 == 0
+                        else Direction.INBOUND)
+            assert packet.direction is expected
+            assert packet.timestamp == pytest.approx(float(position), abs=1e-6)
+
+    def test_matches_object_loader(self, tmp_path):
+        """Identical fields to the decode-to-Packet-objects path."""
+        from repro.net.headers import decode_packet
+        from repro.net.inet import in_network
+        from repro.net.table import PacketTable
+
+        path = self.write_trace(tmp_path)
+        table = PacketTable.from_pcap(path, self.NETWORK, 16)
+        for record, packet in zip(read_pcap(path), table.to_packets()):
+            reference = decode_packet(record.data, record.timestamp)
+            assert packet.pair == reference.pair
+            assert packet.size == reference.size
+            assert packet.flags == reference.flags
+            assert packet.payload == reference.payload
+            assert (packet.direction.name == "OUTBOUND") == in_network(
+                reference.pair.src_addr, self.NETWORK, 16
+            )
+
+    def test_payload_limit(self, tmp_path):
+        from repro.net.table import PacketTable
+
+        path = self.write_trace(tmp_path, payload=b"long-payload-here")
+        table = PacketTable.from_pcap(path, self.NETWORK, 16, payload_limit=0)
+        assert all(payload == b"" for payload in table.payloads)
+
+    def test_undecodable_records_skipped(self, tmp_path):
+        from repro.net.table import PacketTable
+
+        path = str(tmp_path / "mixed.pcap")
+        good = encode_packet(tcp_pair())
+        write_pcap(path, [(0.0, good), (1.0, b"\x00\x01junk"), (2.0, good)])
+        table = PacketTable.from_pcap(path, self.NETWORK, 16)
+        assert len(table) == 2
 
 
 class TestMalformed:

@@ -1,0 +1,187 @@
+"""Property tests for the columnar packet plane.
+
+The :class:`~repro.net.table.PacketTable` contract: every field of every
+packet round-trips *exactly* through the struct-of-arrays representation
+— timestamps, five-tuples, sizes, flags, payloads and directions — and a
+replay over a table is bit-identical to a replay over the equivalent
+``List[Packet]``, in both STRICT and HOLE_PUNCHING field modes.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitmap_filter import BitmapFilterConfig, FieldMode
+from repro.filters.bitmap import BitmapPacketFilter
+from repro.net.inet import IPPROTO_TCP, IPPROTO_UDP
+from repro.net.packet import Direction, Packet, SocketPair
+from repro.net.table import PacketTable, as_table
+from repro.sim.replay import replay
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+socket_pairs = st.builds(
+    SocketPair,
+    st.sampled_from([IPPROTO_TCP, IPPROTO_UDP]),
+    st.integers(0, 2 ** 32 - 1),
+    st.integers(0, 65535),
+    st.integers(0, 2 ** 32 - 1),
+    st.integers(0, 65535),
+)
+
+timestamps = st.floats(min_value=0.0, max_value=1e7, allow_nan=False)
+sizes = st.integers(0, 65535)
+flag_values = st.integers(0, 2 ** 32 - 1)
+payloads = st.binary(max_size=48)
+directions = st.sampled_from([Direction.OUTBOUND, Direction.INBOUND])
+
+
+def make_packet(timestamp, pair, size, flags, payload, direction):
+    return Packet(timestamp, pair, size=size, flags=flags, payload=payload,
+                  direction=direction)
+
+
+packet_lists = st.lists(
+    st.builds(make_packet, timestamps, socket_pairs, sizes, flag_values,
+              payloads, directions),
+    max_size=40,
+)
+
+
+def fields(packets):
+    return [
+        (p.timestamp, p.pair, p.size, p.flags, p.payload, p.direction)
+        for p in packets
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Round-trip properties
+# ---------------------------------------------------------------------------
+
+
+class TestRoundTrip:
+    @given(packet_lists)
+    @settings(max_examples=200)
+    def test_from_packets_to_packets_exact(self, packets):
+        table = PacketTable.from_packets(packets)
+        assert len(table) == len(packets)
+        assert fields(table.to_packets()) == fields(packets)
+
+    @given(packet_lists)
+    @settings(max_examples=100)
+    def test_append_packet_matches_from_packets(self, packets):
+        table = PacketTable()
+        for packet in packets:
+            table.append_packet(packet)
+        assert fields(table.to_packets()) == fields(packets)
+
+    @given(packet_lists)
+    @settings(max_examples=100)
+    def test_views_read_every_field(self, packets):
+        table = PacketTable.from_packets(packets)
+        got = [
+            (v.timestamp, v.pair, v.size, v.flags, v.payload, v.direction)
+            for v in table.iter_views()
+        ]
+        assert got == fields(packets)
+
+    @given(packet_lists, st.integers(0, 16))
+    @settings(max_examples=100)
+    def test_payload_limit_truncates(self, packets, limit):
+        table = PacketTable.from_packets(packets, payload_limit=limit)
+        for packet, back in zip(packets, table.to_packets()):
+            assert back.payload == packet.payload[:limit]
+            assert back.size == packet.size  # wire size is never touched
+
+    @given(packet_lists)
+    @settings(max_examples=100)
+    def test_interning_pools(self, packets):
+        table = PacketTable.from_packets(packets)
+        assert table.payloads[0] == b""  # the empty payload is always id 0
+        assert len(set(table.pairs)) == len(table.pairs)
+        assert set(table.pairs) == {p.pair for p in packets}
+
+    @given(packet_lists)
+    @settings(max_examples=50)
+    def test_pickle_round_trip(self, packets):
+        table = PacketTable.from_packets(packets)
+        clone = pickle.loads(pickle.dumps(table))
+        assert fields(clone.to_packets()) == fields(packets)
+
+    @given(packet_lists, st.integers(0, 40), st.integers(0, 40))
+    @settings(max_examples=100)
+    def test_slice_matches_list_slice(self, packets, start, stop):
+        table = PacketTable.from_packets(packets)
+        start = min(start, len(packets))
+        stop = min(max(stop, start), len(packets))
+        assert fields(table.slice(start, stop).to_packets()) == fields(
+            packets[start:stop]
+        )
+
+
+class TestValidation:
+    def test_direction_none_rejected_by_from_packets(self):
+        stray = Packet(1.0, SocketPair(IPPROTO_TCP, 1, 2, 3, 4), size=40)
+        assert stray.direction is None
+        with pytest.raises(ValueError, match="direction"):
+            PacketTable.from_packets([stray])
+
+    def test_direction_none_rejected_by_append_packet(self):
+        stray = Packet(1.0, SocketPair(IPPROTO_TCP, 1, 2, 3, 4), size=40)
+        with pytest.raises(ValueError, match="direction"):
+            PacketTable().append_packet(stray)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            PacketTable().append_row(
+                0.0, SocketPair(IPPROTO_TCP, 1, 2, 3, 4), -1, 0, b"", 1
+            )
+
+    def test_flags_out_of_range_rejected(self):
+        pair = SocketPair(IPPROTO_TCP, 1, 2, 3, 4)
+        with pytest.raises(ValueError):
+            PacketTable().append_row(0.0, pair, 40, 1 << 32, b"", 1)
+        with pytest.raises(ValueError):
+            PacketTable().append_row(0.0, pair, 40, -1, b"", 1)
+
+    def test_as_table_passes_tables_through(self):
+        table = PacketTable()
+        assert as_table(table) is table
+
+
+# ---------------------------------------------------------------------------
+# Cross-representation replay equivalence (incl. hole-punching field mode)
+# ---------------------------------------------------------------------------
+
+
+def replay_fingerprint(result):
+    router = result.router
+    return {
+        "packets": result.packets,
+        "inbound_packets": result.inbound_packets,
+        "inbound_dropped": result.inbound_dropped,
+        "filter_stats": router.filter.stats.as_dict(),
+        "core_stats": router.filter.core.stats.as_dict(),
+        "blocked": dict(router.blocklist._blocked),
+        "suppressed": router.blocklist.suppressed_packets,
+    }
+
+
+@given(packet_lists, st.sampled_from([FieldMode.STRICT, FieldMode.HOLE_PUNCHING]))
+@settings(max_examples=50, deadline=None)
+def test_replay_equivalent_across_representations(packets, field_mode):
+    packets = sorted(packets, key=lambda p: p.timestamp)
+
+    def run(trace):
+        flt = BitmapPacketFilter(
+            BitmapFilterConfig(size=2 ** 12, vectors=3, hashes=2,
+                               rotate_interval=5.0, field_mode=field_mode)
+        )
+        return replay_fingerprint(replay(trace, flt, use_blocklist=True))
+
+    assert run(PacketTable.from_packets(packets)) == run(list(packets))
