@@ -95,6 +95,70 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--seed", type=int, default=7)
     figures.set_defaults(handler=cmd_figures)
 
+    serve = sub.add_parser(
+        "serve", help="run the live filter daemon over a packet source"
+    )
+    serve.add_argument("--source", default="generator",
+                       choices=("generator", "pcap", "socket", "idle"),
+                       help="where packets come from")
+    serve.add_argument("--pcap", default=None, help="capture path (--source pcap)")
+    serve.add_argument("--network", default="10.1.0.0/16",
+                       help="client network CIDR (directions, sharding)")
+    serve.add_argument("--feed", default=None,
+                       help="listen address for the packet feed "
+                            "(--source socket): unix:/path or tcp:host:port")
+    serve.add_argument("--duration", type=float, default=60.0,
+                       help="generator trace seconds (--source generator)")
+    serve.add_argument("--rate", type=float, default=10.0,
+                       help="generator connection arrivals/sec")
+    serve.add_argument("--hosts", type=int, default=120)
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--chunk-size", type=int, default=4096,
+                       help="packets per source chunk")
+    serve.add_argument("--speed", type=float, default=None,
+                       help="trace-time pacing multiplier (1.0 = real time; "
+                            "omit to replay flat out)")
+    serve.add_argument("--control", default=None,
+                       help="control socket: unix:/path or tcp:host:port")
+    serve.add_argument("--snapshot-dir", default=None,
+                       help="directory for warm-restart snapshots")
+    serve.add_argument("--snapshot-interval", type=float, default=None,
+                       help="seconds between periodic snapshots")
+    serve.add_argument("--restore", default=None,
+                       help="warm-restart from a snapshot file (or the "
+                            "latest snapshot in a directory)")
+    serve.add_argument("--queue-depth", type=int, default=8,
+                       help="ingest backpressure bound (chunks)")
+    serve.add_argument("--size-bits", type=int, default=20, help="n of N=2^n")
+    serve.add_argument("--vectors", type=int, default=4, help="k bit vectors")
+    serve.add_argument("--hashes", type=int, default=3, help="m hash functions")
+    serve.add_argument("--rotate", type=float, default=5.0, help="Δt seconds")
+    serve.add_argument("--hole-punching", action="store_true")
+    serve.add_argument("--low-mbps", type=float, default=None, help="Equation 1 L")
+    serve.add_argument("--high-mbps", type=float, default=None, help="Equation 1 H")
+    serve.add_argument("--no-blocklist", action="store_true")
+    serve.add_argument("--sequential", action="store_true",
+                       help="per-packet stepping instead of the columnar "
+                            "batched engine (identical verdicts)")
+    serve.set_defaults(handler=cmd_serve)
+
+    ctl = sub.add_parser(
+        "ctl", help="talk to a running filter daemon's control socket"
+    )
+    ctl.add_argument("address", help="control socket: unix:/path or tcp:host:port")
+    ctl.add_argument("command",
+                     choices=("stats", "health", "config", "snapshot",
+                              "drain", "shutdown"))
+    ctl.add_argument("--low-mbps", type=float, default=None,
+                     help="config: new Equation 1 L")
+    ctl.add_argument("--high-mbps", type=float, default=None,
+                     help="config: new Equation 1 H")
+    ctl.add_argument("--probability", type=float, default=None,
+                     help="config: new static drop probability")
+    ctl.add_argument("--rotate", type=float, default=None,
+                     help="config: new Δt (rotation phase re-anchors)")
+    ctl.set_defaults(handler=cmd_ctl)
+
     plan = sub.add_parser("plan", help="size a bitmap filter (section 4.3)")
     plan.add_argument("--connections", type=int, required=True,
                       help="active connections per T_e window")
@@ -421,6 +485,151 @@ def cmd_figures(args) -> int:
         series = [(t, v) for t, v in result.passed.series_mbps(Direction.OUTBOUND)
                   if t <= horizon]
         print("\n" + render_series(series, title=title, y_label="Mbps", hline=high))
+    return 0
+
+
+def _build_serve_filter(args):
+    """The daemon's filter: a bitmap filter (the snapshot/restore unit)
+    with a RED controller when thresholds are given."""
+    from repro.filters.bitmap import BitmapPacketFilter
+    from repro.filters.policy import DropController
+
+    if args.low_mbps is not None and args.high_mbps is not None:
+        controller = DropController.red_mbps(
+            low_mbps=args.low_mbps, high_mbps=args.high_mbps
+        )
+        note = f"RED L={args.low_mbps:.2f} H={args.high_mbps:.2f} Mbps"
+    else:
+        controller = DropController.always_drop()
+        note = "P_d = 1 (drop all stateless inbound)"
+    config = BitmapFilterConfig(
+        size=2 ** args.size_bits,
+        vectors=args.vectors,
+        hashes=args.hashes,
+        rotate_interval=args.rotate,
+        field_mode=FieldMode.HOLE_PUNCHING if args.hole_punching else FieldMode.STRICT,
+    )
+    return BitmapPacketFilter(config, drop_controller=controller), note
+
+
+def _build_source(args):
+    from repro.service import (
+        GeneratorSource,
+        IdleSource,
+        PcapSource,
+        SocketSource,
+    )
+
+    if args.source == "generator":
+        from repro.workload.generator import TraceConfig, TraceGenerator
+
+        generator = TraceGenerator(TraceConfig(
+            duration=args.duration,
+            connection_rate=args.rate,
+            hosts=args.hosts,
+            seed=args.seed,
+        ))
+        return GeneratorSource(generator, chunk_size=args.chunk_size)
+    if args.source == "pcap":
+        if args.pcap is None:
+            raise SystemExit("--source pcap needs --pcap PATH")
+        network, prefix = _parse_cidr(args.network)
+        return PcapSource(args.pcap, network, prefix,
+                          chunk_size=args.chunk_size)
+    if args.source == "socket":
+        if args.feed is None:
+            raise SystemExit("--source socket needs --feed ADDRESS")
+        from repro.service.control import parse_control_address
+
+        kind, address = parse_control_address(args.feed)
+        if kind == "unix":
+            return SocketSource.unix(address)
+        host, port = address
+        return SocketSource.tcp(host, port)
+    return IdleSource()
+
+
+def cmd_serve(args) -> int:
+    """Run the streaming filter daemon until its source ends or a
+    control-plane drain/shutdown finalizes it."""
+    from repro.net.packet import Direction
+    from repro.service import FilterService
+    from repro.sim.pipeline import BatchedBackend, SequentialBackend
+
+    source = _build_source(args)
+    backend = SequentialBackend() if args.sequential else BatchedBackend()
+    common = dict(
+        backend=backend,
+        speed=args.speed,
+        queue_depth=args.queue_depth,
+        snapshot_dir=args.snapshot_dir,
+        snapshot_interval=args.snapshot_interval,
+        control=args.control,
+    )
+    if args.restore is not None:
+        service = FilterService.restore(args.restore, source, **common)
+        note = f"restored from {args.restore}"
+    else:
+        packet_filter, note = _build_serve_filter(args)
+        service = FilterService(
+            source, packet_filter,
+            use_blocklist=not args.no_blocklist,
+            **common,
+        )
+    print(f"serving {source.describe()} via {backend.describe()}  ({note})")
+    if args.control:
+        print(f"control socket: {args.control}")
+    try:
+        result = service.run_forever()
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    print(f"packets: {result.packets:,}  inbound: {result.inbound_packets:,}  "
+          f"drop rate: {result.inbound_drop_rate:.2%}")
+    print(f"uplink passed: {result.passed.mean_mbps(Direction.OUTBOUND):.2f} Mbps")
+    if result.router.blocklist is not None:
+        print(f"blocked connections: {len(result.router.blocklist):,}")
+    if result.fingerprint is not None:
+        print(f"verdict fingerprint: {result.fingerprint:#018x}")
+    return 0
+
+
+def cmd_ctl(args) -> int:
+    """One request against a running daemon's control socket."""
+    import json
+
+    from repro.service import ControlClient, ControlError
+
+    try:
+        with ControlClient(args.address) as client:
+            if args.command == "stats":
+                print(json.dumps(client.stats(), indent=2))
+            elif args.command == "health":
+                print(json.dumps(client.health(), indent=2))
+            elif args.command == "snapshot":
+                print(client.snapshot())
+            elif args.command == "drain":
+                print(json.dumps(client.drain(), indent=2))
+            elif args.command == "shutdown":
+                print(json.dumps(client.shutdown(), indent=2))
+            else:
+                params = {}
+                if args.low_mbps is not None:
+                    params["low_mbps"] = args.low_mbps
+                if args.high_mbps is not None:
+                    params["high_mbps"] = args.high_mbps
+                if args.probability is not None:
+                    params["probability"] = args.probability
+                if args.rotate is not None:
+                    params["rotate_interval"] = args.rotate
+                if not params:
+                    print("config needs at least one of --low-mbps/--high-mbps/"
+                          "--probability/--rotate", file=sys.stderr)
+                    return 2
+                print(json.dumps(client.configure(**params), indent=2))
+    except (ControlError, ConnectionError, FileNotFoundError, OSError) as error:
+        print(f"control error: {error}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -74,6 +74,27 @@ class TargetRateController(DropPolicy):
         self._probability = probability
         self.observations = 0
 
+    def snapshot(self) -> dict:
+        return {
+            "kind": "target-rate",
+            "target_bps": self.target_bps,
+            "gain": self.gain,
+            "deadband": self.deadband,
+            "probability": self._probability,
+            "observations": self.observations,
+        }
+
+    @classmethod
+    def restore(cls, snapshot: dict) -> "TargetRateController":
+        controller = cls(
+            target_bps=snapshot["target_bps"],
+            gain=snapshot["gain"],
+            deadband=snapshot["deadband"],
+            initial_probability=snapshot["probability"],
+        )
+        controller.observations = snapshot["observations"]
+        return controller
+
     def __repr__(self) -> str:  # pragma: no cover
         return (
             f"TargetRateController(target={self.target_bps / 1e6:.1f} Mbps, "

@@ -396,23 +396,33 @@ class BitmapFilter:
     # ------------------------------------------------------------------
 
     def snapshot(self) -> dict:
-        """Serializable filter state (config + bits + rotation phase).
+        """Serializable filter state (config + bits + rotation clock + RNG).
 
         A router restart with a cold filter would drop every in-flight
         connection's return traffic for up to T_e seconds; restoring a
         snapshot avoids that.  The snapshot is plain data (ints/bytes),
         safe for json/pickle/msgpack as the deployment prefers.
 
-        Rotation state is stored as the schedule's *phase* within Δt, not
-        as an absolute next-rotation time: the restoring process's clock
-        (a fresh replay, a rebooted router) need not share the snapshot's
-        epoch, and an absolute time far in the future would silently
-        suppress rotation until the new clock caught up.
+        Rotation state is stored twice, for the two restart scenarios:
+
+        * ``rotation_phase`` — the schedule's offset within Δt, for
+          restoring onto a *new* clock (a fresh replay, a rebooted router
+          whose epoch restarted): an absolute time far in the future would
+          silently suppress rotation until the new clock caught up.
+        * ``next_rotation`` — the absolute next-rotation time, for a warm
+          restart that *continues the same clock* (the live service
+          plane): rotations due in the snapshot→restart gap must still
+          fire, and re-deriving the anchor from the phase would skip them.
+
+        The drop RNG's state rides along (as plain ints) so a warm
+        restart resumes the exact random sequence — without it, verdicts
+        under a fractional ``P_d`` diverge from an uninterrupted run.
         """
         if self._next_rotation is not None:
             phase: Optional[float] = self._next_rotation % self.config.rotate_interval
         else:
             phase = self._restored_phase
+        version, internal, gauss = self._rng.getstate()
         return {
             "size": self.config.size,
             "vectors": self.config.vectors,
@@ -422,16 +432,44 @@ class BitmapFilter:
             "seed": self.config.seed,
             "idx": self.idx,
             "rotation_phase": phase,
+            "next_rotation": self._next_rotation,
+            "rng_state": [version, list(internal), gauss],
+            "stats": self.stats.as_dict(),
             "bits": [vector.to_bytes() for vector in self.vectors],
         }
 
     @classmethod
-    def restore(cls, snapshot: dict, rng: Optional[random.Random] = None) -> "BitmapFilter":
+    def restore(
+        cls,
+        snapshot: dict,
+        rng: Optional[random.Random] = None,
+        clock: str = "reanchor",
+    ) -> "BitmapFilter":
         """Rebuild a filter from :meth:`snapshot` output.
 
         The hash seed is part of the snapshot — bits are meaningless under
         a different hash family.
+
+        ``clock`` selects how the rotation schedule restarts:
+
+        * ``"reanchor"`` (default) — keep only the phase within Δt; the
+          first :meth:`advance_to` rebases the schedule onto the new
+          clock.  Right for restoring old state into a replay or reboot
+          whose timestamps restarted.
+        * ``"resume"`` — keep the absolute next-rotation time; rotations
+          that fell due between snapshot and restart fire on the next
+          :meth:`advance_to`, exactly as an uninterrupted filter's would.
+          Right for the warm-restart path of a live service whose clock
+          (trace time or epoch time) continues.  Requires a snapshot
+          carrying ``next_rotation``; older phase-only snapshots fall
+          back to re-anchoring.
+
+        When the snapshot carries the drop RNG's state and no explicit
+        ``rng`` is given, the restored filter resumes the exact random
+        sequence of the snapshotted one.
         """
+        if clock not in ("reanchor", "resume"):
+            raise ValueError(f"unknown restore clock mode: {clock!r}")
         config = BitmapFilterConfig(
             size=snapshot["size"],
             vectors=snapshot["vectors"],
@@ -452,16 +490,47 @@ class BitmapFilter:
         filt.idx = snapshot["idx"]
         if not 0 <= filt.idx < config.vectors:
             raise ValueError(f"snapshot index out of range: {filt.idx}")
+        if rng is None and snapshot.get("rng_state") is not None:
+            version, internal, gauss = snapshot["rng_state"]
+            # JSON round-trips tuples as lists; setstate wants tuples back.
+            filt._rng.setstate((version, tuple(internal), gauss))
+        if snapshot.get("stats") is not None:
+            filt.stats = BitmapFilterStats(**snapshot["stats"])
+        absolute = snapshot.get("next_rotation")
+        if clock == "resume" and absolute is not None:
+            filt._next_rotation = absolute
+            filt._restored_phase = None
+            return filt
         if "rotation_phase" in snapshot:
             phase = snapshot["rotation_phase"]
         else:
-            # Legacy snapshots stored the absolute next-rotation time;
+            # Legacy snapshots stored only the absolute next-rotation time;
             # reduce it to its phase so old state restores correctly too.
-            legacy = snapshot.get("next_rotation")
-            phase = None if legacy is None else legacy % config.rotate_interval
+            phase = None if absolute is None else absolute % config.rotate_interval
         filt._next_rotation = None
         filt._restored_phase = phase
         return filt
+
+    def set_rotate_interval(self, interval: float, now: Optional[float] = None) -> None:
+        """Live-reconfigure Δt, re-anchoring the rotation schedule.
+
+        The next rotation fires one *new* interval after ``now`` (the last
+        trace time the caller has seen); later rotations follow the new
+        period.  An unanchored filter (no packet seen yet) simply adopts
+        the new interval — its first :meth:`advance_to` anchors as usual.
+        A pending restored phase is discarded: a phase expressed in old-Δt
+        units is meaningless under the new period.
+        """
+        if interval <= 0:
+            raise ValueError(f"Δt must be positive, got {interval}")
+        self.config.rotate_interval = interval
+        self._restored_phase = None
+        if self._next_rotation is not None:
+            if now is None:
+                raise ValueError(
+                    "an anchored rotation schedule needs `now` to re-anchor"
+                )
+            self._next_rotation = now + interval
 
     def __repr__(self) -> str:  # pragma: no cover
         cfg = self.config

@@ -19,6 +19,29 @@ class DropPolicy(ABC):
     def probability(self, throughput: float) -> float:
         """``P_d`` for the given throughput (same units as the thresholds)."""
 
+    @abstractmethod
+    def snapshot(self) -> dict:
+        """Serializable policy parameters (plain JSON-safe data)."""
+
+
+def restore_policy(snapshot: dict) -> DropPolicy:
+    """Rebuild any policy from its :meth:`DropPolicy.snapshot` output."""
+    kind = snapshot.get("kind")
+    if kind == "red":
+        return RedDropPolicy(low=snapshot["low"], high=snapshot["high"])
+    if kind == "static":
+        return StaticDropPolicy(snapshot["probability"])
+    if kind == "stepped":
+        return SteppedDropPolicy(
+            [(threshold, probability)
+             for threshold, probability in snapshot["steps"]]
+        )
+    if kind == "target-rate":
+        from repro.core.autotune import TargetRateController
+
+        return TargetRateController.restore(snapshot)
+    raise ValueError(f"unknown drop-policy snapshot kind: {kind!r}")
+
 
 class RedDropPolicy(DropPolicy):
     """Equation 1: RED-style linear ramp between ``low`` and ``high``.
@@ -45,6 +68,9 @@ class RedDropPolicy(DropPolicy):
             return 1.0
         return (throughput - self.low) / (self.high - self.low)
 
+    def snapshot(self) -> dict:
+        return {"kind": "red", "low": self.low, "high": self.high}
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"RedDropPolicy(low={self.low}, high={self.high})"
 
@@ -63,6 +89,9 @@ class StaticDropPolicy(DropPolicy):
 
     def probability(self, throughput: float) -> float:
         return self._probability
+
+    def snapshot(self) -> dict:
+        return {"kind": "static", "probability": self._probability}
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"StaticDropPolicy({self._probability})"
@@ -107,6 +136,11 @@ class SteppedDropPolicy(DropPolicy):
             else:
                 break
         return current
+
+    def snapshot(self) -> dict:
+        return {"kind": "stepped",
+                "steps": [[threshold, probability]
+                          for threshold, probability in self.steps]}
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"SteppedDropPolicy({self.steps})"

@@ -27,6 +27,25 @@ class ThroughputMeter(ABC):
     def rate_bps(self, now: float) -> float:
         """Estimated throughput in bits/second as of ``now``."""
 
+    @abstractmethod
+    def snapshot(self) -> dict:
+        """Serializable estimator state (plain ints/floats/lists, JSON-safe).
+
+        A restarted edge-filter service must resume with the *exact* rate
+        estimate it shut down with — ``P_d`` is a function of this state,
+        so verdict-for-verdict warm restart needs it byte-exact.
+        """
+
+
+def restore_meter(snapshot: dict) -> ThroughputMeter:
+    """Rebuild any meter from its :meth:`ThroughputMeter.snapshot` output."""
+    kind = snapshot.get("kind")
+    if kind == "sliding-window":
+        return SlidingWindowMeter.restore(snapshot)
+    if kind == "ewma":
+        return EwmaThroughputMeter.restore(snapshot)
+    raise ValueError(f"unknown meter snapshot kind: {kind!r}")
+
 
 class SlidingWindowMeter(ThroughputMeter):
     """Exact byte count over a trailing window of ``window`` seconds.
@@ -78,6 +97,23 @@ class SlidingWindowMeter(ThroughputMeter):
     def __len__(self) -> int:
         return len(self._entries)
 
+    def snapshot(self) -> dict:
+        return {
+            "kind": "sliding-window",
+            "window": self.window,
+            "entries": [[timestamp, size] for timestamp, size in self._entries],
+            "first_time": self._first_time,
+        }
+
+    @classmethod
+    def restore(cls, snapshot: dict) -> "SlidingWindowMeter":
+        meter = cls(window=snapshot["window"])
+        for timestamp, size in snapshot["entries"]:
+            meter._entries.append((timestamp, size))
+            meter._total_bytes += size
+        meter._first_time = snapshot["first_time"]
+        return meter
+
 
 class EwmaThroughputMeter(ThroughputMeter):
     """Constant-memory EWMA rate estimator.
@@ -122,6 +158,23 @@ class EwmaThroughputMeter(ThroughputMeter):
             return self._rate_bps
         # Decay toward zero during silence.
         return self._rate_bps * math.exp(-gap / self.tau)
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": "ewma",
+            "tau": self.tau,
+            "rate_bps": self._rate_bps,
+            # NaN is not valid JSON; the unseeded state travels as None.
+            "last_time": None if math.isnan(self._last_time) else self._last_time,
+        }
+
+    @classmethod
+    def restore(cls, snapshot: dict) -> "EwmaThroughputMeter":
+        meter = cls(tau=snapshot["tau"])
+        meter._rate_bps = snapshot["rate_bps"]
+        last = snapshot["last_time"]
+        meter._last_time = math.nan if last is None else last
+        return meter
 
 
 def mbps(bits_per_second: float) -> float:

@@ -70,6 +70,27 @@ class FilterStats:
             "inbound_drop_rate": self.drop_rate(Direction.INBOUND),
         }
 
+    def snapshot(self) -> dict:
+        """Full per-direction counters as plain JSON-safe data (unlike
+        :meth:`as_dict`, which is a lossy report shape)."""
+        return {
+            "passed": {d.value: self.passed[d] for d in self.passed},
+            "dropped": {d.value: self.dropped[d] for d in self.dropped},
+            "passed_bytes": {d.value: self.passed_bytes[d] for d in self.passed_bytes},
+            "dropped_bytes": {
+                d.value: self.dropped_bytes[d] for d in self.dropped_bytes
+            },
+        }
+
+    @classmethod
+    def restore(cls, snapshot: dict) -> "FilterStats":
+        stats = cls()
+        for name in ("passed", "dropped", "passed_bytes", "dropped_bytes"):
+            counters = getattr(stats, name)
+            for key, count in snapshot[name].items():
+                counters[Direction(key)] = count
+        return stats
+
     def merge(self, other: "FilterStats") -> "FilterStats":
         """Accumulate another stats record into this one (in place).
 

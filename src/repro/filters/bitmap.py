@@ -13,7 +13,7 @@ from typing import List, Optional, Sequence
 from repro.core.bitmap_filter import BitmapFilter, BitmapFilterConfig
 from repro.core.dropper import StaticDropPolicy
 from repro.core.hashing import HashIndexMemo
-from repro.filters.base import PacketFilter, Verdict
+from repro.filters.base import FilterStats, PacketFilter, Verdict
 from repro.filters.policy import DropController
 from repro.net.packet import Direction, Packet
 
@@ -121,3 +121,40 @@ class BitmapPacketFilter(PacketFilter):
     def reset(self) -> None:
         super().reset()
         self.core.reset()
+
+    # ------------------------------------------------------------------
+    # Persistence — the service plane's warm-restart unit
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Serializable filter state: bitmap core (bits, rotation clock,
+        drop RNG), pass/drop counters, and the drop controller's policy
+        parameters plus estimator observations — everything a warm
+        restart needs to resume verdict-for-verdict."""
+        return {
+            "kind": self.name,
+            "core": self.core.snapshot(),
+            "stats": self.stats.snapshot(),
+            "controller": self.drop_controller.snapshot(),
+        }
+
+    @classmethod
+    def restore(cls, snapshot: dict, clock: str = "resume") -> "BitmapPacketFilter":
+        """Rebuild a filter from :meth:`snapshot` output.
+
+        ``clock`` passes through to :meth:`BitmapFilter.restore`:
+        ``"resume"`` (default here — the service plane continues the same
+        clock) keeps the absolute rotation schedule so gap rotations
+        fire; ``"reanchor"`` rebases the phase onto a new clock.
+        """
+        if snapshot.get("kind") not in (None, cls.name):
+            raise ValueError(
+                f"snapshot is for filter kind {snapshot['kind']!r}, not {cls.name!r}"
+            )
+        filt = cls.__new__(cls)
+        PacketFilter.__init__(filt)
+        filt.core = BitmapFilter.restore(snapshot["core"], clock=clock)
+        filt.drop_controller = DropController.restore(snapshot["controller"])
+        filt.hash_memo = HashIndexMemo(filt.core.family)
+        filt.stats = FilterStats.restore(snapshot["stats"])
+        return filt

@@ -101,3 +101,42 @@ class BlockedConnectionStore:
         self.suppressed_packets = 0
         self.suppressed_bytes = 0
         self._next_gc = None
+
+    def snapshot(self) -> dict:
+        """Serializable store state (entries + counters + GC clock).
+
+        Entries travel as flat ``[protocol, src_addr, src_port, dst_addr,
+        dst_port, stamp]`` rows — plain JSON-safe data.  A restored store
+        keeps refusing exactly the connections the snapshotted one did,
+        which is what makes a service warm restart verdict-identical:
+        a blocked σ forgotten across the restart would get a fresh trip
+        through the filter.
+        """
+        return {
+            "retention": self.retention,
+            "gc_interval": self._gc_interval,
+            "next_gc": self._next_gc,
+            "suppressed_packets": self.suppressed_packets,
+            "suppressed_bytes": self.suppressed_bytes,
+            "blocked": [
+                [*pair, stamp] for pair, stamp in self._blocked.items()
+            ],
+        }
+
+    @classmethod
+    def restore(cls, snapshot: dict) -> "BlockedConnectionStore":
+        """Rebuild a store from :meth:`snapshot` output."""
+        store = cls(
+            retention=snapshot["retention"],
+            gc_interval=snapshot["gc_interval"],
+        )
+        store._next_gc = snapshot["next_gc"]
+        store.suppressed_packets = snapshot["suppressed_packets"]
+        store.suppressed_bytes = snapshot["suppressed_bytes"]
+        for protocol, src_addr, src_port, dst_addr, dst_port, stamp in snapshot[
+            "blocked"
+        ]:
+            store._blocked[
+                SocketPair(protocol, src_addr, src_port, dst_addr, dst_port)
+            ] = stamp
+        return store

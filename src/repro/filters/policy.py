@@ -11,8 +11,13 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.dropper import DropPolicy, RedDropPolicy, StaticDropPolicy
-from repro.core.throughput import SlidingWindowMeter, ThroughputMeter
+from repro.core.dropper import (
+    DropPolicy,
+    RedDropPolicy,
+    StaticDropPolicy,
+    restore_policy,
+)
+from repro.core.throughput import SlidingWindowMeter, ThroughputMeter, restore_meter
 
 
 class DropController:
@@ -36,6 +41,19 @@ class DropController:
     def probability(self, now: float) -> float:
         """Current ``P_d`` given the measured uplink throughput."""
         return self.policy.probability(self.meter.rate_bps(now))
+
+    def snapshot(self) -> dict:
+        """Serializable policy + estimator state (the full ``P_d`` inputs)."""
+        return {"policy": self.policy.snapshot(), "meter": self.meter.snapshot()}
+
+    @classmethod
+    def restore(cls, snapshot: dict) -> "DropController":
+        """Rebuild a controller — policy parameters and the estimator's
+        exact observation state — from :meth:`snapshot` output."""
+        return cls(
+            policy=restore_policy(snapshot["policy"]),
+            meter=restore_meter(snapshot["meter"]),
+        )
 
     @classmethod
     def red_mbps(

@@ -1,0 +1,121 @@
+"""Length-prefixed packet framing for live socket feeds.
+
+The service plane's socket source receives packet chunks from another
+process (a capture shim, a replay driver) over a byte stream.  Frames are
+``!I``-prefixed: a 4-byte big-endian payload length followed by the
+payload.  The payload codec here carries one
+:class:`~repro.net.table.PacketTable` chunk as JSON rows — plain data,
+no pickle across trust boundaries.
+
+Row shape (one list per packet, timestamp-ordered)::
+
+    [timestamp, protocol, src_addr, src_port, dst_addr, dst_port,
+     size, flags, outbound, payload_b64]
+
+``payload_b64`` is the base64 application payload, ``""`` when empty
+(the common case for a live feed — filters decide on headers).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import struct
+from typing import BinaryIO, Optional
+
+from repro.net.packet import SocketPair
+from repro.net.table import PacketTable
+
+_LENGTH = struct.Struct("!I")
+
+#: Upper bound on one frame's payload — a corrupt or hostile length
+#: prefix must not trigger a multi-gigabyte allocation.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class FramingError(ValueError):
+    """A stream violated the framing protocol (truncation, oversize)."""
+
+
+def write_frame(stream: BinaryIO, payload: bytes) -> None:
+    """Write one length-prefixed frame."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FramingError(f"frame too large: {len(payload)} bytes")
+    stream.write(_LENGTH.pack(len(payload)))
+    stream.write(payload)
+
+
+def _read_exact(stream: BinaryIO, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; ``None`` on clean EOF at a frame
+    boundary, :class:`FramingError` on mid-frame truncation."""
+    chunks = []
+    remaining = count
+    while remaining:
+        piece = stream.read(remaining)
+        if not piece:
+            if remaining == count:
+                return None
+            raise FramingError(
+                f"stream truncated mid-frame: wanted {count} bytes, "
+                f"got {count - remaining}"
+            )
+        chunks.append(piece)
+        remaining -= len(piece)
+    return b"".join(chunks)
+
+
+def read_frame(stream: BinaryIO) -> Optional[bytes]:
+    """Read one frame's payload; ``None`` on clean EOF."""
+    header = _read_exact(stream, _LENGTH.size)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FramingError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    if length == 0:
+        return b""
+    payload = _read_exact(stream, length)
+    if payload is None:
+        raise FramingError("stream truncated after frame header")
+    return payload
+
+
+def encode_table(table: PacketTable) -> bytes:
+    """Serialize one table chunk as a frame payload."""
+    rows = []
+    for position in range(len(table)):
+        pair = table.pairs[table.pair_ids[position]]
+        payload = table.payloads[table.payload_ids[position]]
+        rows.append([
+            table.timestamps[position],
+            pair.protocol, pair.src_addr, pair.src_port,
+            pair.dst_addr, pair.dst_port,
+            table.sizes[position], table.flags[position],
+            table.outbound[position],
+            base64.b64encode(payload).decode("ascii") if payload else "",
+        ])
+    return json.dumps(rows, separators=(",", ":")).encode("utf-8")
+
+
+def decode_table(payload: bytes, pool: Optional[PacketTable] = None) -> PacketTable:
+    """Rebuild a table chunk from :func:`encode_table` output.
+
+    ``pool`` makes the chunk share a long-lived table's interned
+    flow/payload pools (:meth:`PacketTable.spawn`), so a feed's
+    ``pair_ids`` stay stable across frames just like the generator's
+    chunk stream.
+    """
+    table = pool.spawn() if pool is not None else PacketTable()
+    append_row = table.append_row
+    for row in json.loads(payload.decode("utf-8")):
+        (timestamp, protocol, src_addr, src_port, dst_addr, dst_port,
+         size, flags, outbound, payload_b64) = row
+        append_row(
+            timestamp,
+            SocketPair(protocol, src_addr, src_port, dst_addr, dst_port),
+            size,
+            flags,
+            base64.b64decode(payload_b64) if payload_b64 else b"",
+            outbound,
+        )
+    return table

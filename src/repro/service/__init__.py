@@ -1,0 +1,52 @@
+"""Live service plane: streaming filter daemon, control API, warm restart.
+
+The offline engine (:mod:`repro.sim`) replays finite traces;
+:class:`FilterService` runs the same stage pipeline against unbounded
+:class:`PacketSource` streams under wall-clock pacing, with a JSON
+control/telemetry socket and snapshot-based warm restart.  See
+``docs/architecture.md`` ("Service plane") for the design.
+"""
+
+from repro.service.control import (
+    ControlClient,
+    ControlError,
+    parse_control_address,
+    start_control_server,
+)
+from repro.service.service import FilterService, ServiceError
+from repro.service.sources import (
+    GeneratorSource,
+    IdleSource,
+    PacketSource,
+    PcapSource,
+    SocketSource,
+    TableSource,
+)
+from repro.service.state import (
+    SNAPSHOT_FORMAT,
+    latest_snapshot,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.service.telemetry import service_health, service_stats
+
+__all__ = [
+    "ControlClient",
+    "ControlError",
+    "FilterService",
+    "GeneratorSource",
+    "IdleSource",
+    "PacketSource",
+    "PcapSource",
+    "SNAPSHOT_FORMAT",
+    "ServiceError",
+    "SocketSource",
+    "TableSource",
+    "latest_snapshot",
+    "parse_control_address",
+    "read_snapshot",
+    "service_health",
+    "service_stats",
+    "start_control_server",
+    "write_snapshot",
+]

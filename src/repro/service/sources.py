@@ -1,0 +1,253 @@
+"""Packet sources: unbounded chunk streams feeding a live filter service.
+
+A :class:`PacketSource` yields timestamp-ordered
+:class:`~repro.net.table.PacketTable` chunks — the same shape every
+replay backend consumes — from wherever live traffic comes from:
+
+* :class:`GeneratorSource` — a synthetic :class:`TraceGenerator` stream
+  (``iter_tables``), the service plane's load-test feed;
+* :class:`PcapSource` — a capture file re-chunked for paced replay;
+* :class:`TableSource` — an in-memory table (tests, programmatic use);
+* :class:`SocketSource` — length-prefixed frames from another process
+  (:mod:`repro.net.stream`);
+* :class:`IdleSource` — no traffic at all; keeps a restored service
+  alive to serve telemetry and snapshots.
+
+Sources are *consumed once* and support :meth:`PacketSource.skip` —
+fast-forwarding over chunks a warm restart already processed.  For
+deterministic sources (generator, pcap, table) skipping re-derives the
+exact remaining stream, interned pools included, so a resumed service is
+bit-identical to one that never stopped.
+"""
+
+from __future__ import annotations
+
+import socket as socket_module
+import time
+from abc import ABC, abstractmethod
+from typing import Iterator, Optional
+
+from repro.net.table import PacketTable
+
+
+class PacketSource(ABC):
+    """An ordered stream of packet-table chunks."""
+
+    @abstractmethod
+    def __iter__(self) -> Iterator[PacketTable]:
+        """Yield timestamp-ordered chunks until the stream ends."""
+
+    def skip(self, chunks: int) -> None:
+        """Fast-forward over the first ``chunks`` chunks (warm restart).
+
+        Must be called before iteration starts.  The default consumes
+        and discards — correct for every deterministic source, since
+        discarded chunks still advance interned pools and generator
+        state exactly as processing them would have.
+        """
+        if chunks < 0:
+            raise ValueError(f"cannot skip a negative chunk count: {chunks}")
+        iterator = iter(self)
+        for _ in range(chunks):
+            if next(iterator, None) is None:
+                break
+
+    def close(self) -> None:
+        """Release any transport resources (idempotent)."""
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class GeneratorSource(PacketSource):
+    """Chunks from a synthetic :class:`TraceGenerator` trace.
+
+    The generator's ``iter_tables`` stream shares one interned flow pool
+    across chunks, and re-creating the source from the same
+    :class:`TraceConfig` reproduces the identical stream — which is what
+    makes :meth:`skip`-based warm restart exact.
+    """
+
+    def __init__(self, generator, chunk_size: int = 4096) -> None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1: {chunk_size}")
+        self.generator = generator
+        self.chunk_size = chunk_size
+        self._iterator: Optional[Iterator[PacketTable]] = None
+
+    def _stream(self) -> Iterator[PacketTable]:
+        if self._iterator is None:
+            self._iterator = self.generator.iter_tables(self.chunk_size)
+        return self._iterator
+
+    def __iter__(self) -> Iterator[PacketTable]:
+        return self._stream()
+
+    def skip(self, chunks: int) -> None:
+        if chunks < 0:
+            raise ValueError(f"cannot skip a negative chunk count: {chunks}")
+        stream = self._stream()
+        for _ in range(chunks):
+            if next(stream, None) is None:
+                break
+
+    def describe(self) -> str:
+        return f"generator(chunk_size={self.chunk_size})"
+
+
+class TableSource(PacketSource):
+    """Chunks sliced from one in-memory table (pool-sharing slices)."""
+
+    def __init__(self, table: PacketTable, chunk_size: int = 4096) -> None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1: {chunk_size}")
+        self.table = table
+        self.chunk_size = chunk_size
+        self._position = 0
+
+    def __iter__(self) -> Iterator[PacketTable]:
+        while self._position < len(self.table):
+            start = self._position
+            self._position = min(start + self.chunk_size, len(self.table))
+            yield self.table.slice(start, self._position)
+
+    def skip(self, chunks: int) -> None:
+        if chunks < 0:
+            raise ValueError(f"cannot skip a negative chunk count: {chunks}")
+        self._position = min(chunks * self.chunk_size, len(self.table))
+
+    def describe(self) -> str:
+        return f"table({len(self.table)} rows, chunk_size={self.chunk_size})"
+
+
+class PcapSource(TableSource):
+    """Chunks from a pcap capture, classified against the client CIDR."""
+
+    def __init__(
+        self,
+        path: str,
+        network: int,
+        prefix_len: int,
+        chunk_size: int = 4096,
+        payload_limit: Optional[int] = None,
+    ) -> None:
+        table = PacketTable.from_pcap(
+            path, network, prefix_len, payload_limit=payload_limit
+        )
+        super().__init__(table, chunk_size=chunk_size)
+        self.path = path
+
+    def describe(self) -> str:
+        return f"pcap({self.path}, {len(self.table)} rows)"
+
+
+class SocketSource(PacketSource):
+    """Chunks from a length-prefixed socket feed (:mod:`repro.net.stream`).
+
+    Listens on a unix path or TCP ``(host, port)``, accepts one feeder
+    connection and yields one table chunk per frame until the feeder
+    closes the stream.  All chunks spawn from one pool table, so
+    ``pair_ids`` stay stable across frames.
+
+    A socket feed is not replayable, so :meth:`skip` counts the frames
+    to discard from the live stream — the feeder is expected to resend
+    from the beginning of its epoch (or the caller accepts the gap).
+    """
+
+    def __init__(self, listener: socket_module.socket) -> None:
+        self.listener = listener
+        self._pool = PacketTable()
+        self._skip = 0
+        self._connection: Optional[socket_module.socket] = None
+
+    @classmethod
+    def unix(cls, path: str, backlog: int = 1) -> "SocketSource":
+        listener = socket_module.socket(socket_module.AF_UNIX)
+        listener.bind(path)
+        listener.listen(backlog)
+        return cls(listener)
+
+    @classmethod
+    def tcp(cls, host: str, port: int, backlog: int = 1) -> "SocketSource":
+        listener = socket_module.socket(socket_module.AF_INET)
+        listener.setsockopt(
+            socket_module.SOL_SOCKET, socket_module.SO_REUSEADDR, 1
+        )
+        listener.bind((host, port))
+        listener.listen(backlog)
+        return cls(listener)
+
+    @property
+    def address(self):
+        return self.listener.getsockname()
+
+    def skip(self, chunks: int) -> None:
+        if chunks < 0:
+            raise ValueError(f"cannot skip a negative chunk count: {chunks}")
+        self._skip = chunks
+
+    def __iter__(self) -> Iterator[PacketTable]:
+        from repro.net.stream import decode_table, read_frame
+
+        connection, _ = self.listener.accept()
+        self._connection = connection
+        stream = connection.makefile("rb")
+        try:
+            while True:
+                payload = read_frame(stream)
+                if payload is None:
+                    return
+                table = decode_table(payload, pool=self._pool)
+                if self._skip:
+                    self._skip -= 1
+                    continue
+                yield table
+        finally:
+            stream.close()
+            connection.close()
+            self._connection = None
+
+    def close(self) -> None:
+        if self._connection is not None:
+            try:
+                self._connection.shutdown(socket_module.SHUT_RDWR)
+            except OSError:
+                pass
+            self._connection.close()
+            self._connection = None
+        self.listener.close()
+
+    def describe(self) -> str:
+        return f"socket({self.address})"
+
+
+class IdleSource(PacketSource):
+    """No traffic — blocks until closed, yielding nothing.
+
+    A restored service with nothing to replay still has work to do:
+    serve telemetry, answer snapshot requests, hold the warm filter.
+    The iterator polls a closed flag so the service's ingest thread
+    wakes up promptly on shutdown.
+    """
+
+    def __init__(self, poll_interval: float = 0.05) -> None:
+        if poll_interval <= 0:
+            raise ValueError(f"poll_interval must be positive: {poll_interval}")
+        self.poll_interval = poll_interval
+        self._closed = False
+
+    def __iter__(self) -> Iterator[PacketTable]:
+        while not self._closed:
+            time.sleep(self.poll_interval)
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def skip(self, chunks: int) -> None:
+        if chunks < 0:
+            raise ValueError(f"cannot skip a negative chunk count: {chunks}")
+
+    def close(self) -> None:
+        self._closed = True
+
+    def describe(self) -> str:
+        return "idle"

@@ -1,0 +1,128 @@
+"""Snapshot files: the service plane's warm-restart persistence.
+
+One snapshot file is a JSON document::
+
+    {
+      "format": "repro-service-snapshot/1",
+      "sequence": 12,            # monotonically increasing per service run
+      "wall_time": 1754500000.0, # when it was written (informational)
+      "chunks_done": 340,        # source chunks fully processed
+      "pipeline": {              # ReplayPipeline counters
+        "inbound": ..., "dropped": ...,
+        "first_ts": ..., "last_ts": ...,
+        "fingerprint": ...       # running verdict fingerprint (int)
+      },
+      "filter": {...},           # BitmapPacketFilter.snapshot()
+      "router": {...}            # EdgeRouter.snapshot() (metrics + blocklist)
+    }
+
+Binary payloads inside component snapshots (the bitmap's bit vectors)
+are JSON-encoded as ``{"__b64__": "<base64>"}`` wrappers; everything
+else is plain data.  Writes are atomic (tmp file + rename), so a crash
+mid-write never corrupts the latest good snapshot.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import re
+import tempfile
+import time
+from typing import Any, Optional
+
+SNAPSHOT_FORMAT = "repro-service-snapshot/1"
+
+_SNAPSHOT_NAME = re.compile(r"^snapshot-(\d{8})\.json$")
+
+
+def _encode(value: Any) -> Any:
+    """Recursively wrap ``bytes`` for JSON."""
+    if isinstance(value, bytes):
+        return {"__b64__": base64.b64encode(value).decode("ascii")}
+    if isinstance(value, dict):
+        return {key: _encode(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode(item) for item in value]
+    return value
+
+
+def _decode(value: Any) -> Any:
+    """Undo :func:`_encode`."""
+    if isinstance(value, dict):
+        if set(value) == {"__b64__"}:
+            return base64.b64decode(value["__b64__"])
+        return {key: _decode(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_decode(item) for item in value]
+    return value
+
+
+def snapshot_name(sequence: int) -> str:
+    return f"snapshot-{sequence:08d}.json"
+
+
+def write_snapshot(path: str, payload: dict) -> str:
+    """Atomically write one snapshot document; returns the path.
+
+    ``payload`` must carry ``chunks_done``, ``pipeline``, ``filter`` and
+    ``router`` (the service assembles it); the format tag and wall time
+    are stamped here.
+    """
+    document = dict(payload)
+    document["format"] = SNAPSHOT_FORMAT
+    document.setdefault("wall_time", time.time())
+    encoded = json.dumps(_encode(document), separators=(",", ":"))
+    directory = os.path.dirname(os.path.abspath(path))
+    descriptor, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=".snapshot-", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, "w") as handle:
+            handle.write(encoded)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def read_snapshot(path: str) -> dict:
+    """Load and validate one snapshot document."""
+    with open(path, "r") as handle:
+        document = _decode(json.load(handle))
+    tag = document.get("format")
+    if tag != SNAPSHOT_FORMAT:
+        raise ValueError(
+            f"{path}: not a service snapshot (format {tag!r}, "
+            f"expected {SNAPSHOT_FORMAT!r})"
+        )
+    for key in ("chunks_done", "pipeline", "filter", "router"):
+        if key not in document:
+            raise ValueError(f"{path}: snapshot missing {key!r}")
+    return document
+
+
+def latest_snapshot(directory: str) -> Optional[str]:
+    """Path of the highest-sequence snapshot in a directory, or None."""
+    best: Optional[str] = None
+    best_sequence = -1
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return None
+    for name in names:
+        match = _SNAPSHOT_NAME.match(name)
+        if match is None:
+            continue
+        sequence = int(match.group(1))
+        if sequence > best_sequence:
+            best_sequence = sequence
+            best = os.path.join(directory, name)
+    return best

@@ -1,0 +1,96 @@
+"""Telemetry assembly: the control plane's ``stats`` and ``health`` views.
+
+Read-only summaries over a running :class:`~repro.service.service.FilterService`.
+Counters are sampled without pausing the filter loop — a chunk may be
+mid-flight in the worker thread, so numbers are eventually consistent
+between fields (the packet counter can be a chunk ahead of the series
+bins).  Anything that must be exact-at-a-boundary goes through the
+snapshot path instead, which quiesces between chunks.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Tuple
+
+from repro.net.packet import Direction
+
+
+def throughput_tail(series, direction: Direction, points: int) -> List[Tuple[float, float]]:
+    """The last ``points`` (time, Mbps) samples of one series lane."""
+    tail = series.series_mbps(direction)
+    return tail[-points:] if points else tail
+
+
+def service_stats(service, series_points: int = 60) -> dict:
+    """The full ``stats`` document served over the control socket."""
+    pipeline = service.stepper.pipeline
+    router = pipeline.router
+    blocklist = router.blocklist
+    inbound = pipeline.inbound
+    stats = {
+        "uptime": time.time() - service.started_wall,
+        "state": service.state,
+        "source": service.source.describe(),
+        "backend": service.backend.describe(),
+        "speed": service.speed,
+        "chunks_done": service.chunks_done,
+        "queue_depth": service.queue_size,
+        "queue_limit": service.queue_depth,
+        "packets": router.packets,
+        "inbound_packets": inbound,
+        "inbound_dropped": pipeline.dropped,
+        "inbound_drop_rate": (pipeline.dropped / inbound) if inbound else 0.0,
+        "fingerprint": pipeline.fingerprint,
+        "trace": {"first_ts": pipeline.first_ts, "last_ts": pipeline.last_ts},
+        "filter": service.filter.stats.snapshot(),
+        "throughput": {
+            "interval": router.passed.interval,
+            "passed_out_mbps": throughput_tail(
+                router.passed, Direction.OUTBOUND, series_points
+            ),
+            "passed_in_mbps": throughput_tail(
+                router.passed, Direction.INBOUND, series_points
+            ),
+            "offered_out_mbps": throughput_tail(
+                router.offered, Direction.OUTBOUND, series_points
+            ),
+            "offered_in_mbps": throughput_tail(
+                router.offered, Direction.INBOUND, series_points
+            ),
+        },
+        "snapshots": {
+            "directory": service.snapshot_dir,
+            "interval": service.snapshot_interval,
+            "sequence": service.snapshot_sequence,
+        },
+    }
+    if blocklist is not None:
+        stats["blocklist"] = {
+            "entries": len(blocklist),
+            "suppressed_packets": blocklist.suppressed_packets,
+            "suppressed_bytes": blocklist.suppressed_bytes,
+        }
+    else:
+        stats["blocklist"] = None
+    core = getattr(service.filter, "core", None)
+    if core is not None:
+        stats["rotation"] = {
+            "interval": core.config.rotate_interval,
+            "expiry": core.config.rotate_interval * core.config.vectors,
+        }
+        controller = getattr(service.filter, "drop_controller", None)
+        if controller is not None:
+            stats["drop_policy"] = controller.policy.snapshot()
+    return stats
+
+
+def service_health(service) -> dict:
+    """The cheap liveness view: is the loop alive, is it keeping up."""
+    return {
+        "status": service.state,
+        "uptime": time.time() - service.started_wall,
+        "chunks_done": service.chunks_done,
+        "queue_depth": service.queue_size,
+        "queue_limit": service.queue_depth,
+    }

@@ -46,7 +46,14 @@ class ThroughputSeries:
         """Per-interval rates over the observed span, one value per interval
         from the first to the last busy bin *including the empty ones* — a
         bursty trace's silent intervals are real 0-Mbps observations, not
-        missing data."""
+        missing data.
+
+        This materializes one float per interval of the span, which is
+        fine for trace-time replays but explodes on live wall-clock series
+        whose span may cover a restart gap of days; :meth:`mean_mbps` and
+        :meth:`quantile_mbps` therefore count the empty intervals
+        arithmetically instead of calling this.
+        """
         bins = self._bins[direction]
         if not bins:
             return []
@@ -54,12 +61,28 @@ class ThroughputSeries:
         scale = 8.0 / self.interval / 1e6
         return [bins.get(index, 0) * scale for index in range(first, last + 1)]
 
+    def span_intervals(self, direction: Direction) -> int:
+        """Number of intervals in the observed span (first to last busy
+        bin inclusive), counting the silent ones."""
+        bins = self._bins[direction]
+        if not bins:
+            return 0
+        return max(bins) - min(bins) + 1
+
     def mean_mbps(self, direction: Direction) -> float:
-        """Mean rate over the observed span (first to last busy bin)."""
-        rates = self.span_rates_mbps(direction)
-        if not rates:
+        """Mean rate over the observed span (first to last busy bin).
+
+        Empty intervals count as 0-Mbps observations but are never
+        materialized — a live series fed sparse wall-clock time (a
+        service that sat idle for hours, or resumed after a restart gap)
+        has a huge span and few busy bins, and building one list entry
+        per silent interval would exhaust memory before summing zeros.
+        """
+        span = self.span_intervals(direction)
+        if span == 0:
             return 0.0
-        return sum(rates) / len(rates)
+        total = sum(self._bins[direction].values())
+        return total * 8.0 / self.interval / 1e6 / span
 
     def peak_mbps(self, direction: Direction) -> float:
         """Rate of the busiest interval."""
@@ -74,14 +97,24 @@ class ThroughputSeries:
 
         Zero-traffic intervals between the first and last busy bin count
         as 0-Mbps observations; skipping them would bias every quantile of
-        a bursty trace upward.
+        a bursty trace upward.  They are counted arithmetically, not
+        materialized: only the busy bins are sorted, and a rank that
+        lands inside the silent run is 0.0 by construction — so a live
+        wall-clock series with a restart gap of days costs the same as a
+        dense trace.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile out of [0,1]: {q}")
-        rates = sorted(self.span_rates_mbps(direction))
-        if not rates:
+        span = self.span_intervals(direction)
+        if span == 0:
             return 0.0
-        return rates[min(len(rates) - 1, int(q * len(rates)))]
+        bins = self._bins[direction]
+        rank = min(span - 1, int(q * span))
+        zeros = span - len(bins)
+        if rank < zeros:
+            return 0.0
+        busy = sorted(bins.values())
+        return busy[rank - zeros] * 8.0 / self.interval / 1e6
 
     def total_bytes(self, direction: Direction) -> int:
         """All bytes recorded for a direction."""
@@ -108,6 +141,26 @@ class ThroughputSeries:
     def __add__(self, other: "ThroughputSeries") -> "ThroughputSeries":
         merged = ThroughputSeries(interval=self.interval)
         return merged.merge(self).merge(other)
+
+    def snapshot(self) -> dict:
+        """Serializable bin contents (JSON-safe: bins as [index, bytes]
+        rows, keyed by direction name)."""
+        return {
+            "interval": self.interval,
+            "bins": {
+                direction.value: sorted(bins.items())
+                for direction, bins in self._bins.items()
+            },
+        }
+
+    @classmethod
+    def restore(cls, snapshot: dict) -> "ThroughputSeries":
+        series = cls(interval=snapshot["interval"])
+        for key, rows in snapshot["bins"].items():
+            bins = series._bins[Direction(key)]
+            for index, count in rows:
+                bins[index] = count
+        return series
 
 
 @dataclass
@@ -176,6 +229,23 @@ class DropRateSampler:
     def __add__(self, other: "DropRateSampler") -> "DropRateSampler":
         merged = DropRateSampler(window=self.window)
         return merged.merge(self).merge(other)
+
+    def snapshot(self) -> dict:
+        """Serializable window contents (JSON-safe [index, count] rows)."""
+        return {
+            "window": self.window,
+            "packets": sorted(self._packets.items()),
+            "dropped": sorted(self._dropped.items()),
+        }
+
+    @classmethod
+    def restore(cls, snapshot: dict) -> "DropRateSampler":
+        sampler = cls(window=snapshot["window"])
+        for index, count in snapshot["packets"]:
+            sampler._packets[index] = count
+        for index, count in snapshot["dropped"]:
+            sampler._dropped[index] = count
+        return sampler
 
 
 def scatter_points(

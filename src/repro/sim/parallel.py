@@ -27,6 +27,7 @@ from __future__ import annotations
 import copy
 import multiprocessing
 import os
+import signal
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -156,6 +157,41 @@ def _pool_context():
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
+def _init_worker() -> None:
+    """Pool workers ignore SIGINT.
+
+    A terminal Ctrl-C delivers SIGINT to the whole foreground process
+    group — parent *and* workers.  If workers die on their own, the
+    parent's interrupt handling races a pile of broken-pipe errors from
+    mid-pickle corpses; with SIGINT masked in the workers, the parent is
+    the single owner of the interrupt and tears the pool down in order
+    (terminate, join, re-raise).
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
+def _run_pool(tasks: List[Tuple], workers: int) -> List[LaneResult]:
+    """Map lanes over a worker pool, guaranteeing no orphaned children.
+
+    Any exception while waiting — a worker crash, or SIGINT landing in
+    the parent — terminates and joins every worker before re-raising, so
+    an interrupted replay never leaks processes.  The normal path also
+    joins before returning: results in hand, workers reaped.
+    """
+    pool = _pool_context().Pool(
+        processes=min(workers, len(tasks)), initializer=_init_worker
+    )
+    try:
+        records = pool.map(_replay_lane, tasks)
+    except BaseException:
+        pool.terminate()
+        pool.join()
+        raise
+    pool.close()
+    pool.join()
+    return records
+
+
 def parallel_replay(
     packets,
     packet_filter: ShardedFilter,
@@ -235,8 +271,7 @@ def parallel_replay(
     if workers <= 1 or len(tasks) <= 1:
         records = [_replay_lane(task) for task in tasks]
     else:
-        with _pool_context().Pool(processes=min(workers, len(tasks))) as pool:
-            records = pool.map(_replay_lane, tasks)
+        records = _run_pool(tasks, workers)
 
     return _merge(packet_filter, span, records, workers,
                   use_blocklist, throughput_interval, drop_window)

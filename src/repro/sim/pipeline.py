@@ -91,6 +91,31 @@ class PipelineConfig:
     throughput_interval: float = 1.0
     drop_window: float = 10.0
     scheduler: Optional[EventScheduler] = None
+    #: Maintain a running verdict fingerprint (see :func:`fingerprint_verdicts`).
+    record_fingerprint: bool = False
+
+
+#: FNV-1a 64-bit offset basis — the empty verdict fingerprint.
+FINGERPRINT_SEED = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_FNV_MASK = (1 << 64) - 1
+
+
+def fingerprint_verdicts(fingerprint: int, verdicts: Iterable[Verdict]) -> int:
+    """Fold a verdict sequence into a running 64-bit FNV-1a fingerprint.
+
+    The fingerprint is a pure function of the verdict *sequence* —
+    independent of chunking, batching or representation — so two replays
+    of the same stream compare with one integer, and a service warm
+    restart can persist the accumulator (a plain int) and keep folding.
+    Start from :data:`FINGERPRINT_SEED`.
+    """
+    DROP = Verdict.DROP
+    for verdict in verdicts:
+        fingerprint = (
+            (fingerprint ^ (2 if verdict is DROP else 1)) * _FNV_PRIME
+        ) & _FNV_MASK
+    return fingerprint
 
 
 @dataclass
@@ -112,6 +137,8 @@ class ReplayResult:
     workers: int = 1
     #: Per-lane records of a partitioned replay (empty when in-process).
     lanes: List[Any] = field(default_factory=list)
+    #: Running verdict fingerprint (None unless the pipeline recorded one).
+    fingerprint: Optional[int] = None
 
     @property
     def inbound_drop_rate(self) -> float:
@@ -163,6 +190,9 @@ class ReplayPipeline:
         self.dropped = 0
         self.first_ts: Optional[float] = None
         self.last_ts = 0.0
+        self.fingerprint: Optional[int] = (
+            FINGERPRINT_SEED if config.record_fingerprint else None
+        )
 
     # -- per-packet traversal -------------------------------------------
 
@@ -179,6 +209,8 @@ class ReplayPipeline:
             self.inbound += 1
             if verdict is Verdict.DROP:
                 self.dropped += 1
+        if self.fingerprint is not None:
+            self.fingerprint = fingerprint_verdicts(self.fingerprint, (verdict,))
         return verdict
 
     # -- chunked traversal ----------------------------------------------
@@ -274,6 +306,8 @@ class ReplayPipeline:
                     dropped += 1
         self.inbound += inbound
         self.dropped += dropped
+        if self.fingerprint is not None:
+            self.fingerprint = fingerprint_verdicts(self.fingerprint, verdicts)
         return verdicts
 
     def _run_chunk(self, chunk: List[Packet]) -> List[Verdict]:
@@ -287,6 +321,8 @@ class ReplayPipeline:
                     dropped += 1
         self.inbound += inbound
         self.dropped += dropped
+        if self.fingerprint is not None:
+            self.fingerprint = fingerprint_verdicts(self.fingerprint, verdicts)
         return verdicts
 
     # -- lane merging (parallel backend) --------------------------------
@@ -332,10 +368,66 @@ class ReplayPipeline:
             ),
             workers=workers,
             lanes=lanes if lanes is not None else [],
+            fingerprint=self.fingerprint,
         )
 
 
 # ---------------------------------------------------------------------------
+
+
+class ReplayStepper:
+    """Incremental pipeline traversal for open-ended streams.
+
+    A batch ``run`` consumes one finite stream and finalizes; a live
+    service feeds chunks as they arrive and must keep the pipeline open
+    between them (and across snapshots).  :meth:`feed` pushes one chunk —
+    a :class:`PacketTable` or a packet sequence — through the same stage
+    implementations the owning backend's ``run`` uses, so a stepper-fed
+    replay is verdict-identical to a one-shot replay of the concatenated
+    stream.  :meth:`finish` closes the pipeline (scheduler drain,
+    blocklist compaction) and assembles the :class:`ReplayResult`.
+    """
+
+    def __init__(self, pipeline: ReplayPipeline, chunk_size: Optional[int] = None,
+                 per_packet: bool = False) -> None:
+        self.pipeline = pipeline
+        self.chunk_size = chunk_size
+        self.per_packet = per_packet
+        self._finished = False
+
+    def feed(self, chunk) -> List[Verdict]:
+        """Run one timestamp-ordered chunk through the open pipeline."""
+        if self._finished:
+            raise RuntimeError("stepper already finished")
+        pipeline = self.pipeline
+        if self.per_packet:
+            process = pipeline.process
+            return [process(packet) for packet in iter_packetlike(chunk)]
+        limit = self.chunk_size
+        if isinstance(chunk, PacketTable):
+            if limit is None or len(chunk) <= limit:
+                return pipeline.process_table(chunk)
+            verdicts: List[Verdict] = []
+            for start in range(0, len(chunk), limit):
+                verdicts.extend(
+                    pipeline.process_table(chunk.slice(start, start + limit))
+                )
+            return verdicts
+        packet_list = chunk if isinstance(chunk, list) else list(iter_packetlike(chunk))
+        if limit is None or len(packet_list) <= limit:
+            return pipeline.process_batch(packet_list)
+        verdicts = []
+        for start in range(0, len(packet_list), limit):
+            verdicts.extend(pipeline.process_batch(packet_list[start:start + limit]))
+        return verdicts
+
+    def finish(self) -> ReplayResult:
+        """Close the pipeline and assemble the result (idempotent guard:
+        a finished stepper refuses further feeds)."""
+        if self._finished:
+            raise RuntimeError("stepper already finished")
+        self._finished = True
+        return self.pipeline.finalize()
 
 
 class ExecutionBackend(ABC):
@@ -351,6 +443,17 @@ class ExecutionBackend(ABC):
     def run(self, packets: Iterable[Packet], config: PipelineConfig) -> ReplayResult:
         """Replay ``packets`` through a fresh pipeline built from ``config``."""
 
+    def stepper(self, config: PipelineConfig) -> ReplayStepper:
+        """Open an incremental pipeline for chunk-at-a-time feeding.
+
+        The returned :class:`ReplayStepper` traverses the stages exactly
+        as this backend's :meth:`run` would, so feeding a stream in any
+        chunking and calling ``finish()`` reproduces ``run``'s result
+        bit for bit.  Backends whose execution model cannot pause
+        mid-stream (multiprocess lanes) raise ``NotImplementedError``.
+        """
+        raise NotImplementedError(f"{self.name} backend cannot step incrementally")
+
 
 class SequentialBackend(ExecutionBackend):
     """Per-packet traversal — the reference engine every other backend
@@ -364,6 +467,9 @@ class SequentialBackend(ExecutionBackend):
         for packet in iter_packetlike(packets):
             process(packet)
         return pipeline.finalize()
+
+    def stepper(self, config: PipelineConfig) -> ReplayStepper:
+        return ReplayStepper(ReplayPipeline(config), per_packet=True)
 
 
 class BatchedBackend(ExecutionBackend):
@@ -422,6 +528,9 @@ class BatchedBackend(ExecutionBackend):
                 pipeline.process_batch(packet_list[start:start + limit])
         return pipeline.finalize()
 
+    def stepper(self, config: PipelineConfig) -> ReplayStepper:
+        return ReplayStepper(ReplayPipeline(config), chunk_size=self.chunk_size)
+
 
 class ParallelBackend(ExecutionBackend):
     """Multiprocess sharded traversal (:mod:`repro.sim.parallel`).
@@ -443,6 +552,13 @@ class ParallelBackend(ExecutionBackend):
 
     def describe(self) -> str:
         return f"parallel x{self.workers}"
+
+    def stepper(self, config: PipelineConfig) -> ReplayStepper:
+        raise NotImplementedError(
+            "the parallel backend shards whole streams across worker "
+            "processes and cannot pause mid-stream; use the sequential or "
+            "batched backend for incremental feeding"
+        )
 
     def run(self, packets: Iterable[Packet], config: PipelineConfig) -> ReplayResult:
         if config.scheduler is not None:

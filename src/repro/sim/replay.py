@@ -38,6 +38,7 @@ def replay(
     workers: int = 1,
     chunk_size: Optional[int] = None,
     backend: Optional[ExecutionBackend] = None,
+    record_fingerprint: bool = False,
 ) -> ReplayResult:
     """Replay a timestamp-ordered packet stream through a filter.
 
@@ -74,6 +75,12 @@ def replay(
 
     An explicit ``backend`` bypasses the knob dispatch entirely (and is
     mutually exclusive with ``batched``/``workers``/``chunk_size``).
+
+    ``record_fingerprint`` maintains a running 64-bit FNV-1a fingerprint
+    of the verdict sequence (``result.fingerprint``) — the cheap
+    equality witness the service plane's warm-restart tests compare
+    against an offline replay.  The parallel backend merges lanes
+    without a global verdict order, so it cannot record one (raises).
     """
     if backend is None:
         backend = select_backend(
@@ -85,12 +92,18 @@ def replay(
             "pass either backend= or the batched/workers/chunk_size knobs, "
             "not both"
         )
+    if record_fingerprint and backend.name == "parallel":
+        raise ValueError(
+            "record_fingerprint needs a global verdict order; the parallel "
+            "backend merges per-shard lanes and has none"
+        )
     config = PipelineConfig(
         packet_filter=packet_filter,
         use_blocklist=use_blocklist,
         throughput_interval=throughput_interval,
         drop_window=drop_window,
         scheduler=scheduler,
+        record_fingerprint=record_fingerprint,
     )
     return backend.run(packets, config)
 

@@ -136,3 +136,44 @@ class EdgeRouter:
     def drop_rate(self) -> float:
         """Overall inbound drop rate including blocklist suppressions."""
         return self.inbound_drops.overall_drop_rate()
+
+    # ------------------------------------------------------------------
+    # Persistence — the service plane's warm-restart coverage
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Serializable router measurement lanes + blocklist.
+
+        Covers everything the router owns *except the filter* (which has
+        its own snapshot with deeper state — bits, RNG, estimator): the
+        offered/passed throughput lanes, the inbound drop-rate windows,
+        the packet counter and the blocked-σ store.  Restoring this over
+        a fresh router makes a resumed service's telemetry continue the
+        same series an uninterrupted run would have produced.
+        """
+        return {
+            "packets": self.packets,
+            "offered": self.offered.snapshot(),
+            "passed": self.passed.snapshot(),
+            "inbound_drops": self.inbound_drops.snapshot(),
+            "blocklist": (
+                self.blocklist.snapshot() if self.blocklist is not None else None
+            ),
+        }
+
+    def restore_state(self, snapshot: dict) -> "EdgeRouter":
+        """Overwrite this router's measurement lanes and blocklist with a
+        :meth:`snapshot`'s contents (the filter is untouched — restore it
+        separately).  Returns ``self``."""
+        self.packets = snapshot["packets"]
+        self.offered = ThroughputSeries.restore(snapshot["offered"])
+        self.passed = ThroughputSeries.restore(snapshot["passed"])
+        self.inbound_drops = DropRateSampler.restore(snapshot["inbound_drops"])
+        blocked = snapshot["blocklist"]
+        if blocked is not None:
+            self.blocklist = BlockedConnectionStore.restore(blocked)
+        elif self.blocklist is not None:
+            # The snapshot ran without a blocklist; a restored service
+            # must not invent one (suppression would diverge).
+            self.blocklist = None
+        return self

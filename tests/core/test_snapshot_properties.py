@@ -1,0 +1,192 @@
+"""Property tests for bitmap-filter snapshot/restore round trips.
+
+Hypothesis drives randomized configurations (non-default k/m/n, odd
+rotation intervals) and randomized mark/lookup streams with the snapshot
+taken mid-rotation, and checks the restored filter is *bit-identical*:
+same membership verdicts, same rotation schedule, same bits, and — at
+the packet level — the same fractional-P_d drop decisions (RNG state
+travels with the snapshot).
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.core.bitmap_filter import BitmapFilter, BitmapFilterConfig  # noqa: E402
+from repro.core.dropper import StaticDropPolicy  # noqa: E402
+from repro.filters.base import Verdict  # noqa: E402
+from repro.filters.bitmap import BitmapPacketFilter  # noqa: E402
+from repro.filters.policy import DropController  # noqa: E402
+
+from tests.conftest import in_packet, out_packet, tcp_pair  # noqa: E402
+
+
+configs = st.builds(
+    BitmapFilterConfig,
+    size=st.sampled_from([2 ** 8, 2 ** 10, 2 ** 12]),
+    vectors=st.integers(min_value=2, max_value=6),
+    hashes=st.integers(min_value=1, max_value=4),
+    rotate_interval=st.floats(min_value=0.5, max_value=10.0),
+    seed=st.integers(min_value=0, max_value=2 ** 16),
+)
+
+# One event: (is_mark, source port, time step).  Time steps accumulate,
+# so streams are timestamp-ordered; steps up to 4s cross rotation
+# boundaries for every interval the config strategy can produce.
+events = st.lists(
+    st.tuples(
+        st.booleans(),
+        st.integers(min_value=1024, max_value=1024 + 50),
+        st.floats(min_value=0.0, max_value=4.0),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def timeline(event_list):
+    """Materialize (is_mark, pair, timestamp) with cumulative clocks."""
+    now = 0.0
+    out = []
+    for is_mark, sport, step in event_list:
+        now += step
+        out.append((is_mark, tcp_pair(sport=sport), now))
+    return out
+
+
+def apply_events(filt, stream):
+    """Run events through a core filter; returns the lookup outcomes."""
+    verdicts = []
+    for is_mark, pair, now in stream:
+        filt.advance_to(now)
+        if is_mark:
+            filt.mark_outbound(pair)
+        else:
+            verdicts.append(filt.lookup_inbound(pair.inverse))
+    return verdicts
+
+
+class TestCoreRoundtrip:
+    @settings(max_examples=60, deadline=None)
+    @given(config=configs, prefix=events, suffix=events)
+    def test_restore_midstream_is_bit_identical(self, config, prefix, suffix):
+        original = BitmapFilter(config)
+        apply_events(original, timeline(prefix))
+
+        # clock="resume": the continuation runs on the same trace clock,
+        # so the restored filter must keep the original's absolute
+        # rotation schedule (the service plane's warm-restart mode).
+        restored = BitmapFilter.restore(original.snapshot(), clock="resume")
+
+        assert restored.idx == original.idx
+        assert [v.to_bytes() for v in restored.vectors] == [
+            v.to_bytes() for v in original.vectors
+        ]
+
+        # The suffix continues on the prefix's clock: rotations fire at
+        # the same instants and every lookup answers the same way.
+        last = timeline(prefix)[-1][2] if prefix else 0.0
+        continuation = [
+            (is_mark, pair, last + now)
+            for is_mark, pair, now in timeline(suffix)
+        ]
+        assert apply_events(restored, continuation) == apply_events(
+            original, continuation
+        )
+        assert restored.idx == original.idx
+        assert restored._next_rotation == original._next_rotation
+
+    @settings(max_examples=30, deadline=None)
+    @given(config=configs, prefix=events)
+    def test_snapshot_of_restored_filter_is_stable(self, config, prefix):
+        original = BitmapFilter(config)
+        apply_events(original, timeline(prefix))
+        first = original.snapshot()
+        second = BitmapFilter.restore(first, clock="resume").snapshot()
+        # A restored filter re-derives its absolute rotation anchor
+        # lazily on the first advance, so ``next_rotation`` may read None
+        # until then; everything else — bits, phase, RNG, counters —
+        # must round-trip unchanged.
+        first.pop("next_rotation")
+        second.pop("next_rotation")
+        assert first == second
+
+    @settings(max_examples=30, deadline=None)
+    @given(config=configs, prefix=events)
+    def test_membership_survives_restore(self, config, prefix):
+        original = BitmapFilter(config)
+        stream = timeline(prefix)
+        apply_events(original, stream)
+        restored = BitmapFilter.restore(original.snapshot())
+        for is_mark, pair, _ in stream:
+            assert restored.lookup_inbound(pair.inverse) == \
+                original.lookup_inbound(pair.inverse)
+
+
+packet_events = st.lists(
+    st.tuples(
+        st.booleans(),                                   # outbound?
+        st.integers(min_value=1024, max_value=1024 + 30),  # sport
+        st.floats(min_value=0.0, max_value=2.0),           # time step
+        st.integers(min_value=40, max_value=1500),         # size
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+
+def packets_from(event_list, start=0.0):
+    now = start
+    packets = []
+    for outbound, sport, step, size in event_list:
+        now += step
+        if outbound:
+            packets.append(
+                out_packet(tcp_pair(sport=sport), t=now, size=size)
+            )
+        else:
+            packets.append(
+                in_packet(tcp_pair(sport=sport).inverse, t=now, size=size)
+            )
+    return packets, now
+
+
+class TestPacketFilterRoundtrip:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2 ** 16),
+        prefix=packet_events,
+        suffix=packet_events,
+    )
+    def test_fractional_drop_verdicts_survive_restore(
+        self, seed, prefix, suffix
+    ):
+        """With P_d strictly between 0 and 1 every inbound miss rolls the
+        RNG; the restored filter must continue the identical roll
+        sequence, so the suffix verdicts match decision for decision."""
+
+        def build():
+            return BitmapPacketFilter(
+                BitmapFilterConfig(
+                    size=2 ** 10, vectors=3, hashes=2,
+                    rotate_interval=1.5, seed=seed,
+                ),
+                drop_controller=DropController(StaticDropPolicy(0.5)),
+            )
+
+        original = build()
+        head, last = packets_from(prefix)
+        for packet in head:
+            original.decide(packet)
+
+        restored = BitmapPacketFilter.restore(
+            original.snapshot(), clock="resume"
+        )
+
+        tail, _ = packets_from(suffix, start=last)
+        original_verdicts = [original.decide(p) for p in tail]
+        restored_verdicts = [restored.decide(p) for p in tail]
+        assert original_verdicts == restored_verdicts
+        assert all(isinstance(v, Verdict) for v in original_verdicts)

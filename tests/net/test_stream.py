@@ -1,0 +1,117 @@
+"""Tests for the length-prefixed packet framing (repro.net.stream)."""
+
+import io
+
+import pytest
+
+from repro.net.stream import (
+    FramingError,
+    MAX_FRAME_BYTES,
+    decode_table,
+    encode_table,
+    read_frame,
+    write_frame,
+)
+from repro.net.table import PacketTable
+from repro.workload import TraceConfig, TraceGenerator
+
+from tests.conftest import in_packet, out_packet
+
+
+def sample_table():
+    table = PacketTable()
+    table.append_packet(out_packet(t=1.0, size=100, flags=0x02))
+    table.append_packet(in_packet(t=1.2, size=60, flags=0x12, payload=b"\x01\x02"))
+    table.append_packet(out_packet(t=2.5, size=1500))
+    return table
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        buffer = io.BytesIO()
+        write_frame(buffer, b"hello")
+        write_frame(buffer, b"")
+        write_frame(buffer, b"world")
+        buffer.seek(0)
+        assert read_frame(buffer) == b"hello"
+        assert read_frame(buffer) == b""
+        assert read_frame(buffer) == b"world"
+        assert read_frame(buffer) is None  # clean EOF
+
+    def test_truncated_payload(self):
+        buffer = io.BytesIO()
+        write_frame(buffer, b"hello")
+        data = buffer.getvalue()[:-2]
+        with pytest.raises(FramingError):
+            read_frame(io.BytesIO(data))
+
+    def test_truncated_header(self):
+        buffer = io.BytesIO()
+        write_frame(buffer, b"hello")
+        data = buffer.getvalue()[:2]
+        with pytest.raises(FramingError):
+            read_frame(io.BytesIO(data))
+
+    def test_oversize_length_rejected_without_allocating(self):
+        header = (MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+        with pytest.raises(FramingError):
+            read_frame(io.BytesIO(header))
+
+    def test_oversize_write_rejected(self):
+        class NullStream:
+            def write(self, data):
+                raise AssertionError("should not write")
+
+        with pytest.raises(FramingError):
+            write_frame(NullStream(), b"x" * (MAX_FRAME_BYTES + 1))
+
+
+class TestTableCodec:
+    def test_roundtrip_fields(self):
+        table = sample_table()
+        decoded = decode_table(encode_table(table))
+        assert len(decoded) == len(table)
+        assert list(decoded.timestamps) == list(table.timestamps)
+        assert list(decoded.sizes) == list(table.sizes)
+        assert list(decoded.flags) == list(table.flags)
+        assert list(decoded.outbound) == list(table.outbound)
+        for position in range(len(table)):
+            assert decoded.pair(position) == table.pair(position)
+        assert decoded.payloads[decoded.payload_ids[1]] == b"\x01\x02"
+
+    def test_pool_sharing_keeps_pair_ids_stable(self):
+        """Chunks decoded against one pool table intern flows once, so a
+        flow keeps its pair_id across frames — the generator stream's
+        contract, preserved over the wire."""
+        generator = TraceGenerator(
+            TraceConfig(duration=6.0, connection_rate=5.0, seed=3)
+        )
+        chunks = list(generator.iter_tables(64))
+        pool = PacketTable()
+        decoded = [
+            decode_table(encode_table(chunk), pool=pool) for chunk in chunks
+        ]
+        seen = {}
+        for chunk in decoded:
+            for position in range(len(chunk)):
+                pair = chunk.pair(position)
+                pair_id = chunk.pair_ids[position]
+                if pair in seen:
+                    assert seen[pair] == pair_id
+                else:
+                    seen[pair] = pair_id
+
+    def test_generator_chunk_roundtrip_packets(self):
+        generator = TraceGenerator(
+            TraceConfig(duration=4.0, connection_rate=4.0, seed=5)
+        )
+        table = next(iter(generator.iter_tables(256)))
+        decoded = decode_table(encode_table(table))
+
+        def rows(packets):
+            return [
+                (p.timestamp, p.pair, p.size, p.flags, p.payload, p.direction)
+                for p in packets
+            ]
+
+        assert rows(decoded.to_packets()) == rows(table.to_packets())

@@ -1,0 +1,219 @@
+"""Tests for packet sources (repro.service.sources)."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.net.headers import encode_packet
+from repro.net.inet import parse_ipv4
+from repro.net.pcap import write_pcap
+from repro.net.stream import encode_table, write_frame
+from repro.net.table import PacketTable
+from repro.service.sources import (
+    GeneratorSource,
+    IdleSource,
+    PcapSource,
+    SocketSource,
+    TableSource,
+)
+from repro.workload import TraceConfig, TraceGenerator
+
+from tests.conftest import in_packet, out_packet, tcp_pair
+
+
+def chunk_rows(chunk):
+    return [
+        (chunk.timestamps[i], chunk.pair(i), chunk.sizes[i],
+         chunk.flags[i], chunk.outbound[i])
+        for i in range(len(chunk))
+    ]
+
+
+def trace_config():
+    return TraceConfig(duration=10.0, connection_rate=5.0, seed=7)
+
+
+class TestGeneratorSource:
+    def test_yields_full_trace_in_chunks(self):
+        source = GeneratorSource(TraceGenerator(trace_config()), chunk_size=256)
+        chunks = list(source)
+        reference = list(TraceGenerator(trace_config()).iter_tables(256))
+        assert len(chunks) == len(reference)
+        assert sum(len(c) for c in chunks) == sum(len(c) for c in reference)
+
+    def test_skip_reproduces_remaining_stream(self):
+        full = list(GeneratorSource(TraceGenerator(trace_config()), 256))
+        source = GeneratorSource(TraceGenerator(trace_config()), 256)
+        source.skip(3)
+        remaining = list(source)
+        assert len(remaining) == len(full) - 3
+        for skipped, reference in zip(remaining, full[3:]):
+            assert chunk_rows(skipped) == chunk_rows(reference)
+
+    def test_skip_preserves_interned_pair_ids(self):
+        # Skipped chunks still advance the shared pool, so pair_ids in
+        # the remaining stream match an uninterrupted run's exactly.
+        full = list(GeneratorSource(TraceGenerator(trace_config()), 256))
+        source = GeneratorSource(TraceGenerator(trace_config()), 256)
+        source.skip(2)
+        for skipped, reference in zip(source, full[2:]):
+            assert list(skipped.pair_ids) == list(reference.pair_ids)
+
+    def test_skip_past_end(self):
+        source = GeneratorSource(TraceGenerator(trace_config()), 256)
+        source.skip(10_000)
+        assert list(source) == []
+
+    def test_validates_chunk_size(self):
+        with pytest.raises(ValueError):
+            GeneratorSource(TraceGenerator(trace_config()), chunk_size=0)
+
+    def test_negative_skip_rejected(self):
+        source = GeneratorSource(TraceGenerator(trace_config()), 256)
+        with pytest.raises(ValueError):
+            source.skip(-1)
+
+
+class TestTableSource:
+    def sample_table(self, rows=10):
+        table = PacketTable()
+        for i in range(rows):
+            table.append_packet(out_packet(t=float(i), size=100 + i))
+        return table
+
+    def test_chunks_cover_table(self):
+        source = TableSource(self.sample_table(10), chunk_size=4)
+        sizes = [len(chunk) for chunk in source]
+        assert sizes == [4, 4, 2]
+
+    def test_skip_is_positional(self):
+        source = TableSource(self.sample_table(10), chunk_size=4)
+        source.skip(1)
+        chunks = list(source)
+        assert [len(chunk) for chunk in chunks] == [4, 2]
+        assert chunks[0].timestamps[0] == 4.0
+
+    def test_skip_past_end(self):
+        source = TableSource(self.sample_table(10), chunk_size=4)
+        source.skip(99)
+        assert list(source) == []
+
+    def test_describe(self):
+        assert "10 rows" in TableSource(self.sample_table(10), 4).describe()
+
+
+class TestPcapSource:
+    def test_reads_capture_in_chunks(self, tmp_path):
+        path = str(tmp_path / "feed.pcap")
+        records = []
+        for i in range(6):
+            pair = tcp_pair(sport=4000 + i)
+            records.append((0.5 * i, encode_packet(pair, payload=b"x")))
+        write_pcap(path, records)
+        source = PcapSource(
+            path, parse_ipv4("10.1.0.0"), 16, chunk_size=4
+        )
+        chunks = list(source)
+        assert [len(chunk) for chunk in chunks] == [4, 2]
+        assert chunks[0].outbound[0]  # 10.1.0.5 is inside the client net
+
+
+class TestSocketSource:
+    def feed(self, address, chunks, family=socket.AF_UNIX):
+        connection = socket.socket(family)
+        connection.connect(address)
+        stream = connection.makefile("wb")
+        for chunk in chunks:
+            write_frame(stream, encode_table(chunk))
+        stream.close()
+        connection.close()
+
+    def sample_chunks(self):
+        first = PacketTable()
+        first.append_packet(out_packet(t=1.0))
+        first.append_packet(in_packet(t=1.1))
+        second = first.spawn()
+        second.append_packet(out_packet(t=2.0, size=555))
+        return [first, second]
+
+    def test_unix_feed_roundtrip(self, tmp_path):
+        path = str(tmp_path / "feed.sock")
+        source = SocketSource.unix(path)
+        chunks = self.sample_chunks()
+        feeder = threading.Thread(target=self.feed, args=(path, chunks))
+        feeder.start()
+        try:
+            received = list(source)
+        finally:
+            feeder.join()
+            source.close()
+        assert [len(chunk) for chunk in received] == [2, 1]
+        assert chunk_rows(received[0]) == chunk_rows(chunks[0])
+        assert chunk_rows(received[1]) == chunk_rows(chunks[1])
+
+    def test_frames_share_one_pool(self, tmp_path):
+        path = str(tmp_path / "feed.sock")
+        source = SocketSource.unix(path)
+        chunks = self.sample_chunks()
+        feeder = threading.Thread(target=self.feed, args=(path, chunks))
+        feeder.start()
+        try:
+            received = list(source)
+        finally:
+            feeder.join()
+            source.close()
+        # Same flow in both frames -> same interned pair_id.
+        assert received[1].pair_ids[0] == received[0].pair_ids[0]
+
+    def test_skip_discards_frames(self, tmp_path):
+        path = str(tmp_path / "feed.sock")
+        source = SocketSource.unix(path)
+        source.skip(1)
+        chunks = self.sample_chunks()
+        feeder = threading.Thread(target=self.feed, args=(path, chunks))
+        feeder.start()
+        try:
+            received = list(source)
+        finally:
+            feeder.join()
+            source.close()
+        assert len(received) == 1
+        assert chunk_rows(received[0]) == chunk_rows(chunks[1])
+
+    def test_tcp_listener(self):
+        source = SocketSource.tcp("127.0.0.1", 0)
+        address = source.address
+        chunks = self.sample_chunks()[:1]
+        feeder = threading.Thread(
+            target=self.feed, args=(address, chunks, socket.AF_INET)
+        )
+        feeder.start()
+        try:
+            received = list(source)
+        finally:
+            feeder.join()
+            source.close()
+        assert len(received) == 1
+
+
+class TestIdleSource:
+    def test_close_unblocks_iteration(self):
+        source = IdleSource(poll_interval=0.01)
+        seen = []
+        done = threading.Event()
+
+        def consume():
+            seen.extend(source)
+            done.set()
+
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        source.close()
+        assert done.wait(timeout=2.0)
+        consumer.join()
+        assert seen == []
+
+    def test_validates_poll_interval(self):
+        with pytest.raises(ValueError):
+            IdleSource(poll_interval=0.0)

@@ -1,0 +1,90 @@
+"""Tests for snapshot-file persistence (repro.service.state)."""
+
+import json
+import os
+
+import pytest
+
+from repro.service.state import (
+    SNAPSHOT_FORMAT,
+    latest_snapshot,
+    read_snapshot,
+    snapshot_name,
+    write_snapshot,
+)
+
+
+def minimal_payload(**overrides):
+    payload = {
+        "sequence": 1,
+        "chunks_done": 7,
+        "pipeline": {"inbound": 10, "dropped": 2, "first_ts": 0.0,
+                     "last_ts": 3.5, "fingerprint": 12345},
+        "filter": {"bits": [b"\x00\xff\x10", b"\x01"]},
+        "router": {"blocklist": None},
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestWriteRead:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / snapshot_name(1))
+        write_snapshot(path, minimal_payload())
+        document = read_snapshot(path)
+        assert document["format"] == SNAPSHOT_FORMAT
+        assert document["chunks_done"] == 7
+        assert document["pipeline"]["fingerprint"] == 12345
+        assert "wall_time" in document
+
+    def test_bytes_survive_json(self, tmp_path):
+        path = str(tmp_path / snapshot_name(1))
+        write_snapshot(path, minimal_payload())
+        document = read_snapshot(path)
+        assert document["filter"]["bits"] == [b"\x00\xff\x10", b"\x01"]
+        # The file itself is plain JSON — no pickle.
+        with open(path) as handle:
+            raw = json.load(handle)
+        assert raw["filter"]["bits"][0] == {"__b64__": "AP8Q"}
+
+    def test_rejects_wrong_format(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        with open(path, "w") as handle:
+            json.dump({"format": "something-else/9"}, handle)
+        with pytest.raises(ValueError, match="not a service snapshot"):
+            read_snapshot(path)
+
+    def test_rejects_missing_section(self, tmp_path):
+        path = str(tmp_path / snapshot_name(1))
+        write_snapshot(path, minimal_payload())
+        document = json.load(open(path))
+        del document["router"]
+        with open(path, "w") as handle:
+            json.dump(document, handle)
+        with pytest.raises(ValueError, match="missing 'router'"):
+            read_snapshot(path)
+
+    def test_write_leaves_no_tmp_files(self, tmp_path):
+        path = str(tmp_path / snapshot_name(3))
+        write_snapshot(path, minimal_payload(sequence=3))
+        assert sorted(os.listdir(tmp_path)) == [snapshot_name(3)]
+
+
+class TestLatest:
+    def test_picks_highest_sequence(self, tmp_path):
+        for sequence in (1, 12, 3):
+            write_snapshot(
+                str(tmp_path / snapshot_name(sequence)),
+                minimal_payload(sequence=sequence),
+            )
+        assert latest_snapshot(str(tmp_path)) == str(
+            tmp_path / snapshot_name(12)
+        )
+
+    def test_ignores_unrelated_files(self, tmp_path):
+        (tmp_path / "notes.txt").write_text("hi")
+        (tmp_path / "snapshot-abc.json").write_text("{}")
+        assert latest_snapshot(str(tmp_path)) is None
+
+    def test_missing_directory(self, tmp_path):
+        assert latest_snapshot(str(tmp_path / "nope")) is None

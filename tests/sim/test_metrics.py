@@ -99,6 +99,67 @@ class TestThroughputSeries:
             ThroughputSeries(interval=0.0)
 
 
+class TestSparseWallClockSpans:
+    """Live services feed these series *wall-clock* time: hours of idle,
+    restart gaps of days.  Span statistics must count the silent
+    intervals without materializing them — a billion-interval gap is one
+    subtraction, not a billion-entry list."""
+
+    def test_mean_across_restart_gap(self):
+        series = ThroughputSeries(interval=1.0)
+        series.record(out_packet(t=0.5, size=1250))
+        # The service comes back ~32 years of epoch seconds later; the
+        # old span_rates-based mean would build a ~1e9-entry list here.
+        series.record(out_packet(t=1.0e9 + 0.5, size=1250))
+        span = series.span_intervals(Direction.OUTBOUND)
+        assert span == 1_000_000_001
+        expected = 2500 * 8.0 / 1e6 / span
+        assert series.mean_mbps(Direction.OUTBOUND) == pytest.approx(expected)
+
+    def test_quantile_across_restart_gap(self):
+        series = ThroughputSeries(interval=1.0)
+        series.record(out_packet(t=0.5, size=1250))
+        series.record(out_packet(t=1.0e9 + 0.5, size=2500))
+        # Nearly the whole span is silent: every quantile below the very
+        # top is exactly zero, and the top is the busiest bin.
+        assert series.quantile_mbps(Direction.OUTBOUND, 0.5) == 0.0
+        assert series.quantile_mbps(Direction.OUTBOUND, 0.999999) == 0.0
+        assert series.quantile_mbps(Direction.OUTBOUND, 1.0) == pytest.approx(0.02)
+
+    def test_quantile_matches_dense_reference(self):
+        """The arithmetic zero-counting quantile must agree with the
+        materialize-and-sort reference on a dense-enough series."""
+        series = ThroughputSeries(interval=1.0)
+        sizes = [125, 0, 250, 0, 0, 625, 125, 0, 375, 500]
+        for i, size in enumerate(sizes):
+            if size:
+                series.record(out_packet(t=float(i), size=size))
+        rates = sorted(series.span_rates_mbps(Direction.OUTBOUND))
+        span = len(rates)
+        for q in (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 1.0):
+            rank = min(span - 1, int(q * span))
+            assert series.quantile_mbps(Direction.OUTBOUND, q) == pytest.approx(
+                rates[rank]
+            ), q
+
+    def test_single_bin_span(self):
+        series = ThroughputSeries(interval=1.0)
+        series.record(out_packet(t=1234567.5, size=1250))
+        assert series.span_intervals(Direction.OUTBOUND) == 1
+        assert series.mean_mbps(Direction.OUTBOUND) == pytest.approx(0.01)
+        assert series.quantile_mbps(Direction.OUTBOUND, 0.0) == pytest.approx(0.01)
+
+    def test_sampler_unaffected_by_gaps(self):
+        """Drop windows are keyed sparsely; a restart gap adds no
+        phantom windows and leaves the aggregate rate a pure count."""
+        sampler = DropRateSampler(window=10.0)
+        sampler.record(5.0, dropped=True)
+        sampler.record(1.0e9 + 5.0, dropped=False)
+        samples = sampler.samples()
+        assert len(samples) == 2
+        assert sampler.overall_drop_rate() == pytest.approx(0.5)
+
+
 class TestMergeAPI:
     """The metrics-merge layer the multiprocess replay engine rides on."""
 

@@ -243,3 +243,83 @@ class TestDefaultLaneFilter:
         packet = Packet(0.0, pair, size=60, direction=Direction.INBOUND)
         assert DefaultLaneFilter(Verdict.PASS).process(packet) is Verdict.PASS
         assert DefaultLaneFilter(Verdict.DROP).process(packet) is Verdict.DROP
+
+
+#: Standalone driver for the interrupt test: a deliberately slow sharded
+#: replay interrupted mid-run.  On KeyboardInterrupt the run must already
+#: have reaped every pool worker — ``active_children()`` is the witness.
+INTERRUPT_SCRIPT = '''\
+import multiprocessing
+import sys
+import time
+
+from repro.filters.base import PacketFilter, Verdict
+from repro.filters.sharded import ShardedFilter
+from repro.net.inet import parse_ipv4
+from repro.sim.parallel import parallel_replay
+from repro.workload import TraceConfig, TraceGenerator
+
+
+class SlowFilter(PacketFilter):
+    name = "slow"
+
+    def decide(self, packet):
+        time.sleep(0.005)
+        return Verdict.PASS
+
+
+BASE = parse_ipv4("10.1.0.0")
+sharded = ShardedFilter([
+    (BASE + i * 64, 26, SlowFilter()) for i in range(4)
+])
+packets = TraceGenerator(
+    TraceConfig(duration=40.0, connection_rate=10.0, seed=3)
+).packet_list()
+print("READY", flush=True)
+try:
+    parallel_replay(packets, sharded, workers=4, batched=False)
+    print("FINISHED", flush=True)
+except KeyboardInterrupt:
+    leftover = multiprocessing.active_children()
+    print(f"INTERRUPTED children={len(leftover)}", flush=True)
+    sys.exit(0)
+'''
+
+
+class TestInterrupt:
+    def test_sigint_reaps_workers(self, tmp_path):
+        """SIGINT mid-replay: clean KeyboardInterrupt, zero orphans."""
+        import os
+        import signal as signal_module
+        import subprocess
+        import sys
+        import time
+        from pathlib import Path
+
+        script = tmp_path / "interrupt_run.py"
+        script.write_text(INTERRUPT_SCRIPT)
+        src = Path(__file__).resolve().parents[2] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src)
+        proc = subprocess.Popen(
+            [sys.executable, str(script)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            ready = proc.stdout.readline()
+            assert ready.strip() == "READY"
+            # Let the pool come up and the lanes get into their replay
+            # loops before interrupting.
+            time.sleep(1.0)
+            proc.send_signal(signal_module.SIGINT)
+            out, err = proc.communicate(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, f"stdout={out!r} stderr={err!r}"
+        assert "INTERRUPTED children=0" in out, f"stdout={out!r} stderr={err!r}"
+        assert "FINISHED" not in out

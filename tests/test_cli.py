@@ -117,3 +117,63 @@ class TestFigures:
         out = capsys.readouterr().out
         assert "synthesizing trace" in out
         assert "Table 2" in out
+
+
+class TestServeAndCtl:
+    def test_serve_flat_out_generator(self, capsys):
+        assert main(["serve", "--source", "generator", "--duration", "8",
+                     "--rate", "5", "--seed", "3", "--chunk-size", "256",
+                     "--size-bits", "12", "--vectors", "3", "--hashes", "2",
+                     "--low-mbps", "0.1", "--high-mbps", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "serving generator" in out
+        assert "verdict fingerprint:" in out
+
+    def test_serve_then_ctl_roundtrip(self, tmp_path, capsys):
+        import threading
+
+        sock = str(tmp_path / "ctl.sock")
+        address = f"unix:{sock}"
+        box = {}
+
+        def daemon():
+            box["rc"] = main([
+                "serve", "--source", "generator", "--duration", "20",
+                "--rate", "6", "--seed", "5", "--chunk-size", "512",
+                "--speed", "40", "--size-bits", "12", "--vectors", "3",
+                "--hashes", "2", "--low-mbps", "0.1", "--high-mbps", "1.0",
+                "--control", address, "--snapshot-dir", str(tmp_path),
+            ])
+
+        thread = threading.Thread(target=daemon, daemon=True)
+        thread.start()
+        import time
+
+        deadline = time.monotonic() + 10.0
+        while not (tmp_path / "ctl.sock").exists():
+            assert time.monotonic() < deadline, "control socket never appeared"
+            time.sleep(0.02)
+
+        assert main(["ctl", address, "health"]) == 0
+        assert main(["ctl", address, "config", "--low-mbps", "0.5",
+                     "--high-mbps", "2.0"]) == 0
+        assert main(["ctl", address, "snapshot"]) == 0
+        assert main(["ctl", address, "stats"]) == 0
+        assert main(["ctl", address, "shutdown"]) == 0
+        thread.join(timeout=15.0)
+        assert not thread.is_alive()
+        assert box["rc"] == 0
+        out = capsys.readouterr().out
+        assert '"status": "running"' in out
+        assert '"low_mbps": 0.5' in out
+        assert "snapshot-00000001.json" in out
+        assert '"drop_policy"' in out
+
+    def test_ctl_against_dead_socket(self, tmp_path, capsys):
+        rc = main(["ctl", f"unix:{tmp_path / 'gone.sock'}", "health"])
+        assert rc == 1
+        assert "control error" in capsys.readouterr().err
+
+    def test_ctl_config_requires_params(self, tmp_path, capsys):
+        rc = main(["ctl", f"unix:{tmp_path / 'gone.sock'}", "config"])
+        assert rc in (1, 2)
