@@ -1,0 +1,359 @@
+#!/usr/bin/env python
+"""Transport benchmark: binary columnar codec vs JSON rows, shm vs pickle.
+
+PR 6 put one binary columnar representation on both hot boundaries; this
+harness measures what it buys and pins the equivalence contract:
+
+* **Wire codec** — the same ~1M-packet chunk stream is encoded+decoded
+  through the legacy JSON-rows payload and the binary columnar codec
+  (:class:`repro.net.stream.TableEncoder` with pool deltas).  The decoded
+  streams must match column for column; the full run requires the binary
+  codec to be at least ``CODEC_TARGET``x faster end to end.
+* **Worker dispatch** — the same trace replays through a sharded filter
+  with ``transport="pickle"`` and ``transport="shm"``.  Per-lane dispatch
+  payloads are measured directly (pickled task bytes: whole lane tables
+  vs :class:`~repro.sim.shm.ShmLane` offset records); merged results must
+  be bit-identical to a single-process ``replay()``.  Wall-clock speedup
+  over workers=1 is reported always and gated (>= 1.0 for the better
+  transport) only when the host actually has more than one core.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_transport.py            # full
+    PYTHONPATH=src python benchmarks/bench_transport.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pickle
+import sys
+import time
+from pathlib import Path
+
+CODEC_TARGET = 5.0
+PROBE_DURATION = 30.0
+
+
+def calibrate_duration(target_packets: int, rate: float, seed: int) -> float:
+    """Trace seconds that land within ~5% of ``target_packets``."""
+    from repro.workload.generator import TraceConfig, TraceGenerator
+
+    probe = TraceGenerator(
+        TraceConfig(duration=PROBE_DURATION, connection_rate=rate, seed=seed)
+    ).table()
+    duration = target_packets / max(len(probe) / PROBE_DURATION, 1.0)
+    full = TraceGenerator(
+        TraceConfig(duration=duration, connection_rate=rate, seed=seed)
+    ).table()
+    if abs(len(full) - target_packets) > 0.05 * target_packets:
+        duration *= target_packets / len(full)
+    return duration
+
+
+def chunk_stream(duration: float, rate: float, seed: int, chunk_size: int):
+    from repro.workload.generator import TraceConfig, TraceGenerator
+
+    return TraceGenerator(
+        TraceConfig(duration=duration, connection_rate=rate, seed=seed)
+    ).iter_tables(chunk_size)
+
+
+# ---------------------------------------------------------------------------
+# Wire codec
+# ---------------------------------------------------------------------------
+
+
+def bench_codec(duration: float, rate: float, seed: int,
+                chunk_size: int) -> dict:
+    from repro.net.stream import (
+        TableEncoder,
+        decode_table,
+        encode_table_json,
+    )
+    from repro.net.table import PacketTable
+
+    chunks = list(chunk_stream(duration, rate, seed, chunk_size))
+    rows = sum(len(chunk) for chunk in chunks)
+    print(f"codec: {rows:,} packets in {len(chunks)} chunks of {chunk_size}")
+
+    # JSON rows (the legacy payload).
+    start = time.perf_counter()
+    json_frames = [encode_table_json(chunk) for chunk in chunks]
+    json_encode_s = time.perf_counter() - start
+    pool = PacketTable()
+    start = time.perf_counter()
+    json_decoded = [decode_table(frame, pool=pool) for frame in json_frames]
+    json_decode_s = time.perf_counter() - start
+
+    # Binary columnar with pool deltas.
+    encoder = TableEncoder()
+    start = time.perf_counter()
+    binary_frames = [encoder.encode(chunk) for chunk in chunks]
+    binary_encode_s = time.perf_counter() - start
+    pool = PacketTable()
+    start = time.perf_counter()
+    binary_decoded = [decode_table(frame, pool=pool) for frame in binary_frames]
+    binary_decode_s = time.perf_counter() - start
+
+    # Equivalence: both decoded streams must reproduce the source stream.
+    # The binary path carries pool deltas, so its interned ids match the
+    # source ids bit for bit; JSON re-interns row by row (first-seen
+    # order can differ from the generator's arrival-order pool), so its
+    # pairs/payloads are compared by value.
+    for source, js, bi in zip(chunks, json_decoded, binary_decoded):
+        for name, _ in PacketTable.COLUMNS:
+            column = list(getattr(source, name))
+            if name not in ("pair_ids", "payload_ids"):
+                if list(getattr(js, name)) != column:
+                    raise SystemExit(f"FAIL: JSON decode diverged on {name}")
+            if list(getattr(bi, name)) != column:
+                raise SystemExit(f"FAIL: binary decode diverged on {name}")
+        for position in range(len(source)):
+            if js.pair(position) != source.pair(position):
+                raise SystemExit("FAIL: JSON pair values diverged")
+            if js.payloads[js.payload_ids[position]] != \
+                    source.payloads[source.payload_ids[position]]:
+                raise SystemExit("FAIL: JSON payload values diverged")
+    print("codec equivalence: JSON and binary decode the identical stream")
+
+    json_total = json_encode_s + json_decode_s
+    binary_total = binary_encode_s + binary_decode_s
+    speedup = json_total / binary_total
+    json_bytes = sum(len(frame) for frame in json_frames)
+    binary_bytes = sum(len(frame) for frame in binary_frames)
+    report = {
+        "packets": rows,
+        "chunks": len(chunks),
+        "chunk_size": chunk_size,
+        "json": {
+            "encode_s": round(json_encode_s, 3),
+            "decode_s": round(json_decode_s, 3),
+            "total_s": round(json_total, 3),
+            "bytes": json_bytes,
+            "pkts_per_s": round(rows / json_total),
+        },
+        "binary": {
+            "encode_s": round(binary_encode_s, 3),
+            "decode_s": round(binary_decode_s, 3),
+            "total_s": round(binary_total, 3),
+            "bytes": binary_bytes,
+            "pkts_per_s": round(rows / binary_total),
+        },
+        "speedup_binary_vs_json": round(speedup, 2),
+        "bytes_ratio_json_vs_binary": round(json_bytes / binary_bytes, 2),
+        "target_speedup": CODEC_TARGET,
+    }
+    print(f"    json: {json_total:.2f}s ({rows / json_total:,.0f} pkts/s, "
+          f"{json_bytes:,} bytes)")
+    print(f"  binary: {binary_total:.2f}s ({rows / binary_total:,.0f} pkts/s, "
+          f"{binary_bytes:,} bytes)")
+    print(f" speedup: {speedup:.1f}x encode+decode, "
+          f"{json_bytes / binary_bytes:.1f}x smaller frames")
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Worker dispatch
+# ---------------------------------------------------------------------------
+
+
+def _make_sharded(shard_count: int = 4):
+    from repro.core.bitmap_filter import BitmapFilterConfig
+    from repro.filters.bitmap import BitmapPacketFilter
+    from repro.filters.sharded import ShardedFilter
+    from repro.net.inet import parse_ipv4
+
+    base = parse_ipv4("10.1.0.0")
+    prefix = 24 + shard_count.bit_length() - 1
+    step = 1 << (32 - prefix)
+    return ShardedFilter([
+        (base + i * step, prefix,
+         BitmapPacketFilter(BitmapFilterConfig(size=2 ** 16, vectors=4,
+                                               hashes=3, rotate_interval=5.0)))
+        for i in range(shard_count)
+    ])
+
+
+def _result_fingerprint(result) -> dict:
+    """Everything the transports and the offline replay must agree on."""
+    router = result.router
+    sharded = router.filter
+    return {
+        "packets": result.packets,
+        "inbound_packets": result.inbound_packets,
+        "inbound_dropped": result.inbound_dropped,
+        "duration": result.duration,
+        "filter_stats": sharded.stats.as_dict(),
+        "shard_stats": sharded.shard_stats(),
+        "offered_bins": router.offered._bins,
+        "passed_bins": router.passed._bins,
+        "blocked": (dict(router.blocklist._blocked)
+                    if router.blocklist is not None else None),
+    }
+
+
+def _dispatch_bytes(table, sharded) -> dict:
+    """Pickled per-lane task payload sizes: whole lane tables vs ShmLane
+    offset records — the dispatch overhead each worker pays before it can
+    start replaying."""
+    from repro.sim.shm import SharedTableArena
+
+    lanes, default_lane = sharded.partition_table(table)
+    lane_tables = [(i, lane) for i, lane in enumerate(lanes) if len(lane)]
+    if len(default_lane):
+        lane_tables.append((-1, default_lane))
+    pickle_bytes = sum(
+        len(pickle.dumps(lane, protocol=pickle.HIGHEST_PROTOCOL))
+        for _, lane in lane_tables
+    )
+    arena = SharedTableArena.publish(lane_tables)
+    try:
+        shm_bytes = sum(
+            len(pickle.dumps(ref, protocol=pickle.HIGHEST_PROTOCOL))
+            for ref in arena.lanes
+        )
+        segment_bytes = arena.nbytes
+    finally:
+        arena.dispose()
+    return {
+        "lanes": len(lane_tables),
+        "pickle_task_bytes": pickle_bytes,
+        "shm_task_bytes": shm_bytes,
+        "shm_segment_bytes": segment_bytes,
+        "per_lane_reduction": round(pickle_bytes / max(shm_bytes, 1)),
+    }
+
+
+def bench_dispatch(duration: float, rate: float, seed: int, workers: int) -> dict:
+    from repro.net.table import as_table
+    from repro.sim.parallel import parallel_replay
+    from repro.sim.replay import replay
+    from repro.sim.shm import HAVE_SHARED_MEMORY
+
+    table = as_table(chunk_stream(duration, rate, seed, 65536))
+    print(f"dispatch: {len(table):,} packets, workers={workers}, "
+          f"cpu_count={os.cpu_count()}")
+
+    single_start = time.perf_counter()
+    single = replay(table, _make_sharded(), use_blocklist=True)
+    single_s = time.perf_counter() - single_start
+    reference = _result_fingerprint(single)
+
+    runs = {}
+    transports = ["pickle"] + (["shm"] if HAVE_SHARED_MEMORY else [])
+    for transport in transports:
+        start = time.perf_counter()
+        result = parallel_replay(table, _make_sharded(), workers=workers,
+                                 transport=transport)
+        elapsed = time.perf_counter() - start
+        if _result_fingerprint(result) != reference:
+            raise SystemExit(
+                f"FAIL: transport={transport} diverged from offline replay()"
+            )
+        runs[transport] = {
+            "wall_s": round(elapsed, 3),
+            "speedup_vs_single": round(single_s / elapsed, 2),
+        }
+        print(f"  {transport:>6}: {elapsed:.2f}s "
+              f"({single_s / elapsed:.2f}x vs workers=1)")
+    print("dispatch equivalence: all transports bit-identical to offline "
+          "replay()")
+
+    sizes = _dispatch_bytes(table, _make_sharded())
+    print(f"  dispatch payload: pickle {sizes['pickle_task_bytes']:,} B vs "
+          f"shm {sizes['shm_task_bytes']:,} B per dispatch "
+          f"({sizes['per_lane_reduction']:,}x smaller; segment "
+          f"{sizes['shm_segment_bytes']:,} B, copied once)")
+
+    return {
+        "packets": len(table),
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "have_shared_memory": HAVE_SHARED_MEMORY,
+        "single_process_s": round(single_s, 3),
+        "transports": runs,
+        "dispatch_payload": sizes,
+    }
+
+
+# ---------------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--packets", type=int, default=1_000_000,
+                        help="target trace length (default: 1M)")
+    parser.add_argument("--rate", type=float, default=16.0,
+                        help="connection arrivals per second")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--chunk-size", type=int, default=4096,
+                        help="packets per wire frame")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes for the dispatch section")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_transport.json")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: ~40k packets, no file write, "
+                             "no speed targets — only the equivalence "
+                             "checks gate the exit code")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.packets = min(args.packets, 40_000)
+
+    duration = calibrate_duration(args.packets, args.rate, args.seed)
+    print(f"trace: ~{args.packets:,} packets over {duration:.0f}s of trace "
+          f"time (rate {args.rate:g}/s, seed {args.seed})\n")
+
+    codec = bench_codec(duration, args.rate, args.seed, args.chunk_size)
+    print()
+    dispatch = bench_dispatch(duration, args.rate, args.seed, args.workers)
+
+    report = {
+        "trace": {
+            "packets": codec["packets"],
+            "trace_duration_s": round(duration, 1),
+            "connection_rate": args.rate,
+            "seed": args.seed,
+        },
+        "codec": codec,
+        "dispatch": dispatch,
+    }
+
+    failures = []
+    if codec["speedup_binary_vs_json"] < CODEC_TARGET:
+        failures.append(
+            f"binary codec speedup {codec['speedup_binary_vs_json']:.2f}x "
+            f"below target {CODEC_TARGET}x"
+        )
+    payload = dispatch["dispatch_payload"]
+    if payload["shm_task_bytes"] >= payload["pickle_task_bytes"]:
+        failures.append("shm dispatch payload not smaller than pickle")
+    if (os.cpu_count() or 1) > 1 and "shm" in dispatch["transports"]:
+        # Parallel speedup is only a meaningful gate on a multi-core host;
+        # a single-core runner serializes the workers by definition.
+        if dispatch["transports"]["shm"]["speedup_vs_single"] < 1.0:
+            failures.append(
+                "shm transport slower than single-process on a "
+                "multi-core host"
+            )
+
+    if args.quick:
+        print("\nquick mode: speed targets not enforced")
+        return 0
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nreport -> {args.output}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

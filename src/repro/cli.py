@@ -81,6 +81,11 @@ def build_parser() -> argparse.ArgumentParser:
     filt.add_argument("--shard-bits", type=int, default=2,
                       help="with --workers > 1: split the client network "
                            "into 2^bits per-subnet shards (default: 4 shards)")
+    filt.add_argument("--transport", default="auto",
+                      choices=("auto", "shm", "pickle"),
+                      help="with --workers > 1: lane dispatch mechanism — "
+                           "shared-memory column buffers or pickled tables "
+                           "(auto prefers shared memory; identical results)")
     filt.set_defaults(handler=cmd_filter)
 
     figures = sub.add_parser(
@@ -141,6 +146,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-packet stepping instead of the columnar "
                             "batched engine (identical verdicts)")
     serve.set_defaults(handler=cmd_serve)
+
+    feed = sub.add_parser(
+        "feed", help="stream packet chunks into a daemon's socket source"
+    )
+    feed.add_argument("address",
+                      help="feed address of the daemon: unix:/path or "
+                           "tcp:host:port (the daemon's --feed)")
+    feed.add_argument("--pcap", default=None,
+                      help="capture to stream (omit to synthesize a trace)")
+    feed.add_argument("--network", default="10.1.0.0/16",
+                      help="client network CIDR (packet directions)")
+    feed.add_argument("--duration", type=float, default=60.0,
+                      help="synthetic trace seconds (no --pcap)")
+    feed.add_argument("--rate", type=float, default=10.0,
+                      help="synthetic connection arrivals/sec")
+    feed.add_argument("--hosts", type=int, default=120)
+    feed.add_argument("--seed", type=int, default=7)
+    feed.add_argument("--chunk-size", type=int, default=4096,
+                      help="packets per frame")
+    feed.add_argument("--format", dest="wire_format", default="binary",
+                      choices=("binary", "json"),
+                      help="frame payload codec (json = legacy compat)")
+    feed.set_defaults(handler=cmd_feed)
 
     ctl = sub.add_parser(
         "ctl", help="talk to a running filter daemon's control socket"
@@ -337,11 +365,14 @@ def cmd_filter(args) -> int:
     if args.workers > 1:
         packet_filter, note = _build_sharded_filter(args, offered_up)
     else:
+        if args.transport != "auto":
+            raise SystemExit("--transport needs --workers > 1")
         packet_filter, note = _build_filter(args, offered_up)
     # batched=None lets each backend keep its default lane engine (the
     # parallel backend batches its lanes even without --batched).
     backend = select_backend(batched=True if args.batched else None,
-                             workers=args.workers)
+                             workers=args.workers,
+                             transport=args.transport)
     start = time.perf_counter()
     result = replay(packets, packet_filter,
                     use_blocklist=not args.no_blocklist, backend=backend)
@@ -591,6 +622,68 @@ def cmd_serve(args) -> int:
         print(f"blocked connections: {len(result.router.blocklist):,}")
     if result.fingerprint is not None:
         print(f"verdict fingerprint: {result.fingerprint:#018x}")
+    return 0
+
+
+def cmd_feed(args) -> int:
+    """Stream a trace into a running daemon's socket source, one
+    length-prefixed frame per chunk (binary columnar by default)."""
+    import socket as socket_module
+
+    from repro.net.stream import FrameWriter
+    from repro.service.control import parse_control_address
+
+    if args.chunk_size < 1:
+        raise SystemExit(f"--chunk-size must be >= 1: {args.chunk_size}")
+    if args.pcap is not None:
+        from repro.net.table import PacketTable
+
+        network, prefix = _parse_cidr(args.network)
+        table = PacketTable.from_pcap(args.pcap, network, prefix)
+        chunks = (table.slice(start, start + args.chunk_size)
+                  for start in range(0, len(table), args.chunk_size))
+        label = f"pcap {args.pcap}"
+    else:
+        from repro.workload.generator import TraceConfig, TraceGenerator
+
+        generator = TraceGenerator(TraceConfig(
+            duration=args.duration,
+            connection_rate=args.rate,
+            hosts=args.hosts,
+            seed=args.seed,
+        ))
+        chunks = generator.iter_tables(args.chunk_size)
+        label = (f"synthetic trace ({args.duration:g}s at "
+                 f"{args.rate:g} conn/s, seed {args.seed})")
+
+    kind, address = parse_control_address(args.address)
+    connection = socket_module.socket(
+        socket_module.AF_UNIX if kind == "unix" else socket_module.AF_INET
+    )
+    try:
+        connection.connect(address)
+    except OSError as error:
+        print(f"cannot connect to {args.address}: {error}", file=sys.stderr)
+        connection.close()
+        return 1
+    stream = connection.makefile("wb")
+    writer = FrameWriter(stream, binary=args.wire_format == "binary")
+    packets = 0
+    try:
+        for chunk in chunks:
+            writer.send(chunk)
+            packets += len(chunk)
+    except (BrokenPipeError, ConnectionResetError):
+        print("daemon closed the feed", file=sys.stderr)
+        return 1
+    finally:
+        try:
+            stream.close()
+        except OSError:
+            pass
+        connection.close()
+    print(f"fed {label}: {packets:,} packets in {writer.frames_sent} "
+          f"{args.wire_format} frames ({writer.bytes_sent:,} payload bytes)")
     return 0
 
 

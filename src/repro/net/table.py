@@ -57,6 +57,14 @@ def _np_enabled() -> bool:
     return _use_numpy and _np is not None
 
 
+def _column_dtype(column) -> str:
+    """A column's element typecode, whether it is an ``array`` or a
+    zero-copy ``memoryview`` over an external buffer (which has
+    ``format`` instead of ``typecode``)."""
+    typecode = getattr(column, "typecode", None)
+    return typecode if typecode is not None else column.format
+
+
 class PacketTable:
     """A packet trace as parallel columns with interned flows.
 
@@ -80,6 +88,14 @@ class PacketTable:
         "timestamps", "sizes", "flags", "outbound", "pair_ids",
         "payload_ids", "pairs", "payloads", "_pair_index", "_payload_index",
     )
+
+    #: Column order and native typecodes — the canonical schema shared by
+    #: the wire codec and the shared-memory transport.
+    COLUMNS: Tuple[Tuple[str, str], ...] = (
+        ("timestamps", "d"), ("sizes", "q"), ("flags", "I"),
+        ("outbound", "b"), ("pair_ids", "l"), ("payload_ids", "l"),
+    )
+    COLUMN_TYPECODES: Dict[str, str] = dict(COLUMNS)
 
     def __init__(self) -> None:
         self.timestamps = array("d")
@@ -371,23 +387,84 @@ class PacketTable:
         child = self._shallow()
         if _np_enabled() and len(positions) > 64:
             take = _np.asarray(positions, dtype=_np.int64)
-            for name, typecode in (
-                ("timestamps", "d"), ("sizes", "q"), ("flags", "I"),
-                ("outbound", "b"), ("pair_ids", "l"), ("payload_ids", "l"),
-            ):
+            for name, typecode in self.COLUMNS:
                 column = getattr(self, name)
-                picked = _np.frombuffer(column, dtype=column.typecode)[take]
+                picked = _np.frombuffer(column, dtype=_column_dtype(column))[take]
                 setattr(child, name, array(typecode, picked.tobytes()))
         else:
-            for name, typecode in (
-                ("timestamps", "d"), ("sizes", "q"), ("flags", "I"),
-                ("outbound", "b"), ("pair_ids", "l"), ("payload_ids", "l"),
-            ):
+            for name, typecode in self.COLUMNS:
                 column = getattr(self, name)
                 setattr(
                     child, name,
                     array(typecode, [column[i] for i in positions]),
                 )
+        return child
+
+    # ------------------------------------------------------------------
+    # Buffer export / zero-copy views (the shared-memory transport)
+    # ------------------------------------------------------------------
+
+    def column_buffers(self) -> List[Tuple[str, str, memoryview]]:
+        """Every column as ``(name, typecode, byte view)``.
+
+        The views alias the live column storage — they are valid only as
+        long as the table is not mutated, and the caller must release
+        them (or let them go out of scope) before appending.  This is the
+        publish half of the zero-copy transport: the parent copies these
+        bytes into shared memory once, instead of pickling the table.
+        """
+        return [
+            (name, typecode, memoryview(getattr(self, name)).cast("B"))
+            for name, typecode in self.COLUMNS
+        ]
+
+    @classmethod
+    def from_column_buffers(
+        cls,
+        columns: Dict[str, memoryview],
+        pairs: List[SocketPair],
+        payloads: List[bytes],
+    ) -> "PacketTable":
+        """A *read-only view* table over external column buffers.
+
+        ``columns`` maps each schema column name to a byte-level buffer
+        (e.g. a ``multiprocessing.shared_memory`` slice); each is cast to
+        its native typecode in place — no copy.  The result supports the
+        whole read path (iteration, views, ``slice``/``select``, the
+        fused fast path) but not ``append_row``: memoryviews have no
+        ``append``.  Callers own the backing buffer's lifetime and must
+        drop the table (and any sub-tables) before closing it.
+        """
+        table = cls.__new__(cls)
+        rows = None
+        for name, typecode in cls.COLUMNS:
+            try:
+                raw = columns[name]
+            except KeyError:
+                raise ValueError(f"missing column buffer: {name}") from None
+            view = memoryview(raw).cast("B").cast(typecode)
+            if rows is None:
+                rows = len(view)
+            elif len(view) != rows:
+                raise ValueError(
+                    f"column {name} has {len(view)} rows, expected {rows}"
+                )
+            setattr(table, name, view)
+        table.pairs = pairs
+        table.payloads = payloads
+        table._pair_index = None
+        table._payload_index = None
+        return table
+
+    def materialize(self) -> "PacketTable":
+        """A mutable deep copy of the columns (pools still shared).
+
+        Turns a zero-copy view table back into an ordinary ``array``
+        table so it outlives its backing buffer.
+        """
+        child = self._shallow()
+        for name, typecode in self.COLUMNS:
+            setattr(child, name, array(typecode, getattr(self, name)))
         return child
 
     # ------------------------------------------------------------------
@@ -406,7 +483,9 @@ class PacketTable:
         if not len(self):
             return seen
         if _np_enabled():
-            pair_ids = _np.frombuffer(self.pair_ids, dtype=self.pair_ids.typecode)
+            pair_ids = _np.frombuffer(
+                self.pair_ids, dtype=_column_dtype(self.pair_ids)
+            )
             outbound = _np.frombuffer(self.outbound, dtype=_np.int8)
             out_mask = outbound != 0
             for mask, bit in ((out_mask, SEEN_OUTBOUND), (~out_mask, SEEN_INBOUND)):
@@ -447,10 +526,17 @@ class PacketTable:
     # ------------------------------------------------------------------
 
     def __getstate__(self) -> Tuple:
-        return (
-            self.timestamps, self.sizes, self.flags, self.outbound,
-            self.pair_ids, self.payload_ids, self.pairs, self.payloads,
+        # View tables hold memoryviews over external buffers; those don't
+        # pickle, so materialize them into arrays for the wire.
+        columns = tuple(
+            column if isinstance(column, array) else array(typecode, column)
+            for (name, typecode), column in zip(
+                self.COLUMNS,
+                (self.timestamps, self.sizes, self.flags, self.outbound,
+                 self.pair_ids, self.payload_ids),
+            )
         )
+        return columns + (self.pairs, self.payloads)
 
     def __setstate__(self, state: Tuple) -> None:
         (self.timestamps, self.sizes, self.flags, self.outbound,

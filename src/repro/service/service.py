@@ -107,6 +107,9 @@ class FilterService:
         ))
         self.chunks_done = 0
         self.snapshot_sequence = 0
+        #: What ended the ingest stream abnormally (None = clean EOF or
+        #: deliberate stop); surfaced in the finalize summary and stats.
+        self.ingest_error: Optional[str] = None
         self.result: Optional[ReplayResult] = None
         self.started_wall = time.time()
         self.state = "created"  # created → running → draining → finished
@@ -267,10 +270,14 @@ class FilterService:
         while not self._stopping:
             try:
                 chunk = await self._loop.run_in_executor(None, pull)
-            except Exception:
+            except Exception as error:
                 # A closed socket source raises mid-read on shutdown;
                 # anything else also ends the stream (the filter loop
-                # finalizes what it has).
+                # finalizes what it has).  Record what killed the feed —
+                # a daemon that silently finalized on a corrupt frame is
+                # indistinguishable from one that drained cleanly.
+                if not self._stopping:
+                    self.ingest_error = f"{type(error).__name__}: {error}"
                 break
             if chunk is None or self._stopping:
                 break
@@ -489,4 +496,5 @@ class FilterService:
             "inbound_packets": result.inbound_packets if result else 0,
             "inbound_dropped": result.inbound_dropped if result else 0,
             "fingerprint": result.fingerprint if result else None,
+            "ingest_error": self.ingest_error,
         }

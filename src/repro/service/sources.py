@@ -22,7 +22,9 @@ bit-identical to one that never stopped.
 
 from __future__ import annotations
 
+import os
 import socket as socket_module
+import stat
 import time
 from abc import ABC, abstractmethod
 from typing import Iterator, Optional
@@ -154,18 +156,31 @@ class SocketSource(PacketSource):
     from the beginning of its epoch (or the caller accepts the gap).
     """
 
-    def __init__(self, listener: socket_module.socket) -> None:
+    def __init__(self, listener: socket_module.socket,
+                 unix_path: Optional[str] = None) -> None:
         self.listener = listener
         self._pool = PacketTable()
         self._skip = 0
         self._connection: Optional[socket_module.socket] = None
+        self._unix_path = unix_path
 
     @classmethod
     def unix(cls, path: str, backlog: int = 1) -> "SocketSource":
+        # A crashed or warm-restarted daemon leaves its socket inode
+        # behind, and rebinding the same path then fails with EADDRINUSE.
+        # A stale *socket* is safe to unlink — nothing is listening on it
+        # (we are about to be the listener) — but any other file type at
+        # the path is someone else's data and stays a hard error.
+        if os.path.exists(path):
+            if not stat.S_ISSOCK(os.stat(path).st_mode):
+                raise OSError(
+                    f"refusing to unlink {path!r}: exists and is not a socket"
+                )
+            os.unlink(path)
         listener = socket_module.socket(socket_module.AF_UNIX)
         listener.bind(path)
         listener.listen(backlog)
-        return cls(listener)
+        return cls(listener, unix_path=path)
 
     @classmethod
     def tcp(cls, host: str, port: int, backlog: int = 1) -> "SocketSource":
@@ -197,6 +212,9 @@ class SocketSource(PacketSource):
                 payload = read_frame(stream)
                 if payload is None:
                     return
+                if not payload:
+                    # Keepalive frame: no chunk, no skip consumed.
+                    continue
                 table = decode_table(payload, pool=self._pool)
                 if self._skip:
                     self._skip -= 1
@@ -216,6 +234,12 @@ class SocketSource(PacketSource):
             self._connection.close()
             self._connection = None
         self.listener.close()
+        if self._unix_path is not None:
+            try:
+                os.unlink(self._unix_path)
+            except OSError:
+                pass
+            self._unix_path = None
 
     def describe(self) -> str:
         return f"socket({self.address})"

@@ -35,6 +35,7 @@ def service_stats(service, series_points: int = 60) -> dict:
         "backend": service.backend.describe(),
         "speed": service.speed,
         "chunks_done": service.chunks_done,
+        "ingest_error": getattr(service, "ingest_error", None),
         "queue_depth": service.queue_size,
         "queue_limit": service.queue_depth,
         "packets": router.packets,

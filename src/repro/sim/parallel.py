@@ -94,20 +94,33 @@ def _replay_lane(task) -> LaneResult:
     """Worker entry point: replay one lane's sub-stream, record everything.
 
     Runs in a child process; ``task`` and the returned :class:`LaneResult`
-    cross the process boundary by pickling.
+    cross the process boundary by pickling.  ``packets`` is either the
+    lane table itself (pickle transport / in-process) or a
+    :class:`~repro.sim.shm.ShmLane` reference, in which case the worker
+    maps the parent's column bytes in place and replays the zero-copy
+    view table.
     """
     from repro.sim.replay import replay
+    from repro.sim.shm import ShmLane, attach_lane
 
     (lane, lane_filter, packets, use_blocklist, throughput_interval,
      drop_window, batched) = task
-    result = replay(
-        packets,
-        lane_filter,
-        use_blocklist=use_blocklist,
-        throughput_interval=throughput_interval,
-        drop_window=drop_window,
-        batched=batched,
-    )
+    attachment = None
+    if isinstance(packets, ShmLane):
+        attachment = attach_lane(packets)
+        packets = attachment.table
+    try:
+        result = replay(
+            packets,
+            lane_filter,
+            use_blocklist=use_blocklist,
+            throughput_interval=throughput_interval,
+            drop_window=drop_window,
+            batched=batched,
+        )
+    finally:
+        if attachment is not None:
+            attachment.close()
     router = result.router
     core = getattr(lane_filter, "core", None)
     blocklist = router.blocklist
@@ -200,6 +213,7 @@ def parallel_replay(
     throughput_interval: float = 1.0,
     drop_window: float = 10.0,
     batched: bool = True,
+    transport: str = "auto",
 ) -> ParallelReplayResult:
     """Replay a packet stream through a sharded filter, one worker per lane.
 
@@ -220,11 +234,30 @@ def parallel_replay(
     the columnar batched backend by default, the sequential per-packet
     backend with ``batched=False`` — with bit-identical merged results
     either way.
+
+    ``transport`` picks the lane dispatch mechanism: ``"shm"`` publishes
+    column buffers into one shared-memory segment and ships workers only
+    offsets (:mod:`repro.sim.shm`; object-shaped input is columnarized
+    first), ``"pickle"`` serializes lane tables through the pipe, and
+    ``"auto"`` (the default) uses shared memory whenever the dispatch is
+    multiprocess, the input columnar and the platform capable.  Verdicts
+    and merged statistics are identical across transports.
     """
+    from repro.sim.shm import HAVE_SHARED_MEMORY, SharedTableArena
+
     if not isinstance(packet_filter, ShardedFilter):
         raise ValueError(
             "parallel replay needs a ShardedFilter — only sharded state "
             f"partitions across processes (got {type(packet_filter).__name__})"
+        )
+    if transport not in ("auto", "shm", "pickle"):
+        raise ValueError(
+            f"transport must be 'auto', 'shm' or 'pickle': {transport!r}"
+        )
+    if transport == "shm" and not HAVE_SHARED_MEMORY:
+        raise ValueError(
+            "transport='shm' needs multiprocessing.shared_memory, which "
+            "this platform lacks"
         )
     _check_rng_isolation(packet_filter)
     if workers is None:
@@ -232,6 +265,10 @@ def parallel_replay(
     if workers < 1:
         raise ValueError(f"workers must be >= 1: {workers}")
 
+    if transport == "shm" and not isinstance(packets, PacketTable):
+        # The shared-memory transport ships column buffers; coerce
+        # object-shaped input through the exact columnar converter.
+        packets = as_table(packets)
     if not isinstance(packets, (list, PacketTable)):
         materialized = list(packets)
         if materialized and isinstance(materialized[0], PacketTable):
@@ -252,26 +289,59 @@ def parallel_replay(
         )
         lanes, default_lane = packet_filter.partition_packets(packets)
 
-    tasks: List[Tuple] = []
+    lane_work: List[Tuple[int, object, object]] = []  # (lane, filter, packets)
     for position, lane_packets in enumerate(lanes):
         if not len(lane_packets):
             continue
-        # Each lane replays a *copy* of its shard filter: worker processes
-        # would copy on pickle anyway, and the in-process workers=1 path
-        # must not mutate the parent's filter, which only accumulates the
-        # merged statistics afterwards.
-        shard = copy.deepcopy(packet_filter.shards[position][2])
-        tasks.append((position, shard, lane_packets, use_blocklist,
-                      throughput_interval, drop_window, batched))
+        lane_work.append(
+            (position, packet_filter.shards[position][2], lane_packets)
+        )
     if len(default_lane):
-        tasks.append((-1, DefaultLaneFilter(packet_filter.default_verdict),
-                      default_lane, use_blocklist, throughput_interval,
-                      drop_window, batched))
+        lane_work.append(
+            (-1, DefaultLaneFilter(packet_filter.default_verdict), default_lane)
+        )
 
-    if workers <= 1 or len(tasks) <= 1:
-        records = [_replay_lane(task) for task in tasks]
+    in_process = workers <= 1 or len(lane_work) <= 1
+    columnar = all(
+        isinstance(lane_packets, PacketTable) for _, _, lane_packets in lane_work
+    )
+    use_shm = (
+        not in_process
+        and columnar
+        and bool(lane_work)
+        and HAVE_SHARED_MEMORY
+        and transport != "pickle"
+    )
+
+    arena = None
+    if use_shm:
+        arena = SharedTableArena.publish(
+            [(lane, lane_packets) for lane, _, lane_packets in lane_work]
+        )
+        payloads = arena.lanes
     else:
-        records = _run_pool(tasks, workers)
+        payloads = [lane_packets for _, _, lane_packets in lane_work]
+
+    tasks: List[Tuple] = []
+    for (lane, lane_filter, _), payload in zip(lane_work, payloads):
+        if in_process:
+            # The in-process path replays the parent's own filter objects;
+            # copy so the parent's filter only accumulates the merged
+            # statistics afterwards.  Multiprocess dispatch skips this —
+            # pickling into the worker is already a copy, and a parent-side
+            # deepcopy would just double the dispatch cost.
+            lane_filter = copy.deepcopy(lane_filter)
+        tasks.append((lane, lane_filter, payload, use_blocklist,
+                      throughput_interval, drop_window, batched))
+
+    try:
+        if in_process:
+            records = [_replay_lane(task) for task in tasks]
+        else:
+            records = _run_pool(tasks, workers)
+    finally:
+        if arena is not None:
+            arena.dispose()
 
     return _merge(packet_filter, span, records, workers,
                   use_blocklist, throughput_interval, drop_window)

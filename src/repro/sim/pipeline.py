@@ -544,14 +544,21 @@ class ParallelBackend(ExecutionBackend):
 
     name = "parallel"
 
-    def __init__(self, workers: int, lane_batched: bool = True) -> None:
+    def __init__(self, workers: int, lane_batched: bool = True,
+                 transport: str = "auto") -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1: {workers}")
+        if transport not in ("auto", "shm", "pickle"):
+            raise ValueError(
+                f"transport must be 'auto', 'shm' or 'pickle': {transport!r}"
+            )
         self.workers = workers
         self.lane_batched = lane_batched
+        self.transport = transport
 
     def describe(self) -> str:
-        return f"parallel x{self.workers}"
+        suffix = "" if self.transport == "auto" else f" ({self.transport})"
+        return f"parallel x{self.workers}{suffix}"
 
     def stepper(self, config: PipelineConfig) -> ReplayStepper:
         raise NotImplementedError(
@@ -576,6 +583,7 @@ class ParallelBackend(ExecutionBackend):
             throughput_interval=config.throughput_interval,
             drop_window=config.drop_window,
             batched=self.lane_batched,
+            transport=self.transport,
         )
 
 
@@ -584,6 +592,7 @@ def select_backend(
     workers: int = 1,
     scheduler: Optional[EventScheduler] = None,
     chunk_size: Optional[int] = None,
+    transport: str = "auto",
 ) -> ExecutionBackend:
     """Map the ``(batched, workers, scheduler)`` knobs onto one backend.
 
@@ -607,7 +616,10 @@ def select_backend(
     ======== ======= ========= ==========================================
 
     ``chunk_size`` is only meaningful for the batched backend; asking for
-    it anywhere else is an error, not a silent ignore.
+    it anywhere else is an error, not a silent ignore.  ``transport``
+    (``auto``/``shm``/``pickle``) picks the parallel backend's lane
+    dispatch mechanism; a non-default value anywhere else is likewise an
+    error.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1: {workers}")
@@ -622,7 +634,13 @@ def select_backend(
                 "chunk_size applies to the batched backend only; the "
                 "parallel backend batches whole lanes"
             )
-        return ParallelBackend(workers, lane_batched=batched is not False)
+        return ParallelBackend(
+            workers, lane_batched=batched is not False, transport=transport
+        )
+    if transport != "auto":
+        raise ValueError(
+            "transport applies to the parallel backend only (workers > 1)"
+        )
     if batched:
         return BatchedBackend(chunk_size=chunk_size)
     if chunk_size is not None:

@@ -39,6 +39,7 @@ def replay(
     chunk_size: Optional[int] = None,
     backend: Optional[ExecutionBackend] = None,
     record_fingerprint: bool = False,
+    transport: str = "auto",
 ) -> ReplayResult:
     """Replay a timestamp-ordered packet stream through a filter.
 
@@ -76,6 +77,11 @@ def replay(
     An explicit ``backend`` bypasses the knob dispatch entirely (and is
     mutually exclusive with ``batched``/``workers``/``chunk_size``).
 
+    ``transport`` (``auto``/``shm``/``pickle``) picks the parallel
+    backend's lane dispatch mechanism — shared-memory column buffers or
+    pickled lane tables (see :func:`repro.sim.parallel.parallel_replay`);
+    it is only meaningful with ``workers > 1``.
+
     ``record_fingerprint`` maintains a running 64-bit FNV-1a fingerprint
     of the verdict sequence (``result.fingerprint``) — the cheap
     equality witness the service plane's warm-restart tests compare
@@ -85,12 +91,13 @@ def replay(
     if backend is None:
         backend = select_backend(
             batched=batched, workers=workers, scheduler=scheduler,
-            chunk_size=chunk_size,
+            chunk_size=chunk_size, transport=transport,
         )
-    elif batched is not None or workers != 1 or chunk_size is not None:
+    elif (batched is not None or workers != 1 or chunk_size is not None
+          or transport != "auto"):
         raise ValueError(
-            "pass either backend= or the batched/workers/chunk_size knobs, "
-            "not both"
+            "pass either backend= or the batched/workers/chunk_size/"
+            "transport knobs, not both"
         )
     if record_fingerprint and backend.name == "parallel":
         raise ValueError(

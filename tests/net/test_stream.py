@@ -1,14 +1,22 @@
 """Tests for the length-prefixed packet framing (repro.net.stream)."""
 
 import io
+import socket
+import struct
+import threading
 
 import pytest
 
 from repro.net.stream import (
+    MAGIC,
+    WIRE_VERSION,
+    FrameWriter,
     FramingError,
     MAX_FRAME_BYTES,
+    TableEncoder,
     decode_table,
     encode_table,
+    encode_table_json,
     read_frame,
     write_frame,
 )
@@ -16,6 +24,8 @@ from repro.net.table import PacketTable
 from repro.workload import TraceConfig, TraceGenerator
 
 from tests.conftest import in_packet, out_packet
+
+_HEADER_SIZE = struct.calcsize("!4sBBIIIII")
 
 
 def sample_table():
@@ -115,3 +125,217 @@ class TestTableCodec:
             ]
 
         assert rows(decoded.to_packets()) == rows(table.to_packets())
+
+    def test_flushes_buffered_stream_per_frame(self):
+        """A frame must reach the peer when written, not when the feeder
+        closes — live services read a buffered ``makefile`` stream."""
+        left, right = socket.socketpair()
+        try:
+            writer = left.makefile("wb")  # buffered: no flush, no bytes
+            write_frame(writer, encode_table(sample_table()))
+            right.settimeout(2.0)
+            reader = right.makefile("rb")
+            payload = read_frame(reader)  # writer is still open
+            assert payload is not None
+            assert len(decode_table(payload)) == 3
+        finally:
+            left.close()
+            right.close()
+
+
+class TestBinaryCodec:
+    def stream_chunks(self, seed=3, duration=6.0, chunk_size=64):
+        generator = TraceGenerator(
+            TraceConfig(duration=duration, connection_rate=5.0, seed=seed)
+        )
+        return list(generator.iter_tables(chunk_size))
+
+    def test_delta_stream_keeps_pair_ids_bit_identical(self):
+        """A TableEncoder stream decoded against one pool reproduces the
+        source pair_ids exactly — no re-interning on the lockstep path."""
+        chunks = self.stream_chunks()
+        encoder = TableEncoder()
+        pool = PacketTable()
+        for chunk in chunks:
+            decoded = decode_table(encoder.encode(chunk), pool=pool)
+            assert list(decoded.pair_ids) == list(chunk.pair_ids)
+            assert list(decoded.payload_ids) == list(chunk.payload_ids)
+        assert pool.pairs == chunks[-1].pairs
+
+    def test_delta_frames_ship_only_the_pool_tail(self):
+        chunks = self.stream_chunks()
+        encoder = TableEncoder()
+        frames = [encoder.encode(chunk) for chunk in chunks]
+        standalone = [encode_table(chunk) for chunk in chunks]
+        # Later delta frames omit already-shipped pool entries, so they
+        # are strictly smaller than their standalone encodings.
+        assert len(frames[-1]) < len(standalone[-1])
+
+    def test_json_binary_equivalence(self):
+        """Property: both codecs decode every chunk to the same packets."""
+        for chunk in self.stream_chunks(seed=11):
+            via_json = decode_table(encode_table_json(chunk))
+            via_binary = decode_table(encode_table(chunk))
+            assert len(via_json) == len(via_binary) == len(chunk)
+            for name in ("timestamps", "sizes", "flags", "outbound"):
+                assert list(getattr(via_json, name)) == \
+                    list(getattr(via_binary, name))
+            for position in range(len(chunk)):
+                assert via_json.pair(position) == via_binary.pair(position) \
+                    == chunk.pair(position)
+                assert (via_json.payloads[via_json.payload_ids[position]]
+                        == via_binary.payloads[via_binary.payload_ids[position]])
+
+    def test_standalone_frame_reinterns_into_populated_pool(self):
+        """A full-pool frame from an independent feeder decodes against an
+        already-populated receiver pool by re-interning, like JSON."""
+        first, second = self.stream_chunks()[:2]
+        pool = PacketTable()
+        decoded_first = decode_table(encode_table(first), pool=pool)
+        decoded_second = decode_table(encode_table(second), pool=pool)
+        for source, decoded in ((first, decoded_first),
+                                (second, decoded_second)):
+            for position in range(len(source)):
+                assert decoded.pair(position) == source.pair(position)
+        # Shared flows interned once: both chunks' ids index one pool.
+        assert decoded_second.pairs is pool.pairs
+
+    def test_empty_payload_is_keepalive(self):
+        assert len(decode_table(b"")) == 0
+        pool = PacketTable()
+        pool.append_packet(out_packet(t=1.0))
+        chunk = decode_table(b"", pool=pool)
+        assert len(chunk) == 0
+        assert chunk.pairs is pool.pairs
+
+    def test_delta_frame_without_pool_rejected(self):
+        chunks = self.stream_chunks()
+        encoder = TableEncoder()
+        encoder.encode(chunks[0])
+        delta = encoder.encode(chunks[1])
+        with pytest.raises(FramingError, match="needs a pool"):
+            decode_table(delta)
+
+    def test_pool_desync_rejected(self):
+        chunks = self.stream_chunks()
+        encoder = TableEncoder()
+        encoder.encode(chunks[0])
+        delta = encoder.encode(chunks[1])
+        # A pool that never saw frame 0 is neither lockstep nor standalone.
+        with pytest.raises(FramingError, match="pool desync"):
+            decode_table(delta, pool=PacketTable())
+
+    def test_frame_writer_sends_deltas_and_keepalives(self):
+        buffer = io.BytesIO()
+        writer = FrameWriter(buffer)
+        chunks = self.stream_chunks()
+        for chunk in chunks:
+            writer.send(chunk)
+        writer.keepalive()
+        assert writer.frames_sent == len(chunks) + 1
+        buffer.seek(0)
+        pool = PacketTable()
+        received = []
+        while (payload := read_frame(buffer)) is not None:
+            chunk = decode_table(payload, pool=pool)
+            if len(chunk):
+                received.append(chunk)
+        assert len(received) == len(chunks)
+        for source, decoded in zip(chunks, received):
+            assert list(decoded.pair_ids) == list(source.pair_ids)
+
+    def test_frame_writer_json_mode(self):
+        buffer = io.BytesIO()
+        writer = FrameWriter(buffer, binary=False)
+        writer.send(sample_table())
+        buffer.seek(0)
+        payload = read_frame(buffer)
+        assert payload.startswith(b"[")
+        assert len(decode_table(payload)) == 3
+
+
+class TestCorruptFrames:
+    """A corrupt or hostile payload raises FramingError, never worse."""
+
+    def frame(self):
+        return bytearray(encode_table(sample_table()))
+
+    def test_unrecognized_first_byte(self):
+        with pytest.raises(FramingError, match="unrecognized"):
+            decode_table(b"\x00\x01\x02")
+
+    def test_bad_magic(self):
+        corrupt = self.frame()
+        corrupt[1:4] = b"XXX"  # keeps the 0xAB sniff byte
+        with pytest.raises(FramingError, match="bad magic"):
+            decode_table(bytes(corrupt))
+
+    def test_wrong_version(self):
+        corrupt = self.frame()
+        corrupt[4] = WIRE_VERSION + 1
+        with pytest.raises(FramingError, match="unsupported wire version"):
+            decode_table(bytes(corrupt))
+
+    def test_reserved_flags(self):
+        corrupt = self.frame()
+        corrupt[5] = 0x80
+        with pytest.raises(FramingError, match="reserved frame flags"):
+            decode_table(bytes(corrupt))
+
+    def test_truncated_header(self):
+        with pytest.raises(FramingError, match="header truncated"):
+            decode_table(bytes(self.frame()[:_HEADER_SIZE - 2]))
+
+    def test_truncated_pair_delta(self):
+        with pytest.raises(FramingError, match="pair delta truncated"):
+            decode_table(bytes(self.frame()[:_HEADER_SIZE + 3]))
+
+    def test_truncated_payload_delta(self):
+        # sample_table interns 2 pairs (13 bytes each) and one payload;
+        # cut inside the payload delta's length prefix.
+        cut = _HEADER_SIZE + 2 * 13 + 2
+        with pytest.raises(FramingError, match="payload delta truncated"):
+            decode_table(bytes(self.frame()[:cut]))
+
+    def test_column_length_mismatch(self):
+        corrupt = self.frame()
+        # Inflate the header's row count: the first column's byte length
+        # no longer matches rows * itemsize.
+        (rows,) = struct.unpack_from("!I", corrupt, _HEADER_SIZE - 4)
+        struct.pack_into("!I", corrupt, _HEADER_SIZE - 4, rows + 1)
+        with pytest.raises(FramingError, match="length mismatch"):
+            decode_table(bytes(corrupt))
+
+    def test_truncated_column(self):
+        with pytest.raises(FramingError, match="truncated"):
+            decode_table(bytes(self.frame()[:-5]))
+
+    def test_trailing_bytes(self):
+        with pytest.raises(FramingError, match="trailing bytes"):
+            decode_table(bytes(self.frame()) + b"\x00")
+
+    def test_pair_id_beyond_pool(self):
+        corrupt = self.frame()
+        # The pair_ids column is 5th of 6; its last entry sits just
+        # before the final column's (prefix + rows*8) bytes.
+        rows = 3
+        pair_ids_last = len(corrupt) - (4 + rows * 8) - 8
+        struct.pack_into("<q", corrupt, pair_ids_last, 99)
+        with pytest.raises(FramingError, match="pair_ids column indexes"):
+            decode_table(bytes(corrupt))
+
+    def test_negative_size_rejected(self):
+        table = PacketTable()
+        table.append_packet(out_packet(t=1.0, size=100))
+        corrupt = bytearray(encode_table(table))
+        # One row: the column region is 6 prefixes (4 B each) + 37 data
+        # bytes; the sizes value sits after timestamps' prefix+data and
+        # its own prefix, i.e. 45 bytes from the end.
+        struct.pack_into("<q", corrupt, len(corrupt) - 45, -5)
+        with pytest.raises(FramingError, match="negative packet size"):
+            decode_table(bytes(corrupt))
+
+    def test_magic_constant_shape(self):
+        payload = encode_table(sample_table())
+        assert payload[:4] == MAGIC
+        assert not MAGIC[:1].isascii() or MAGIC[0] == 0xAB

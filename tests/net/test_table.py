@@ -185,3 +185,74 @@ def test_replay_equivalent_across_representations(packets, field_mode):
         return replay_fingerprint(replay(trace, flt, use_blocklist=True))
 
     assert run(PacketTable.from_packets(packets)) == run(list(packets))
+
+
+class TestColumnBuffers:
+    """Zero-copy view tables: from_column_buffers over exported buffers."""
+
+    def sample(self, rows=8):
+        table = PacketTable()
+        pair = SocketPair(IPPROTO_TCP, 0x0A010005, 4000, 0x5BADCAFE, 80)
+        for i in range(rows):
+            table.append_row(float(i), pair, 100 + i, 0x10,
+                             b"x" * (i % 3), i % 2 == 0)
+        return table
+
+    def view_of(self, table):
+        columns = {
+            name: memoryview(bytes(view))
+            for name, _, view in table.column_buffers()
+        }
+        return PacketTable.from_column_buffers(
+            columns, table.pairs, table.payloads
+        )
+
+    def test_view_reproduces_every_column(self):
+        table = self.sample()
+        view = self.view_of(table)
+        assert len(view) == len(table)
+        for name, _ in PacketTable.COLUMNS:
+            assert list(getattr(view, name)) == list(getattr(table, name))
+        for position in range(len(table)):
+            assert view.pair(position) == table.pair(position)
+
+    def test_view_is_read_only(self):
+        view = self.view_of(self.sample())
+        with pytest.raises((TypeError, AttributeError, BufferError)):
+            view.append_packet(self.sample().packet(0))
+
+    def test_materialize_restores_mutability(self):
+        table = self.sample()
+        materialized = self.view_of(table).materialize()
+        materialized.append_packet(table.packet(0))
+        assert len(materialized) == len(table) + 1
+
+    def test_view_pickles_by_materializing(self):
+        view = self.view_of(self.sample())
+        clone = pickle.loads(pickle.dumps(view))
+        assert list(clone.timestamps) == list(view.timestamps)
+        assert list(clone.pair_ids) == list(view.pair_ids)
+
+    def test_missing_column_rejected(self):
+        table = self.sample()
+        columns = {
+            name: memoryview(bytes(view))
+            for name, _, view in table.column_buffers()
+        }
+        del columns["sizes"]
+        with pytest.raises(ValueError, match="sizes"):
+            PacketTable.from_column_buffers(
+                columns, table.pairs, table.payloads
+            )
+
+    def test_ragged_columns_rejected(self):
+        table = self.sample()
+        columns = {
+            name: memoryview(bytes(view))
+            for name, _, view in table.column_buffers()
+        }
+        columns["flags"] = columns["flags"][:-4]
+        with pytest.raises(ValueError):
+            PacketTable.from_column_buffers(
+                columns, table.pairs, table.payloads
+            )

@@ -1,5 +1,6 @@
 """Tests for packet sources (repro.service.sources)."""
 
+import os
 import socket
 import threading
 
@@ -8,7 +9,7 @@ import pytest
 from repro.net.headers import encode_packet
 from repro.net.inet import parse_ipv4
 from repro.net.pcap import write_pcap
-from repro.net.stream import encode_table, write_frame
+from repro.net.stream import FrameWriter, encode_table, write_frame
 from repro.net.table import PacketTable
 from repro.service.sources import (
     GeneratorSource,
@@ -196,6 +197,98 @@ class TestSocketSource:
             source.close()
         assert len(received) == 1
 
+
+    def test_stale_socket_unlinked_on_rebind(self, tmp_path):
+        """A crashed daemon leaves its socket inode behind; rebinding the
+        same path must succeed instead of failing with EADDRINUSE."""
+        path = str(tmp_path / "feed.sock")
+        crashed = SocketSource.unix(path)
+        crashed.listener.close()  # simulate a crash: no close(), no unlink
+        assert os.path.exists(path)
+
+        source = SocketSource.unix(path)
+        chunks = self.sample_chunks()[:1]
+        feeder = threading.Thread(target=self.feed, args=(path, chunks))
+        feeder.start()
+        try:
+            received = list(source)
+        finally:
+            feeder.join()
+            source.close()
+        assert len(received) == 1
+
+    def test_close_unlinks_socket_path(self, tmp_path):
+        path = str(tmp_path / "feed.sock")
+        source = SocketSource.unix(path)
+        assert os.path.exists(path)
+        source.close()
+        assert not os.path.exists(path)
+        source.close()  # idempotent
+
+    def test_refuses_to_unlink_non_socket(self, tmp_path):
+        path = tmp_path / "feed.sock"
+        path.write_text("precious data")
+        with pytest.raises(OSError, match="not a socket"):
+            SocketSource.unix(str(path))
+        assert path.read_text() == "precious data"
+
+    def test_keepalive_frames_yield_no_chunk(self, tmp_path):
+        """Empty frames keep the connection warm; they produce no chunk
+        and do not consume a pending skip."""
+        path = str(tmp_path / "feed.sock")
+        source = SocketSource.unix(path)
+        source.skip(1)
+        chunks = self.sample_chunks()
+
+        def feed_with_keepalives():
+            connection = socket.socket(socket.AF_UNIX)
+            connection.connect(path)
+            stream = connection.makefile("wb")
+            write_frame(stream, b"")  # must not consume the skip
+            write_frame(stream, encode_table(chunks[0]))  # skipped
+            write_frame(stream, b"")
+            write_frame(stream, encode_table(chunks[1]))
+            stream.close()
+            connection.close()
+
+        feeder = threading.Thread(target=feed_with_keepalives)
+        feeder.start()
+        try:
+            received = list(source)
+        finally:
+            feeder.join()
+            source.close()
+        assert len(received) == 1
+        assert chunk_rows(received[0]) == chunk_rows(chunks[1])
+
+    def test_binary_delta_feed_keeps_pair_ids(self, tmp_path):
+        """A FrameWriter delta stream decodes lockstep: the receiver's
+        pair_ids match the feeder's bit for bit."""
+        path = str(tmp_path / "feed.sock")
+        source = SocketSource.unix(path)
+        generator = TraceGenerator(trace_config())
+        chunks = list(generator.iter_tables(128))
+
+        def feed_deltas():
+            connection = socket.socket(socket.AF_UNIX)
+            connection.connect(path)
+            stream = connection.makefile("wb")
+            writer = FrameWriter(stream)
+            for chunk in chunks:
+                writer.send(chunk)
+            stream.close()
+            connection.close()
+
+        feeder = threading.Thread(target=feed_deltas)
+        feeder.start()
+        try:
+            received = list(source)
+        finally:
+            feeder.join()
+            source.close()
+        assert len(received) == len(chunks)
+        for sent, got in zip(chunks, received):
+            assert list(got.pair_ids) == list(sent.pair_ids)
 
 class TestIdleSource:
     def test_close_unblocks_iteration(self):

@@ -177,3 +177,52 @@ class TestServeAndCtl:
     def test_ctl_config_requires_params(self, tmp_path, capsys):
         rc = main(["ctl", f"unix:{tmp_path / 'gone.sock'}", "config"])
         assert rc in (1, 2)
+
+
+class TestTransportFlag:
+    def test_transport_needs_workers(self, trace_path):
+        with pytest.raises(SystemExit, match="workers"):
+            main(["filter", trace_path, "--filter", "bitmap",
+                  "--transport", "shm"])
+
+    def test_sharded_replay_with_transport(self, trace_path, capsys):
+        pytest.importorskip("multiprocessing.shared_memory")
+        assert main(["filter", trace_path, "--filter", "bitmap",
+                     "--workers", "2", "--shard-bits", "1",
+                     "--transport", "shm"]) == 0
+        assert "inbound drop rate" in capsys.readouterr().out
+
+
+class TestFeed:
+    def test_feed_socket_source(self, tmp_path, capsys):
+        """`repro feed` streams binary frames a SocketSource decodes."""
+        import threading
+
+        from repro.service.sources import SocketSource
+
+        path = str(tmp_path / "feed.sock")
+        source = SocketSource.unix(path)
+        received = []
+
+        def consume():
+            received.extend(source)
+
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        try:
+            assert main(["feed", f"unix:{path}", "--duration", "3",
+                         "--rate", "5", "--seed", "2",
+                         "--chunk-size", "64"]) == 0
+        finally:
+            consumer.join(timeout=5.0)
+            source.close()
+        out = capsys.readouterr().out
+        assert "binary frames" in out
+        assert sum(len(chunk) for chunk in received) > 0
+        # Pool-delta frames: pair ids stay stable across received chunks.
+        seen = {}
+        for chunk in received:
+            for position in range(len(chunk)):
+                pair = chunk.pair(position)
+                assert seen.setdefault(pair, chunk.pair_ids[position]) == \
+                    chunk.pair_ids[position]
