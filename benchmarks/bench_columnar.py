@@ -36,9 +36,27 @@ import time
 from pathlib import Path
 
 TARGET_SPEEDUP = 2.0
+#: Per-filter fused-kernel floor, enforced for the filters in
+#: KERNEL_ENFORCED on the full 1M-packet run.
+KERNEL_TARGET_SPEEDUP = 4.0
+KERNEL_ENFORCED = ("spi", "counting")
 PROBE_DURATION = 30.0
 MODES = ("object", "columnar", "stream")
 _CHILD_MARKER = "BENCH_COLUMNAR_RESULT:"
+
+#: --filter spellings → canonical kernel-bench names.
+FILTER_ALIASES = {
+    "spi": "spi",
+    "counting": "counting",
+    "counting-bitmap": "counting",
+    "tb": "token-bucket",
+    "token-bucket": "token-bucket",
+    "red": "red",
+    "red-policer": "red",
+    "chain": "chain",
+    "bitmap": "bitmap",
+}
+KERNEL_FILTERS = ("spi", "counting", "token-bucket", "red", "chain", "bitmap")
 
 
 def _make_filter():
@@ -46,6 +64,96 @@ def _make_filter():
     from repro.filters.bitmap import BitmapPacketFilter
 
     return BitmapPacketFilter(BitmapFilterConfig())
+
+
+def _make_kernel_filter(name: str):
+    """A fresh, deterministic instance of one registered-kernel filter.
+
+    RED-band controllers (not the always-drop default) so the fractional
+    ``P_d`` draw paths — where RNG equivalence can actually break — are
+    exercised under load.
+    """
+    import random
+
+    from repro.core.bitmap_filter import BitmapFilterConfig
+    from repro.filters.bitmap import BitmapPacketFilter
+    from repro.filters.chain import FilterChain
+    from repro.filters.counting import CountingBitmapFilter
+    from repro.filters.policy import DropController
+    from repro.filters.ratelimit import RedPolicerFilter, TokenBucketFilter
+    from repro.filters.spi import SPIFilter
+
+    def red():
+        return DropController.red_mbps(0.2, 0.8)
+
+    if name == "spi":
+        return SPIFilter(drop_controller=red(), rng=random.Random(7))
+    if name == "counting":
+        return CountingBitmapFilter(
+            BitmapFilterConfig(), drop_controller=red(), rng=random.Random(7)
+        )
+    if name == "token-bucket":
+        return TokenBucketFilter(rate_mbps=0.5)
+    if name == "red":
+        return RedPolicerFilter.mbps(0.2, 0.8, rng=random.Random(7))
+    if name == "chain":
+        return FilterChain([
+            SPIFilter(drop_controller=red(), rng=random.Random(3)),
+            TokenBucketFilter(rate_mbps=0.5),
+            RedPolicerFilter.mbps(0.2, 0.8, rng=random.Random(5)),
+        ])
+    if name == "bitmap":
+        return BitmapPacketFilter(BitmapFilterConfig())
+    raise ValueError(f"unknown kernel filter: {name}")
+
+
+def run_filter_bench(names, duration: float, rate: float, seed: int) -> dict:
+    """Sequential vs batched (fused kernel) per filter, one shared trace.
+
+    Runs in-process — this section measures loop speed, not RSS.  The
+    blocklist stays off so every filter, including the chain (whose
+    kernel declines blocklisted runs), exercises its fused kernel.  Both
+    paths must agree on the verdict fingerprint, statistics and packet
+    counts or the bench fails.
+    """
+    from repro.sim.replay import replay
+    from repro.workload.generator import TraceConfig, TraceGenerator
+
+    config = TraceConfig(duration=duration, connection_rate=rate, seed=seed)
+    table = TraceGenerator(config).table()
+    print(f"kernel bench trace: {len(table):,} packets")
+
+    section = {}
+    for name in names:
+        start = time.perf_counter()
+        sequential = replay(table, _make_kernel_filter(name),
+                            use_blocklist=False, batched=False,
+                            record_fingerprint=True)
+        sequential_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        batched = replay(table, _make_kernel_filter(name),
+                         use_blocklist=False, batched=True,
+                         record_fingerprint=True)
+        batched_s = time.perf_counter() - start
+
+        matches = (
+            sequential.fingerprint == batched.fingerprint
+            and sequential.packets == batched.packets
+            and sequential.router.filter.stats.as_dict()
+            == batched.router.filter.stats.as_dict()
+        )
+        speedup = sequential_s / max(batched_s, 1e-9)
+        section[name] = {
+            "sequential_s": round(sequential_s, 3),
+            "batched_s": round(batched_s, 3),
+            "speedup": round(speedup, 2),
+            "identical": matches,
+        }
+        print(f"{name:>14}: sequential {sequential_s:.2f}s, batched "
+              f"{batched_s:.2f}s -> {speedup:.2f}x "
+              f"({'identical' if matches else 'DIVERGED'})")
+    return section
 
 
 def fingerprint(result) -> dict:
@@ -168,6 +276,11 @@ def main(argv=None) -> int:
                         help="CI smoke mode: ~50k packets, no file write, "
                              "no speedup-target enforcement — only the "
                              "equivalence checks gate the exit code")
+    parser.add_argument("--filter", dest="filters", default=None,
+                        metavar="NAME[,NAME...]",
+                        help="comma list of per-filter kernel benches to run "
+                             f"({', '.join(sorted(set(FILTER_ALIASES)))}); "
+                             "with --quick, runs only this section")
     parser.add_argument("--child", choices=MODES, default=None,
                         help=argparse.SUPPRESS)
     parser.add_argument("--duration", type=float, default=None,
@@ -180,10 +293,35 @@ def main(argv=None) -> int:
         print(_CHILD_MARKER + json.dumps(measured))
         return 0
 
+    filter_names = None
+    if args.filters:
+        filter_names = []
+        for token in args.filters.split(","):
+            token = token.strip().lower()
+            if token not in FILTER_ALIASES:
+                parser.error(f"unknown filter {token!r} "
+                             f"(choose from {', '.join(sorted(set(FILTER_ALIASES)))})")
+            name = FILTER_ALIASES[token]
+            if name not in filter_names:
+                filter_names.append(name)
+
     if args.quick:
         args.packets = min(args.packets, 50_000)
 
     duration = calibrate_duration(args.packets, args.rate, args.seed)
+
+    if args.quick and filter_names:
+        # CI smoke: only the per-filter kernel equivalence/speedup section.
+        section = run_filter_bench(filter_names, duration, args.rate,
+                                   args.seed)
+        diverged = [n for n, row in section.items() if not row["identical"]]
+        if diverged:
+            print(f"FAIL: kernels diverged from sequential: {diverged}",
+                  file=sys.stderr)
+            return 1
+        print("kernel verdicts/stats identical to sequential "
+              "(quick mode, speedup target not enforced)")
+        return 0
     print(f"trace: ~{args.packets:,} packets over {duration:.0f}s of trace "
           f"time (rate {args.rate:g}/s, seed {args.seed})")
 
@@ -204,6 +342,17 @@ def main(argv=None) -> int:
             print(f"{mode}: {results[mode]['fingerprint']}", file=sys.stderr)
         return 1
     print("verdicts/stats/blocklist identical across all pipelines")
+
+    kernel_section = None
+    if not args.quick or filter_names:
+        kernel_section = run_filter_bench(filter_names or KERNEL_FILTERS,
+                                          duration, args.rate, args.seed)
+        diverged = [n for n, row in kernel_section.items()
+                    if not row["identical"]]
+        if diverged:
+            print(f"FAIL: kernels diverged from sequential: {diverged}",
+                  file=sys.stderr)
+            return 1
 
     speedup = results["object"]["total_s"] / results["columnar"]["total_s"]
     rss_ratio = (results["object"]["peak_rss_mb"]
@@ -229,6 +378,12 @@ def main(argv=None) -> int:
             "filter_stats": reference["filter_stats"],
         },
     }
+    if kernel_section is not None:
+        report["filter_kernels"] = {
+            "kernel_target_speedup": KERNEL_TARGET_SPEEDUP,
+            "enforced_for": list(KERNEL_ENFORCED),
+            "results": kernel_section,
+        }
 
     if args.quick:
         print(f"speedup: {speedup:.2f}x (quick mode, target not enforced)")
@@ -237,10 +392,19 @@ def main(argv=None) -> int:
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"speedup: {speedup:.2f}x (target >= {TARGET_SPEEDUP}x), "
           f"stream-mode RSS {rss_ratio:.1f}x smaller -> {args.output}")
+    status = 0
     if speedup < TARGET_SPEEDUP:
         print("FAIL: speedup below target", file=sys.stderr)
-        return 1
-    return 0
+        status = 1
+    for name in KERNEL_ENFORCED:
+        row = (kernel_section or {}).get(name)
+        if row is None:
+            continue  # not part of the requested --filter subset
+        if row["speedup"] < KERNEL_TARGET_SPEEDUP:
+            print(f"FAIL: {name} kernel speedup {row['speedup']:.2f}x below "
+                  f"{KERNEL_TARGET_SPEEDUP}x target", file=sys.stderr)
+            status = 1
+    return status
 
 
 if __name__ == "__main__":

@@ -45,8 +45,10 @@ from repro.filters import (
     NaiveTimerFilter,
     PacketFilter,
     SPIFilter,
+    SnapshotUnsupported,
     TokenBucketFilter,
     Verdict,
+    restore_filter,
 )
 from repro.filters.policy import DropController
 from repro.net import Direction, Packet, SocketPair
@@ -73,6 +75,8 @@ __all__ = [
     "TokenBucketFilter",
     "BlockedConnectionStore",
     "FilterChain",
+    "SnapshotUnsupported",
+    "restore_filter",
     "DropController",
     "Direction",
     "Packet",

@@ -99,8 +99,7 @@ class CountingBloomFilter:
         return all(self._get(index) > 0 for index in self._indices(key))
 
     def clear(self) -> None:
-        for position in range(len(self._cells)):
-            self._cells[position] = 0
+        self._cells[:] = bytes(len(self._cells))
         self.added = 0
         self.removed = 0
         self.saturations = 0

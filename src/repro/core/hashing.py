@@ -66,6 +66,52 @@ def mix_tuple(fields: Sequence[int], seed: int = 0) -> int:
     return value
 
 
+def _numpy():
+    """The numpy module when columnar acceleration is enabled, else None.
+
+    Honors the same switch as :mod:`repro.net.table` (tests flip
+    ``table._use_numpy`` to pin the stdlib path), read lazily so flipping
+    it mid-process takes effect immediately.
+    """
+    from repro.net import table as _table
+
+    return _table._np if _table._np_enabled() else None
+
+
+def _mix_tuple_np(np, columns, seed: int):
+    """Vectorized :func:`mix_tuple` over uint64 field columns.
+
+    ``columns`` is a 2-D uint64 array, one row per key.  Bit-identical to
+    the scalar form: uint64 arithmetic wraps exactly like ``& _MASK64``,
+    and XOR/shift/multiply commute with the truncation.
+    """
+    n = columns.shape[0]
+    value = np.full(n, splitmix64(seed ^ 0x2545F4914F6CDD1D), dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        for column in range(columns.shape[1]):
+            v = value ^ columns[:, column]
+            v = (v + np.uint64(0x9E3779B97F4A7C15))
+            v = (v ^ (v >> np.uint64(30))) * np.uint64(_MIX_MUL1)
+            v = (v ^ (v >> np.uint64(27))) * np.uint64(_MIX_MUL2)
+            value = v ^ (v >> np.uint64(31))
+    return value
+
+
+#: Below this many keys, numpy array setup costs more than it saves.
+_NP_MIN_KEYS = 32
+
+
+def _key_matrix(np, keys):
+    """``keys`` as an (n, width) uint64 matrix, or None when ragged."""
+    try:
+        columns = np.asarray(keys, dtype=np.uint64)
+    except (TypeError, ValueError, OverflowError):
+        return None  # mixed key widths (strict + hole-punching) or non-ints
+    if columns.ndim != 2:
+        return None
+    return columns
+
+
 class HashFamily:
     """``m`` n-bit hash functions derived from two base hashes.
 
@@ -91,6 +137,25 @@ class HashFamily:
         """The two independent 64-bit base hashes of a key."""
         return mix_tuple(fields, self._seed1), mix_tuple(fields, self._seed2)
 
+    def base_hashes_many(
+        self, keys: Sequence[Sequence[int]]
+    ) -> List[Tuple[int, int]]:
+        """Batch form of :meth:`base_hashes`, numpy-vectorized when enabled.
+
+        Same values as ``[self.base_hashes(k) for k in keys]`` bit for bit;
+        ragged or non-integer key sets fall back to the scalar loop.
+        """
+        np = _numpy() if len(keys) >= _NP_MIN_KEYS else None
+        if np is not None:
+            columns = _key_matrix(np, keys)
+            if columns is not None:
+                h1 = _mix_tuple_np(np, columns, self._seed1).tolist()
+                h2 = _mix_tuple_np(np, columns, self._seed2).tolist()
+                return list(zip(h1, h2))
+        seed1 = self._seed1
+        seed2 = self._seed2
+        return [(mix_tuple(k, seed1), mix_tuple(k, seed2)) for k in keys]
+
     def indices(self, fields: Sequence[int]) -> List[int]:
         """The m bit positions (n-bit truncated) for a key."""
         h1, h2 = self.base_hashes(fields)
@@ -103,13 +168,31 @@ class HashFamily:
 
         Hoists the per-call setup (seeds, mask, range) out of the loop so
         columnar replay can hash a whole packet batch without re-paying
-        Python call overhead per packet.  Returns one tuple of ``m`` bit
-        positions per key, in input order.
+        Python call overhead per packet.  When numpy acceleration is on
+        (:mod:`repro.net.table`'s switch) and the batch is rectangular,
+        both base mixes and the double-hash stepping run as uint64 column
+        arithmetic — bit-identical to the scalar loop, since uint64
+        wraparound is exactly the ``& _MASK64`` truncation.  Returns one
+        tuple of ``m`` bit positions per key, in input order.
         """
+        if not isinstance(keys, (list, tuple)):
+            keys = list(keys)
         m = self.m
         mask = self.mask
         seed1 = self._seed1
         seed2 = self._seed2
+        np = _numpy() if len(keys) >= _NP_MIN_KEYS else None
+        if np is not None:
+            columns = _key_matrix(np, keys)
+            if columns is not None:
+                h1 = _mix_tuple_np(np, columns, seed1)
+                h2 = _mix_tuple_np(np, columns, seed2) | np.uint64(1)
+                steps_np = np.arange(m, dtype=np.uint64)
+                with np.errstate(over="ignore"):
+                    positions = (
+                        h1[:, None] + steps_np[None, :] * h2[:, None]
+                    ) & np.uint64(mask)
+                return [tuple(row) for row in positions.tolist()]
         steps = range(m)
         out: List[Tuple[int, ...]] = []
         append = out.append

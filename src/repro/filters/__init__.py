@@ -13,7 +13,13 @@ All consume :class:`repro.net.packet.Packet` objects with directions set
 and return a :class:`Verdict`.
 """
 
-from repro.filters.base import AcceptAllFilter, FilterStats, PacketFilter, Verdict
+from repro.filters.base import (
+    AcceptAllFilter,
+    FilterStats,
+    PacketFilter,
+    SnapshotUnsupported,
+    Verdict,
+)
 from repro.filters.spi import SPIFilter
 from repro.filters.naive import NaiveTimerFilter
 from repro.filters.bitmap import BitmapPacketFilter
@@ -22,11 +28,40 @@ from repro.filters.chain import FilterChain
 from repro.filters.counting import CountingBitmapFilter
 from repro.filters.ratelimit import RedPolicerFilter, TokenBucketFilter
 
+#: Snapshot ``kind`` tag → restoring filter class.
+_SNAPSHOT_KINDS = {
+    BitmapPacketFilter.name: BitmapPacketFilter,
+    SPIFilter.name: SPIFilter,
+    CountingBitmapFilter.name: CountingBitmapFilter,
+    TokenBucketFilter.name: TokenBucketFilter,
+    RedPolicerFilter.name: RedPolicerFilter,
+    FilterChain.name: FilterChain,
+}
+
+
+def restore_filter(snapshot: dict, clock: str = "resume") -> PacketFilter:
+    """Rebuild any snapshot-capable filter from its ``snapshot()`` output.
+
+    Dispatches on the snapshot's ``kind`` tag.  Untagged snapshots are
+    bitmap-filter state from before tagging existed.  ``clock`` passes
+    through to the filter's ``restore`` — only the bitmap filter accepts
+    anything other than ``"resume"``.
+    """
+    kind = snapshot.get("kind")
+    if kind is None:
+        return BitmapPacketFilter.restore(snapshot, clock=clock)
+    filter_cls = _SNAPSHOT_KINDS.get(kind)
+    if filter_cls is None:
+        raise ValueError(f"unknown filter snapshot kind {kind!r}")
+    return filter_cls.restore(snapshot, clock=clock)
+
+
 __all__ = [
     "Verdict",
     "FilterStats",
     "PacketFilter",
     "AcceptAllFilter",
+    "SnapshotUnsupported",
     "SPIFilter",
     "NaiveTimerFilter",
     "BitmapPacketFilter",
@@ -35,4 +70,5 @@ __all__ = [
     "RedPolicerFilter",
     "BlockedConnectionStore",
     "FilterChain",
+    "restore_filter",
 ]

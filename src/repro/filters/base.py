@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import enum
+import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
@@ -15,6 +16,44 @@ class Verdict(enum.Enum):
 
     PASS = "pass"
     DROP = "drop"
+
+
+class SnapshotUnsupported(RuntimeError):
+    """Raised when a filter cannot produce a faithful snapshot.
+
+    A warm restart built on a lossy snapshot silently forgets flow
+    tables, counters or RNG positions; refusing loudly is the only safe
+    default for filters without explicit snapshot/restore hooks.
+    """
+
+
+def rng_state(rng: random.Random) -> list:
+    """A ``random.Random`` state as JSON-safe data (version, words, gauss)."""
+    version, internal, gauss = rng.getstate()
+    return [version, list(internal), gauss]
+
+
+def restore_rng_state(state) -> random.Random:
+    """Rebuild a ``random.Random`` from :func:`rng_state` output."""
+    version, internal, gauss = state
+    rng = random.Random()
+    rng.setstate((version, tuple(internal), gauss))
+    return rng
+
+
+def check_resume_clock(clock: str, name: str) -> None:
+    """Reject restore clocks other than ``"resume"``.
+
+    The bitmap filter's ``"reanchor"`` mode rebases a rotation *phase*;
+    flow tables, bucket refill stamps and sliding-window samples keep
+    absolute trace-time stamps with no phase to rebase, so restoring
+    them onto a different clock would be a silent state loss.
+    """
+    if clock != "resume":
+        raise ValueError(
+            f"filter {name!r} snapshots can only be restored with "
+            f"clock='resume', got {clock!r}"
+        )
 
 
 @dataclass
@@ -151,6 +190,19 @@ class PacketFilter(ABC):
     def reset(self) -> None:
         """Forget all per-flow state and statistics."""
         self.stats = FilterStats()
+
+    def snapshot(self) -> dict:
+        """Full internal state as JSON-safe data, or raise.
+
+        Filters that support exact warm restart override this (and a
+        matching ``restore`` classmethod).  The default refuses rather
+        than letting :class:`repro.service.FilterService` persist a
+        snapshot that silently drops state.
+        """
+        raise SnapshotUnsupported(
+            f"filter {self.name!r} ({type(self).__name__}) has no "
+            "snapshot/restore hooks; a warm restart would lose its state"
+        )
 
 
 class AcceptAllFilter(PacketFilter):

@@ -41,3 +41,31 @@ class FilterChain(PacketFilter):
 
     def __len__(self) -> int:
         return len(self.filters)
+
+    def snapshot(self) -> dict:
+        """Member snapshots in chain order plus the aggregate counters.
+
+        Raises :class:`~repro.filters.base.SnapshotUnsupported` if any
+        member lacks snapshot hooks — a chain snapshot missing one
+        member's state would be exactly the lossy restart this API
+        refuses to produce.
+        """
+        return {
+            "kind": self.name,
+            "stats": self.stats.snapshot(),
+            "filters": [packet_filter.snapshot() for packet_filter in self.filters],
+        }
+
+    @classmethod
+    def restore(cls, snapshot: dict, clock: str = "resume") -> "FilterChain":
+        from repro.filters import restore_filter  # local import: cycle guard
+
+        if snapshot.get("kind") not in (None, cls.name):
+            raise ValueError(
+                f"snapshot is for filter kind {snapshot['kind']!r}, not {cls.name!r}"
+            )
+        chain = cls(
+            restore_filter(member, clock=clock) for member in snapshot["filters"]
+        )
+        chain.stats = FilterStats.restore(snapshot["stats"])
+        return chain

@@ -28,7 +28,14 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.bitmap_filter import BitmapFilterConfig, FieldMode
 from repro.core.counting_bloom import CountingBloomFilter
-from repro.filters.base import PacketFilter, Verdict
+from repro.filters.base import (
+    FilterStats,
+    PacketFilter,
+    Verdict,
+    check_resume_clock,
+    restore_rng_state,
+    rng_state,
+)
 from repro.filters.policy import DropController
 from repro.net.inet import IPPROTO_TCP
 from repro.net.packet import Direction, Packet, SocketPair
@@ -170,3 +177,71 @@ class CountingBitmapFilter(PacketFilter):
         self._next_rotation = None
         self._half_closed.clear()
         self.deleted_on_close = 0
+
+    def snapshot(self) -> dict:
+        """Column cells + counters, rotation clock, half-close table, RNG."""
+        return {
+            "kind": self.name,
+            "config": {
+                "size": self.config.size,
+                "vectors": self.config.vectors,
+                "hashes": self.config.hashes,
+                "rotate_interval": self.config.rotate_interval,
+                "field_mode": self.config.field_mode.value,
+                "seed": self.config.seed,
+            },
+            "idx": self.idx,
+            "next_rotation": self._next_rotation,
+            "half_close_timeout": self.half_close_timeout,
+            "deleted_on_close": self.deleted_on_close,
+            "rng": rng_state(self._rng),
+            "controller": self.drop_controller.snapshot(),
+            "stats": self.stats.snapshot(),
+            "columns": [
+                {
+                    "cells": list(column._cells),
+                    "added": column.added,
+                    "removed": column.removed,
+                    "saturations": column.saturations,
+                }
+                for column in self.columns
+            ],
+            "half_closed": [
+                [list(key), stamp] for key, stamp in self._half_closed.items()
+            ],
+        }
+
+    @classmethod
+    def restore(cls, snapshot: dict, clock: str = "resume") -> "CountingBitmapFilter":
+        if snapshot.get("kind") not in (None, cls.name):
+            raise ValueError(
+                f"snapshot is for filter kind {snapshot['kind']!r}, not {cls.name!r}"
+            )
+        check_resume_clock(clock, cls.name)
+        config_doc = snapshot["config"]
+        filt = cls(
+            config=BitmapFilterConfig(
+                size=config_doc["size"],
+                vectors=config_doc["vectors"],
+                hashes=config_doc["hashes"],
+                rotate_interval=config_doc["rotate_interval"],
+                field_mode=FieldMode(config_doc["field_mode"]),
+                seed=config_doc["seed"],
+            ),
+            half_close_timeout=snapshot["half_close_timeout"],
+        )
+        for column, column_doc in zip(filt.columns, snapshot["columns"]):
+            column._cells[:] = bytearray(column_doc["cells"])
+            column.added = column_doc["added"]
+            column.removed = column_doc["removed"]
+            column.saturations = column_doc["saturations"]
+        filt.idx = snapshot["idx"]
+        filt._next_rotation = snapshot["next_rotation"]
+        filt.deleted_on_close = snapshot["deleted_on_close"]
+        filt._rng = restore_rng_state(snapshot["rng"])
+        filt.drop_controller = DropController.restore(snapshot["controller"])
+        filt.stats = FilterStats.restore(snapshot["stats"])
+        filt._half_closed = {
+            tuple(key): stamp for key, stamp in snapshot["half_closed"]
+        }
+        return filt

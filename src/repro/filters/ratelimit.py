@@ -20,9 +20,16 @@ from __future__ import annotations
 import random
 from typing import Optional
 
-from repro.core.dropper import DropPolicy, RedDropPolicy
-from repro.core.throughput import SlidingWindowMeter, ThroughputMeter
-from repro.filters.base import PacketFilter, Verdict
+from repro.core.dropper import DropPolicy, RedDropPolicy, restore_policy
+from repro.core.throughput import SlidingWindowMeter, ThroughputMeter, restore_meter
+from repro.filters.base import (
+    FilterStats,
+    PacketFilter,
+    Verdict,
+    check_resume_clock,
+    restore_rng_state,
+    rng_state,
+)
 from repro.net.packet import Direction, Packet
 
 
@@ -84,6 +91,36 @@ class TokenBucketFilter(PacketFilter):
             return Verdict.PASS
         return Verdict.DROP
 
+    def snapshot(self) -> dict:
+        """Bucket level and refill stamp — the filter's whole state."""
+        return {
+            "kind": self.name,
+            "rate": self.bucket.rate,
+            "burst": self.bucket.burst,
+            "tokens": self.bucket._tokens,
+            "last": self.bucket._last,
+            "direction": self.direction.value,
+            "stats": self.stats.snapshot(),
+        }
+
+    @classmethod
+    def restore(cls, snapshot: dict, clock: str = "resume") -> "TokenBucketFilter":
+        if snapshot.get("kind") not in (None, cls.name):
+            raise ValueError(
+                f"snapshot is for filter kind {snapshot['kind']!r}, not {cls.name!r}"
+            )
+        check_resume_clock(clock, cls.name)
+        filt = cls.__new__(cls)
+        PacketFilter.__init__(filt)
+        # Rebuild the bucket from raw byte-rate, not a lossy rate_mbps
+        # reconversion through the constructor.
+        filt.bucket = TokenBucket(snapshot["rate"], snapshot["burst"])
+        filt.bucket._tokens = snapshot["tokens"]
+        filt.bucket._last = snapshot["last"]
+        filt.direction = Direction(snapshot["direction"])
+        filt.stats = FilterStats.restore(snapshot["stats"])
+        return filt
+
 
 class RedPolicerFilter(PacketFilter):
     """Equation-1 policing applied to every packet of one direction.
@@ -120,3 +157,30 @@ class RedPolicerFilter(PacketFilter):
             return Verdict.DROP
         self.meter.record(now, packet.size)
         return Verdict.PASS
+
+    def snapshot(self) -> dict:
+        """Policy parameters, meter observations, RNG position."""
+        return {
+            "kind": self.name,
+            "policy": self.policy.snapshot(),
+            "meter": self.meter.snapshot(),
+            "direction": self.direction.value,
+            "rng": rng_state(self._rng),
+            "stats": self.stats.snapshot(),
+        }
+
+    @classmethod
+    def restore(cls, snapshot: dict, clock: str = "resume") -> "RedPolicerFilter":
+        if snapshot.get("kind") not in (None, cls.name):
+            raise ValueError(
+                f"snapshot is for filter kind {snapshot['kind']!r}, not {cls.name!r}"
+            )
+        check_resume_clock(clock, cls.name)
+        filt = cls.__new__(cls)
+        PacketFilter.__init__(filt)
+        filt.policy = restore_policy(snapshot["policy"])
+        filt.meter = restore_meter(snapshot["meter"])
+        filt.direction = Direction(snapshot["direction"])
+        filt._rng = restore_rng_state(snapshot["rng"])
+        filt.stats = FilterStats.restore(snapshot["stats"])
+        return filt

@@ -19,7 +19,14 @@ from __future__ import annotations
 import random
 from typing import Dict, Optional
 
-from repro.filters.base import PacketFilter, Verdict
+from repro.filters.base import (
+    FilterStats,
+    PacketFilter,
+    Verdict,
+    check_resume_clock,
+    restore_rng_state,
+    rng_state,
+)
 from repro.filters.policy import DropController
 from repro.net.inet import IPPROTO_TCP
 from repro.net.packet import Direction, Packet, SocketPair
@@ -103,7 +110,9 @@ class SPIFilter(PacketFilter):
             # Idle past the timeout (or TIME_WAIT elapsed): drop the entry.
             del self._table[key]
         probability = self.drop_controller.probability(now)
-        if probability >= 1.0 or self._rng.random() < probability:
+        # Guarded draw (the RED policer's form): P_d = 0 must not consume
+        # from the RNG stream, or a no-drop phase desynchronizes replays.
+        if probability >= 1.0 or (probability > 0.0 and self._rng.random() < probability):
             return Verdict.DROP
         return Verdict.PASS
 
@@ -147,3 +156,46 @@ class SPIFilter(PacketFilter):
         super().reset()
         self._table.clear()
         self._next_gc = None
+
+    def snapshot(self) -> dict:
+        """Flow table, timers, RNG position and controller state."""
+        return {
+            "kind": self.name,
+            "idle_timeout": self.idle_timeout,
+            "time_wait": self.time_wait,
+            "gc_interval": self._gc_interval,
+            "next_gc": self._next_gc,
+            "rng": rng_state(self._rng),
+            "controller": self.drop_controller.snapshot(),
+            "stats": self.stats.snapshot(),
+            "flows": [
+                [list(key), state.last_seen, state.fin_fwd, state.fin_rev,
+                 state.expires_at]
+                for key, state in self._table.items()
+            ],
+        }
+
+    @classmethod
+    def restore(cls, snapshot: dict, clock: str = "resume") -> "SPIFilter":
+        if snapshot.get("kind") not in (None, cls.name):
+            raise ValueError(
+                f"snapshot is for filter kind {snapshot['kind']!r}, not {cls.name!r}"
+            )
+        check_resume_clock(clock, cls.name)
+        filt = cls.__new__(cls)
+        PacketFilter.__init__(filt)
+        filt.idle_timeout = snapshot["idle_timeout"]
+        filt.time_wait = snapshot["time_wait"]
+        filt._gc_interval = snapshot["gc_interval"]
+        filt._next_gc = snapshot["next_gc"]
+        filt._rng = restore_rng_state(snapshot["rng"])
+        filt.drop_controller = DropController.restore(snapshot["controller"])
+        filt.stats = FilterStats.restore(snapshot["stats"])
+        filt._table = {}
+        for fields, last_seen, fin_fwd, fin_rev, expires_at in snapshot["flows"]:
+            state = _FlowState(last_seen)
+            state.fin_fwd = fin_fwd
+            state.fin_rev = fin_rev
+            state.expires_at = expires_at
+            filt._table[SocketPair(*fields)] = state
+        return filt

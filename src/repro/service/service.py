@@ -38,8 +38,8 @@ import time
 from typing import Any, Optional, Tuple
 
 from repro.core.dropper import RedDropPolicy, StaticDropPolicy
+from repro.filters import restore_filter
 from repro.filters.base import PacketFilter
-from repro.filters.bitmap import BitmapPacketFilter
 from repro.net.table import PacketTable
 from repro.sim.pipeline import (
     BatchedBackend,
@@ -148,9 +148,7 @@ class FilterService:
                 )
             snapshot_path = found
         document = read_snapshot(snapshot_path)
-        packet_filter = BitmapPacketFilter.restore(
-            document["filter"], clock="resume"
-        )
+        packet_filter = restore_filter(document["filter"], clock="resume")
         use_blocklist = document["router"]["blocklist"] is not None
         kwargs.setdefault("use_blocklist", use_blocklist)
         service = cls(source, packet_filter, backend, **kwargs)

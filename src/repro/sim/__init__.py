@@ -31,9 +31,14 @@ from repro.sim.fastpath import (
     process_packets_fast,
     supports_fastpath,
 )
+from repro.sim.kernels import KERNELS, FilterKernel, kernel_for, register_kernel
 from repro.sim.parallel import LaneResult, ParallelReplayResult, parallel_replay
 
 __all__ = [
+    "FilterKernel",
+    "KERNELS",
+    "kernel_for",
+    "register_kernel",
     "LaneResult",
     "ParallelReplayResult",
     "parallel_replay",

@@ -115,8 +115,17 @@ class PacketColumns:
 
 
 def supports_fastpath(packet_filter) -> bool:
-    """True when the fused batched loop can replay this filter."""
-    return isinstance(packet_filter, BitmapPacketFilter)
+    """True when a fused batched kernel can replay this filter.
+
+    Delegates to the kernel registry (:mod:`repro.sim.kernels`) and keys
+    on the filter's **exact type**: a subclass of a registered filter may
+    override per-packet hooks that a fused kernel would silently ignore,
+    so unregistered subclasses report False and take the generic
+    ``process_batch`` path instead.
+    """
+    from repro.sim.kernels import kernel_for  # local import: cycle guard
+
+    return kernel_for(packet_filter) is not None
 
 
 def process_packets_fast(
@@ -131,7 +140,7 @@ def process_packets_fast(
     is fused rather than staged.
     """
     flt = router.filter
-    if not supports_fastpath(flt):  # pragma: no cover - guarded by caller
+    if type(flt) is not BitmapPacketFilter:  # pragma: no cover - guarded by caller
         return [router.forward(packet) for packet in packets]
     columns = PacketColumns.from_packets(packets, flt)
     total = len(columns)
@@ -312,7 +321,7 @@ def process_table_fast(router: "EdgeRouter", table) -> List[Verdict]:
       GC clock is inlined to a float compare per packet.
     """
     flt = router.filter
-    if not supports_fastpath(flt):  # pragma: no cover - guarded by caller
+    if type(flt) is not BitmapPacketFilter:  # pragma: no cover - guarded by caller
         return [router.forward(view) for view in table.iter_views()]
     total = len(table)
     router.packets += total

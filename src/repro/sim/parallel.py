@@ -10,7 +10,8 @@ sharded replay therefore decomposes exactly:
    (:meth:`ShardedFilter.partition_packets`); transit packets matching no
    shard go to a *default lane* that applies ``default_verdict``.
 2. **Replay each lane in its own worker process**, each driving the
-   batched fast path (:mod:`repro.sim.fastpath`) over its sub-stream.
+   lane filter's fused kernel (:mod:`repro.sim.kernels` — any registered
+   filter type, not just bitmap) over its sub-stream.
    Every lane's filter carries its own RNG (seeded deterministically at
    construction), so verdicts are independent of worker scheduling.
 3. **Merge** the picklable per-lane records back into one aggregate:

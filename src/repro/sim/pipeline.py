@@ -475,11 +475,13 @@ class SequentialBackend(ExecutionBackend):
 class BatchedBackend(ExecutionBackend):
     """Chunked traversal through the batched stage implementations.
 
-    Bitmap filters take the fused columnar fast path
-    (:mod:`repro.sim.fastpath`); everything else goes through the
+    Filters with a registered fused kernel (:mod:`repro.sim.kernels`:
+    bitmap, SPI, counting Bloom, token-bucket, RED policer, chain) take
+    their one-loop columnar replay; everything else goes through the
     first-class :meth:`PacketFilter.process_batch` protocol (router
     stage-split when no blocklist is attached, per-packet fallback when
-    one is — blocked-σ suppression must interleave with verdicts).
+    one is — blocked-σ suppression must interleave with verdicts, which
+    is also why the chain kernel declines blocklisted runs).
     ``chunk_size`` bounds columnarization memory; ``None`` replays the
     stream as one chunk.
     """

@@ -58,19 +58,24 @@ class EdgeRouter:
         """Run a timestamp-ordered batch through the router.
 
         Produces exactly the verdicts ``[self.forward(p) for p in packets]``
-        would.  Bitmap filters take the fused columnar loop in
-        :mod:`repro.sim.fastpath`; every other filter goes through the
-        first-class :meth:`PacketFilter.process_batch` protocol with the
-        router's accounting stages split around it.  A blocklist forces
-        the per-packet loop for non-bitmap filters — blocked-σ
-        suppression must interleave with verdicts (a drop inside the
-        batch blocks the connection's later packets), and only the fused
-        bitmap loop implements that interleaving in batch form.
+        would.  Filters with a registered fused kernel
+        (:mod:`repro.sim.kernels`: bitmap, SPI, counting Bloom,
+        token-bucket, RED policer, chain) take their one-loop columnar
+        replay; every other filter goes through the first-class
+        :meth:`PacketFilter.process_batch` protocol with the router's
+        accounting stages split around it.  A kernel may decline a
+        configuration it cannot fuse (the chain kernel with a blocklist —
+        blocked-σ suppression must interleave with verdicts, and member
+        composition cannot stage that), in which case the exact generic
+        fallbacks below run instead.
         """
-        from repro.sim.fastpath import process_packets_fast, supports_fastpath
+        from repro.sim.kernels import kernel_for
 
-        if supports_fastpath(self.filter):
-            return process_packets_fast(self, packets)
+        kernel = kernel_for(self.filter)
+        if kernel is not None:
+            verdicts = kernel.run_packets(self, packets)
+            if verdicts is not None:
+                return verdicts
         if self.blocklist is None:
             return self._process_batch_generic(packets)
         return [self.forward(packet) for packet in packets]
@@ -80,17 +85,20 @@ class EdgeRouter:
         through the router.
 
         Same verdicts as :meth:`process_batch` on ``table.to_packets()``.
-        Bitmap filters take the table-native fused loop
-        (:func:`repro.sim.fastpath.process_table_fast`) and never build a
-        :class:`Packet`; other filters fall back to the object protocols
-        through a single reused zero-allocation
-        :class:`~repro.net.table.PacketView` cursor (per-packet when a
-        blocklist must interleave, batch otherwise).
+        Registered filters take their table-native fused kernel
+        (:mod:`repro.sim.kernels`) and never build a :class:`Packet`;
+        unregistered filters (and configurations a kernel declines) fall
+        back to the object protocols through a single reused
+        zero-allocation :class:`~repro.net.table.PacketView` cursor
+        (per-packet when a blocklist must interleave, batch otherwise).
         """
-        from repro.sim.fastpath import process_table_fast, supports_fastpath
+        from repro.sim.kernels import kernel_for
 
-        if supports_fastpath(self.filter):
-            return process_table_fast(self, table)
+        kernel = kernel_for(self.filter)
+        if kernel is not None:
+            verdicts = kernel.run_table(self, table)
+            if verdicts is not None:
+                return verdicts
         if self.blocklist is None:
             return self._process_batch_generic(table.to_packets())
         return [self.forward(view) for view in table.iter_views()]

@@ -250,3 +250,57 @@ class TestHashIndexMemo:
         family = make_hash_family(3, 2 ** 14)
         assert out == [tuple(family.indices(key)) for key in keys]
         assert len(memo) <= 4
+
+
+class TestVectorizedBatches:
+    """numpy-vectorized indices_many / base_hashes_many are bit-identical
+    to the scalar loop, on every key width, and fall back cleanly."""
+
+    @pytest.fixture(params=["numpy", "stdlib"])
+    def np_mode(self, request, monkeypatch):
+        import repro.net.table as table_mod
+        if request.param == "numpy" and not table_mod.HAVE_NUMPY:
+            pytest.skip("numpy not installed")
+        monkeypatch.setattr(
+            table_mod, "_use_numpy",
+            request.param == "numpy" and table_mod.HAVE_NUMPY,
+        )
+        return request.param
+
+    def keys(self, width, count=300, seed=3):
+        rng = random.Random(seed)
+        return [tuple(rng.randrange(2 ** 32) for _ in range(width))
+                for _ in range(count)]
+
+    @pytest.mark.parametrize("width", [4, 5])
+    def test_indices_many_matches_scalar(self, np_mode, width):
+        family = HashFamily(4, 14, seed=9)
+        keys = self.keys(width)
+        batched = family.indices_many(keys)
+        assert batched == [tuple(family.indices(k)) for k in keys]
+
+    @pytest.mark.parametrize("width", [4, 5])
+    def test_base_hashes_many_matches_scalar(self, np_mode, width):
+        family = HashFamily(3, 20, seed=2)
+        keys = self.keys(width)
+        assert family.base_hashes_many(keys) == \
+            [family.base_hashes(k) for k in keys]
+
+    def test_ragged_key_batch_falls_back(self, np_mode):
+        # Mixed strict (5-field) and hole-punching (4-field) keys cannot
+        # form a rectangular matrix; the scalar loop must kick in.
+        family = HashFamily(4, 14, seed=9)
+        keys = self.keys(5, count=40) + self.keys(4, count=40)
+        assert family.indices_many(keys) == \
+            [tuple(family.indices(k)) for k in keys]
+
+    def test_small_batches_skip_numpy_setup(self, np_mode):
+        family = HashFamily(4, 14, seed=9)
+        keys = self.keys(5, count=8)  # below the vectorization threshold
+        assert family.indices_many(keys) == \
+            [tuple(family.indices(k)) for k in keys]
+
+    def test_iterator_input_still_works(self, np_mode):
+        family = HashFamily(4, 14, seed=9)
+        keys = self.keys(5, count=100)
+        assert family.indices_many(iter(keys)) == family.indices_many(keys)

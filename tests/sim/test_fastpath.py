@@ -126,10 +126,18 @@ class TestRouterBatchEquivalence:
         assert_routers_identical(legacy.router, batched.router)
 
     def test_batched_replay_falls_back_for_other_filters(self):
+        # SPI now has its own fused kernel; an *unregistered* filter —
+        # e.g. any subclass, which may override per-packet hooks — must
+        # still take the generic path and stay equivalent.
         packets = trace(9)
-        assert not supports_fastpath(SPIFilter())
-        legacy = replay(packets, SPIFilter(), batched=False)
-        batched = replay(packets, SPIFilter(), batched=True)
+
+        class TracingSPIFilter(SPIFilter):
+            pass
+
+        assert supports_fastpath(SPIFilter())
+        assert not supports_fastpath(TracingSPIFilter())
+        legacy = replay(packets, TracingSPIFilter(), batched=False)
+        batched = replay(packets, TracingSPIFilter(), batched=True)
         assert legacy.inbound_dropped == batched.inbound_dropped
         assert legacy.router.filter.stats.as_dict() == \
             batched.router.filter.stats.as_dict()
