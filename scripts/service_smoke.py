@@ -12,6 +12,12 @@ run 2: ``repro serve --restore <dir> --source idle`` (warm restart)
        -> ``repro ctl ... stats``: the blocklist survived the restart
        -> ``repro ctl ... shutdown``
 
+Then the fleet phase: a 3-shard supervised fleet over the same kind of
+trace — RED retune fanned out mid-trace, one shard SIGKILLed and
+recovered from its snapshot, ``repro fleet status`` checked from outside
+— whose merged fingerprint and blocklist must equal the offline
+partitioned replay bit for bit.
+
 Exits non-zero (with a transcript) on any failed expectation.
 """
 
@@ -143,6 +149,83 @@ def main() -> None:
             daemon.kill()
 
     print("service smoke: OK (snapshot + warm restart preserved state)")
+
+    fleet_smoke()
+
+
+def fleet_smoke() -> None:
+    """The fleet phase: supervised shard daemons under disruption must
+    reproduce the offline partitioned replay exactly."""
+    from repro.fleet import FleetSupervisor, ShardFilterSpec, offline_reference
+    from repro.shard.plan import HashShardPlan
+    from repro.workload import TraceConfig, TraceGenerator
+
+    workdir = tempfile.mkdtemp(prefix="fleet-smoke-")
+    plan = HashShardPlan(3, seed=3)
+    spec = ShardFilterSpec(size_bits=12, vectors=3, hashes=2,
+                           low_mbps=0.1, high_mbps=1.0)
+    table = TraceGenerator(
+        TraceConfig(duration=15.0, connection_rate=5.0, seed=5)
+    ).table()
+    chunks = [table.slice(start, min(start + 512, len(table)))
+              for start in range(0, len(table), 512)]
+    print(f"fleet: 3 shards in {workdir}, "
+          f"{len(table)} packets in {len(chunks)} chunks")
+
+    supervisor = FleetSupervisor(plan, workdir, spec=spec, snapshot_every=2)
+    try:
+        supervisor.launch()
+        supervisor.feed(chunks[:len(chunks) // 2])
+
+        # Fan-out retune: same values, so the offline reference (which
+        # cannot retune mid-trace) stays comparable — the broadcast path
+        # and the per-shard applied echo are what this exercises.
+        applied = supervisor.configure(low_mbps=0.1, high_mbps=1.0)
+        if len(applied) != 3 or any(
+            response.get("low_mbps") != 0.1 for response in applied.values()
+        ):
+            raise SystemExit(f"fleet retune fan-out failed: {applied}")
+        print(f"fleet: retune applied on {len(applied)} shards")
+
+        # The operator view from another process, off the manifest.
+        status = subprocess.run(
+            [*CLI, "fleet", "status", workdir],
+            capture_output=True, text=True, timeout=30,
+        )
+        if status.returncode != 0 or "3 shards" not in status.stdout:
+            raise SystemExit(
+                f"fleet status failed rc={status.returncode}:\n"
+                f"{status.stdout}{status.stderr}"
+            )
+        print(status.stdout.strip())
+
+        # Crash the busiest shard mid-trace; the next send recovers it
+        # from its latest snapshot and resends the lane's retained epoch.
+        busiest = max(supervisor.daemons, key=lambda d: d.frames_sent)
+        print(f"fleet: killing {busiest.label} "
+              f"({busiest.frames_sent} frames in)")
+        busiest.kill()
+        supervisor.feed(chunks[len(chunks) // 2:])
+        result = supervisor.drain()
+    finally:
+        supervisor.stop()
+
+    if result.restarts < 1:
+        raise SystemExit("expected the killed shard to restart")
+    reference = offline_reference(table, plan, spec)
+    if result.fingerprint != reference.fingerprint:
+        raise SystemExit(
+            f"fleet fingerprint {result.fingerprint:#018x} != offline "
+            f"{reference.fingerprint:#018x}"
+        )
+    offline_blocked = dict(reference.router.blocklist._blocked)
+    if result.blocked != offline_blocked:
+        raise SystemExit(
+            f"fleet blocklist ({len(result.blocked)} rows) != offline "
+            f"({len(offline_blocked)} rows)"
+        )
+    print(f"fleet smoke: OK (restarts={result.restarts}, fingerprint "
+          f"{result.fingerprint:#018x} matches offline replay)")
 
 
 if __name__ == "__main__":

@@ -170,6 +170,77 @@ def build_parser() -> argparse.ArgumentParser:
                       help="frame payload codec (json = legacy compat)")
     feed.set_defaults(handler=cmd_feed)
 
+    fleet = sub.add_parser(
+        "fleet", help="supervise a fleet of shard daemons (one plan, N serves)"
+    )
+    fleet_sub = fleet.add_subparsers(title="fleet commands")
+
+    fserve = fleet_sub.add_parser(
+        "serve", help="spawn shard daemons, pump a trace through them, "
+                      "merge the fleet verdict"
+    )
+    fserve.add_argument("--workdir", default=None,
+                        help="fleet state directory: sockets, snapshots, "
+                             "manifest (default: a fresh temp dir)")
+    fserve.add_argument("--keying", default="subnet",
+                        choices=("subnet", "hash"),
+                        help="shard plan: per-subnet split of --network, or "
+                             "a consistent-hash ring over client subnets")
+    fserve.add_argument("--shards", type=int, default=None,
+                        help="lane count for --keying hash")
+    fserve.add_argument("--shard-bits", type=int, default=2,
+                        help="with --keying subnet: split the client "
+                             "network into 2^bits shards")
+    fserve.add_argument("--network", default="10.1.0.0/16")
+    fserve.add_argument("--pcap", default=None,
+                        help="trace to pump (omit to synthesize)")
+    fserve.add_argument("--duration", type=float, default=30.0)
+    fserve.add_argument("--rate", type=float, default=8.0)
+    fserve.add_argument("--hosts", type=int, default=120)
+    fserve.add_argument("--seed", type=int, default=7)
+    fserve.add_argument("--chunk-size", type=int, default=1024)
+    fserve.add_argument("--snapshot-every", type=int, default=8,
+                        help="checkpoint every N chunks (0 = off; crashed "
+                             "shards then restart cold)")
+    fserve.add_argument("--size-bits", type=int, default=16)
+    fserve.add_argument("--vectors", type=int, default=4)
+    fserve.add_argument("--hashes", type=int, default=3)
+    fserve.add_argument("--rotate", type=float, default=5.0)
+    fserve.add_argument("--hole-punching", action="store_true")
+    fserve.add_argument("--low-mbps", type=float, default=None)
+    fserve.add_argument("--high-mbps", type=float, default=None)
+    fserve.add_argument("--no-blocklist", action="store_true")
+    fserve.add_argument("--rolling-restart", action="store_true",
+                        help="roll every shard through a warm restart at "
+                             "mid-trace (exactness drill)")
+    fserve.add_argument("--kill-shard", type=int, default=None,
+                        help="SIGKILL this shard at mid-trace (crash-"
+                             "recovery drill)")
+    fserve.add_argument("--verify-offline", action="store_true",
+                        help="replay the same trace offline "
+                             "(parallel_replay, workers=1) and require a "
+                             "bit-identical fingerprint and blocklist")
+    fserve.set_defaults(handler=cmd_fleet_serve)
+
+    fstatus = fleet_sub.add_parser(
+        "status", help="per-shard liveness for a running fleet"
+    )
+    fstatus.add_argument("workdir", help="the fleet's --workdir (manifest)")
+    fstatus.set_defaults(handler=cmd_fleet_status)
+
+    fctl = fleet_sub.add_parser(
+        "ctl", help="fan one control command out to every shard daemon"
+    )
+    fctl.add_argument("workdir", help="the fleet's --workdir (manifest)")
+    fctl.add_argument("command",
+                      choices=("stats", "health", "config", "snapshot",
+                               "drain", "shutdown"))
+    fctl.add_argument("--low-mbps", type=float, default=None)
+    fctl.add_argument("--high-mbps", type=float, default=None)
+    fctl.add_argument("--probability", type=float, default=None)
+    fctl.add_argument("--rotate", type=float, default=None)
+    fctl.set_defaults(handler=cmd_fleet_ctl)
+
     ctl = sub.add_parser(
         "ctl", help="talk to a running filter daemon's control socket"
     )
@@ -596,6 +667,7 @@ def cmd_serve(args) -> int:
         snapshot_dir=args.snapshot_dir,
         snapshot_interval=args.snapshot_interval,
         control=args.control,
+        handle_signals=True,
     )
     if args.restore is not None:
         service = FilterService.restore(args.restore, source, **common)
@@ -685,6 +757,209 @@ def cmd_feed(args) -> int:
     print(f"fed {label}: {packets:,} packets in {writer.frames_sent} "
           f"{args.wire_format} frames ({writer.bytes_sent:,} payload bytes)")
     return 0
+
+
+def _build_fleet_plan(args):
+    from repro.shard.plan import HashShardPlan, SubnetShardPlan
+
+    if args.keying == "hash":
+        return HashShardPlan(args.shards or 4, seed=args.seed)
+    if args.shards is not None:
+        raise SystemExit("--shards needs --keying hash "
+                         "(subnet keying uses --shard-bits)")
+    network, prefix = _parse_cidr(args.network)
+    try:
+        return SubnetShardPlan.from_cidr(network, prefix, args.shard_bits)
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+
+def _fleet_table(args):
+    if args.pcap is not None:
+        table = _load_table(args.pcap, args.network)
+        label = f"pcap {args.pcap}"
+    else:
+        from repro.workload.generator import TraceConfig, TraceGenerator
+
+        table = TraceGenerator(TraceConfig(
+            duration=args.duration,
+            connection_rate=args.rate,
+            hosts=args.hosts,
+            seed=args.seed,
+        )).table()
+        label = (f"synthetic trace ({args.duration:g}s at "
+                 f"{args.rate:g} conn/s, seed {args.seed})")
+    return table, label
+
+
+def cmd_fleet_serve(args) -> int:
+    """Spawn one filter daemon per shard lane, pump a trace through the
+    fleet, and merge the per-shard verdicts into one result — optionally
+    drilling a mid-trace crash or rolling restart on the way."""
+    import tempfile
+
+    from repro.fleet import (
+        FleetError,
+        FleetSupervisor,
+        ShardFilterSpec,
+        offline_reference,
+    )
+
+    if args.chunk_size < 1:
+        raise SystemExit(f"--chunk-size must be >= 1: {args.chunk_size}")
+    plan = _build_fleet_plan(args)
+    if args.kill_shard is not None and not 0 <= args.kill_shard < plan.lanes:
+        raise SystemExit(
+            f"--kill-shard {args.kill_shard} out of range (plan has "
+            f"{plan.lanes} lanes)"
+        )
+    spec = ShardFilterSpec(
+        size_bits=args.size_bits,
+        vectors=args.vectors,
+        hashes=args.hashes,
+        rotate_interval=args.rotate,
+        hole_punching=args.hole_punching,
+        low_mbps=args.low_mbps,
+        high_mbps=args.high_mbps,
+        use_blocklist=not args.no_blocklist,
+    )
+    table, label = _fleet_table(args)
+    if not len(table):
+        print("no parseable packets", file=sys.stderr)
+        return 1
+    chunks = [table.slice(start, min(start + args.chunk_size, len(table)))
+              for start in range(0, len(table), args.chunk_size)]
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-fleet-")
+
+    supervisor = FleetSupervisor(
+        plan, workdir, spec=spec, snapshot_every=args.snapshot_every
+    )
+    print(f"fleet: {plan.lanes} shards ({args.keying} keying) in {workdir}")
+    print(f"pumping {label}: {len(table):,} packets in {len(chunks)} chunks")
+    try:
+        supervisor.launch()
+        midpoint = len(chunks) // 2
+        supervisor.feed(chunks[:midpoint])
+        if args.kill_shard is not None:
+            print(f"killing shard {plan.label(args.kill_shard)} mid-trace")
+            supervisor.daemons[args.kill_shard].kill()
+        if args.rolling_restart:
+            print("rolling restart across the fleet")
+            supervisor.rolling_restart()
+        supervisor.feed(chunks[midpoint:])
+        result = supervisor.drain()
+    except FleetError as error:
+        print(f"fleet error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        supervisor.stop()
+
+    print(f"packets: {result.packets:,}  inbound: {result.inbound_packets:,}  "
+          f"drop rate: {result.inbound_drop_rate:.2%}")
+    if result.blocked is not None:
+        print(f"blocked connections: {len(result.blocked):,}")
+    print(f"shard restarts: {result.restarts}")
+    print(f"fleet fingerprint: {result.fingerprint:#018x}")
+
+    if args.verify_offline:
+        reference = offline_reference(table, plan, spec)
+        mismatches = []
+        if reference.fingerprint != result.fingerprint:
+            mismatches.append(
+                f"fingerprint {result.fingerprint:#018x} != offline "
+                f"{reference.fingerprint:#018x}"
+            )
+        offline_blocked = (
+            dict(reference.router.blocklist._blocked)
+            if reference.router.blocklist is not None else None
+        )
+        if (result.blocked or None) != (offline_blocked or None):
+            mismatches.append("merged blocklist differs from offline replay")
+        if mismatches:
+            for mismatch in mismatches:
+                print(f"OFFLINE MISMATCH: {mismatch}", file=sys.stderr)
+            return 1
+        print("offline verification: fingerprint and blocklist identical")
+    return 0
+
+
+def _read_fleet_manifest(workdir: str) -> dict:
+    import json
+    import os
+
+    from repro.fleet.supervisor import MANIFEST_NAME
+
+    path = os.path.join(workdir, MANIFEST_NAME)
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except FileNotFoundError:
+        raise SystemExit(f"no fleet manifest at {path} "
+                         f"(is this a fleet --workdir?)")
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"cannot read fleet manifest {path}: {error}")
+
+
+def cmd_fleet_status(args) -> int:
+    """Per-shard liveness of a running fleet, via its manifest."""
+    from repro.service import ControlClient, ControlError
+
+    manifest = _read_fleet_manifest(args.workdir)
+    plan = manifest.get("plan", {})
+    print(f"fleet of {len(manifest['shards'])} shards "
+          f"({plan.get('keying', '?')} keying)")
+    exit_code = 0
+    for shard in manifest["shards"]:
+        try:
+            with ControlClient(shard["control"], timeout=5.0) as client:
+                health = client.health()
+            status = (f"{health.get('status', 'unknown'):<9} "
+                      f"chunks={health.get('chunks_done', 0)} "
+                      f"queue={health.get('queue_depth', 0)}")
+        except (ControlError, OSError) as error:
+            status = f"unreachable ({error})"
+            exit_code = 1
+        print(f"  shard {shard['lane']} {shard['label']:<18} "
+              f"pid={shard.get('pid')} restarts={shard.get('restarts', 0)} "
+              f"{status}")
+    return exit_code
+
+
+def cmd_fleet_ctl(args) -> int:
+    """Fan one control command out to every shard of a running fleet."""
+    import json
+
+    from repro.service import ControlClient, ControlError
+
+    params = {}
+    if args.command == "config":
+        if args.low_mbps is not None:
+            params["low_mbps"] = args.low_mbps
+        if args.high_mbps is not None:
+            params["high_mbps"] = args.high_mbps
+        if args.probability is not None:
+            params["probability"] = args.probability
+        if args.rotate is not None:
+            params["rotate_interval"] = args.rotate
+        if not params:
+            print("config needs at least one of --low-mbps/--high-mbps/"
+                  "--probability/--rotate", file=sys.stderr)
+            return 2
+
+    manifest = _read_fleet_manifest(args.workdir)
+    responses = {}
+    exit_code = 0
+    for shard in manifest["shards"]:
+        try:
+            with ControlClient(shard["control"], timeout=30.0) as client:
+                responses[shard["label"]] = client.request(
+                    args.command, **params
+                )
+        except (ControlError, OSError) as error:
+            responses[shard["label"]] = {"ok": False, "error": str(error)}
+            exit_code = 1
+    print(json.dumps(responses, indent=2))
+    return exit_code
 
 
 def cmd_ctl(args) -> int:

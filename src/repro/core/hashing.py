@@ -14,7 +14,10 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Iterable, List, Sequence, Tuple
 
-_FNV_OFFSET = 0xCBF29CE484222325
+#: 64-bit FNV-1a offset basis — also the seed (and hence the empty value)
+#: of the replay layer's running verdict fingerprint.
+FNV64_OFFSET = 0xCBF29CE484222325
+_FNV_OFFSET = FNV64_OFFSET
 _FNV_PRIME = 0x100000001B3
 _MASK64 = 0xFFFFFFFFFFFFFFFF
 

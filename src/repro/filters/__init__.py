@@ -50,6 +50,12 @@ def restore_filter(snapshot: dict, clock: str = "resume") -> PacketFilter:
     kind = snapshot.get("kind")
     if kind is None:
         return BitmapPacketFilter.restore(snapshot, clock=clock)
+    if kind == "sharded":
+        # Imported on demand: the sharded filter sits on top of the
+        # repro.shard plan layer, which this package init stays below.
+        from repro.filters.sharded import ShardedFilter
+
+        return ShardedFilter.restore(snapshot, clock=clock)
     filter_cls = _SNAPSHOT_KINDS.get(kind)
     if filter_cls is None:
         raise ValueError(f"unknown filter snapshot kind {kind!r}")

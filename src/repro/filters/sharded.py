@@ -12,9 +12,13 @@ Sharding buys:
   neighbours' vectors;
 * parallelism — shards touch disjoint memory.
 
-A packet routes to the shard owning its *inner* address: the source for
-outbound packets, the destination for inbound ones.  Packets matching no
-shard (transit traffic) follow ``default_verdict``.
+Which lane owns a packet is a :class:`~repro.shard.plan.ShardPlan`
+question — the same keying layer the parallel backend and the fleet
+supervisor partition with.  The classic constructor builds an ordered
+:class:`~repro.shard.plan.SubnetShardPlan` from ``(network, prefix,
+filter)`` triples; :meth:`ShardedFilter.from_plan` accepts any plan
+(e.g. a consistent-hash ring) with one member filter per lane.  Packets
+matching no lane (transit traffic) follow ``default_verdict``.
 """
 
 from __future__ import annotations
@@ -22,17 +26,17 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.filters.base import PacketFilter, Verdict
-from repro.net.inet import in_network
-from repro.net.packet import Direction, Packet
+from repro.net.packet import Packet
+from repro.shard.plan import ShardPlan, SubnetShardPlan, plan_from_spec
 
 
 class ShardedFilter(PacketFilter):
-    """Route packets to per-client-network member filters."""
+    """Route packets to per-lane member filters under a shard plan."""
 
     name = "sharded"
 
     #: Shard-routing cache bound: distinct inner addresses resident at once.
-    ROUTE_CACHE_SIZE = 1 << 16
+    ROUTE_CACHE_SIZE = SubnetShardPlan.ROUTE_CACHE_SIZE
 
     def __init__(
         self,
@@ -48,124 +52,92 @@ class ShardedFilter(PacketFilter):
         super().__init__()
         if not shards:
             raise ValueError("need at least one shard")
-        for network, prefix_len, _ in shards:
-            if not 0 <= prefix_len <= 32:
-                raise ValueError(f"bad prefix length {prefix_len}")
-            if not 0 <= network < 2 ** 32:
-                raise ValueError(f"bad network {network}")
-        if route_cache_size <= 0:
-            raise ValueError(f"route_cache_size must be positive: {route_cache_size}")
-        self.shards = shards
+        plan = SubnetShardPlan(
+            [(network, prefix_len) for network, prefix_len, _ in shards],
+            route_cache_size=route_cache_size,
+        )
+        self._bind_plan(plan, [member for _, _, member in shards], default_verdict)
+
+    def _bind_plan(
+        self, plan: ShardPlan, members: List[PacketFilter], default_verdict: Verdict
+    ) -> None:
+        if len(members) != plan.lanes:
+            raise ValueError(
+                f"plan has {plan.lanes} lanes but {len(members)} members given"
+            )
+        self.plan = plan
+        self.members = members
         self.default_verdict = default_verdict
         self.unrouted_packets = 0
-        # Inner-address → shard-index cache (-1 = no shard).  The prefix
-        # scan is O(shards) and sits on the per-packet hot path; client
-        # traffic revisits a bounded host population, so a small FIFO
-        # cache turns routing into one dict hit.  First-match semantics
-        # are preserved because the scan order is what populates it.
-        self._route_cache_size = route_cache_size
-        self._route_cache: Dict[int, int] = {}
 
-    @staticmethod
-    def inner_address(packet: Packet) -> int:
-        """The client-side address that decides shard ownership: the
-        source of an outbound packet, the destination of an inbound one."""
-        return (
-            packet.pair.src_addr
-            if packet.direction is Direction.OUTBOUND
-            else packet.pair.dst_addr
-        )
+    @classmethod
+    def from_plan(
+        cls,
+        plan: ShardPlan,
+        members: List[PacketFilter],
+        default_verdict: Verdict = Verdict.PASS,
+    ) -> "ShardedFilter":
+        """Build a sharded filter over any plan, one member per lane."""
+        filt = cls.__new__(cls)
+        PacketFilter.__init__(filt)
+        filt._bind_plan(plan, list(members), default_verdict)
+        return filt
+
+    # -- routing (delegated to the plan) --------------------------------
+
+    #: The client-side address that decides shard ownership.
+    inner_address = staticmethod(ShardPlan.inner_address)
+
+    @property
+    def shards(self) -> List[Tuple[Optional[int], Optional[int], PacketFilter]]:
+        """``(network, prefix_len, filter)`` triples view.  Plans without
+        subnet keys (hash rings) carry ``None`` in the address slots."""
+        subnets = getattr(self.plan, "subnets", None)
+        if subnets is None:
+            return [(None, None, member) for member in self.members]
+        return [
+            (network, prefix_len, member)
+            for (network, prefix_len), member in zip(subnets, self.members)
+        ]
+
+    @property
+    def _route_cache(self) -> Dict[int, int]:
+        return getattr(self.plan, "_route_cache", {})
 
     def _scan_shard_index(self, inner: int) -> int:
-        """Uncached first-match scan of the shard table (-1 = unrouted)."""
-        for position, (network, prefix_len, _) in enumerate(self.shards):
-            if in_network(inner, network, prefix_len):
-                return position
-        return -1
+        """Uncached lane resolution (-1 = unrouted)."""
+        scan = getattr(self.plan, "scan", None)
+        return scan(inner) if scan is not None else self.plan.lane_of(inner)
 
     def shard_index_for(self, inner: int) -> int:
         """Index of the shard owning an inner address, or -1 for transit
-        traffic — memoized through the bounded route cache."""
-        cache = self._route_cache
-        position = cache.get(inner)
-        if position is None:
-            position = self._scan_shard_index(inner)
-            if len(cache) >= self._route_cache_size:
-                # FIFO eviction: drop the oldest insertion, stay bounded.
-                del cache[next(iter(cache))]
-            cache[inner] = position
-        return position
+        traffic — memoized through the plan's bounded route cache."""
+        return self.plan.lane_of(inner)
 
     def _shard_for(self, packet: Packet) -> Optional[PacketFilter]:
-        position = self.shard_index_for(self.inner_address(packet))
+        position = self.plan.lane_of(self.inner_address(packet))
         if position < 0:
             return None
-        return self.shards[position][2]
+        return self.members[position]
 
     def shard_label(self, position: int) -> str:
-        """Human-readable ``network/prefix`` key of one shard."""
-        from repro.net.inet import format_ipv4
-
-        network, prefix_len, _ = self.shards[position]
-        return f"{format_ipv4(network)}/{prefix_len}"
+        """Human-readable key of one shard (``network/prefix`` for subnet
+        plans)."""
+        return self.plan.label(position)
 
     def partition_packets(
         self, packets: Iterable[Packet]
     ) -> Tuple[List[List[Packet]], List[Packet]]:
         """Split a packet stream into per-shard sub-streams plus a default
-        lane of transit packets matching no shard.
-
-        Each sub-stream preserves the input's relative order, and a
-        connection's packets all share one inner address, so every
-        connection lands wholly inside one lane — the property that makes
-        per-lane replay equivalent to interleaved replay.
-        """
-        lanes: List[List[Packet]] = [[] for _ in self.shards]
-        default_lane: List[Packet] = []
-        shard_index_for = self.shard_index_for
-        inner_address = self.inner_address
-        for packet in packets:
-            position = shard_index_for(inner_address(packet))
-            if position < 0:
-                default_lane.append(packet)
-            else:
-                lanes[position].append(packet)
-        return lanes, default_lane
+        lane of transit packets (:meth:`ShardPlan.partition_packets`)."""
+        return self.plan.partition_packets(packets)
 
     def partition_table(self, table):
-        """Columnar twin of :meth:`partition_packets`.
+        """Columnar twin of :meth:`partition_packets`
+        (:meth:`ShardPlan.partition_table`)."""
+        return self.plan.partition_table(table)
 
-        Routes by interned flow instead of per packet: the owning shard
-        of each ``(pair_id, direction)`` is resolved once against the
-        table's pools, rows are grouped with
-        :meth:`~repro.net.table.PacketTable.lane_positions` and gathered
-        into pool-sharing sub-tables with
-        :meth:`~repro.net.table.PacketTable.select`.  Returns
-        ``(lane_tables, default_table)`` with every lane preserving row
-        order — the same split :meth:`partition_packets` produces on
-        ``table.to_packets()``.
-        """
-        pairs = table.pairs
-        shard_index_for = self.shard_index_for
-        out_lane: Dict[int, int] = {}
-        in_lane: Dict[int, int] = {}
-        lane_by_row: List[int] = []
-        append = lane_by_row.append
-        for pid, is_out in zip(table.pair_ids, table.outbound):
-            if is_out:
-                lane = out_lane.get(pid)
-                if lane is None:
-                    lane = out_lane[pid] = shard_index_for(pairs[pid].src_addr)
-            else:
-                lane = in_lane.get(pid)
-                if lane is None:
-                    lane = in_lane[pid] = shard_index_for(pairs[pid].dst_addr)
-            append(lane)
-        groups = table.lane_positions(lane_by_row, len(self.shards))
-        return (
-            [table.select(group) for group in groups[:-1]],
-            table.select(groups[-1]),
-        )
+    # -- verdicts --------------------------------------------------------
 
     def decide(self, packet: Packet) -> Verdict:
         shard = self._shard_for(packet)
@@ -188,17 +160,17 @@ class ShardedFilter(PacketFilter):
         packet_list = packets if isinstance(packets, list) else list(packets)
         verdicts: List[Optional[Verdict]] = [None] * len(packet_list)
         lanes: Dict[int, List[int]] = {}
-        shard_index_for = self.shard_index_for
+        lane_of = self.plan.lane_of
         inner_address = self.inner_address
         for position, packet in enumerate(packet_list):
-            shard_position = shard_index_for(inner_address(packet))
+            shard_position = lane_of(inner_address(packet))
             if shard_position < 0:
                 self.unrouted_packets += 1
                 verdicts[position] = self.default_verdict
             else:
                 lanes.setdefault(shard_position, []).append(position)
         for shard_position, positions in lanes.items():
-            shard = self.shards[shard_position][2]
+            shard = self.members[shard_position]
             shard_verdicts = shard.process_batch(
                 [packet_list[position] for position in positions]
             )
@@ -209,21 +181,50 @@ class ShardedFilter(PacketFilter):
             account(packet, verdict)
         return verdicts
 
-    def shard_stats(self) -> Dict[str, dict]:
-        """Per-shard pass/drop accounting, keyed by network/prefix."""
-        from repro.net.inet import format_ipv4
+    # -- housekeeping ----------------------------------------------------
 
+    def shard_stats(self) -> Dict[str, dict]:
+        """Per-shard pass/drop accounting, keyed by the plan's labels."""
         return {
-            f"{format_ipv4(network)}/{prefix_len}": shard.stats.as_dict()
-            for network, prefix_len, shard in self.shards
+            self.plan.label(position): member.stats.as_dict()
+            for position, member in enumerate(self.members)
         }
+
+    def snapshot(self) -> dict:
+        """Full state: the plan spec plus every member's snapshot — the
+        document the fleet's offline-verify path rebuilds from."""
+        return {
+            "kind": self.name,
+            "plan": self.plan.as_spec(),
+            "default_verdict": self.default_verdict.name,
+            "unrouted_packets": self.unrouted_packets,
+            "stats": self.stats.snapshot(),
+            "members": [member.snapshot() for member in self.members],
+        }
+
+    @classmethod
+    def restore(cls, snapshot: dict, clock: str = "resume") -> "ShardedFilter":
+        from repro.filters import restore_filter
+        from repro.filters.base import FilterStats
+
+        filt = cls.from_plan(
+            plan_from_spec(snapshot["plan"]),
+            [restore_filter(member, clock=clock)
+             for member in snapshot["members"]],
+            default_verdict=Verdict[snapshot["default_verdict"]],
+        )
+        filt.unrouted_packets = snapshot["unrouted_packets"]
+        filt.stats = FilterStats.restore(snapshot["stats"])
+        return filt
 
     def reset(self) -> None:
         super().reset()
         self.unrouted_packets = 0
-        self._route_cache = {}
-        for _, _, shard in self.shards:
-            shard.reset()
+        reset_cache = getattr(self.plan, "reset_cache", None)
+        if reset_cache is not None:
+            reset_cache()
+        for member in self.members:
+            member.reset()
 
     def __len__(self) -> int:
-        return len(self.shards)
+        return self.plan.lanes

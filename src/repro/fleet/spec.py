@@ -1,0 +1,88 @@
+"""The shard filter specification a fleet deploys.
+
+A fleet's daemons build their filters from CLI arguments (each shard is
+a ``repro serve`` subprocess), while the offline reference builds the
+same filters in-process.  :class:`ShardFilterSpec` is the single source
+for both sides: :meth:`serve_args` renders the daemon's argv tail and
+:meth:`build_filter` constructs the equivalent
+:class:`~repro.filters.bitmap.BitmapPacketFilter` — the two must stay
+mirror images of ``repro.cli._build_serve_filter``, which is what makes
+the fleet-vs-offline fingerprint comparison meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.bitmap_filter import BitmapFilterConfig, FieldMode
+
+
+@dataclass
+class ShardFilterSpec:
+    """One shard's filter configuration (every shard gets a copy)."""
+
+    size_bits: int = 20
+    vectors: int = 4
+    hashes: int = 3
+    rotate_interval: float = 5.0
+    hole_punching: bool = False
+    low_mbps: Optional[float] = None
+    high_mbps: Optional[float] = None
+    use_blocklist: bool = True
+
+    def serve_args(self) -> List[str]:
+        """The ``repro serve`` argv tail that builds this filter."""
+        args = [
+            "--size-bits", str(self.size_bits),
+            "--vectors", str(self.vectors),
+            "--hashes", str(self.hashes),
+            "--rotate", str(self.rotate_interval),
+        ]
+        if self.hole_punching:
+            args.append("--hole-punching")
+        if self.low_mbps is not None and self.high_mbps is not None:
+            args += ["--low-mbps", str(self.low_mbps),
+                     "--high-mbps", str(self.high_mbps)]
+        if not self.use_blocklist:
+            args.append("--no-blocklist")
+        return args
+
+    def build_filter(self):
+        """The in-process equivalent of the daemon's filter (same config,
+        same deterministic RNG seed, same drop controller)."""
+        from repro.filters.bitmap import BitmapPacketFilter
+        from repro.filters.policy import DropController
+
+        if self.low_mbps is not None and self.high_mbps is not None:
+            controller = DropController.red_mbps(
+                low_mbps=self.low_mbps, high_mbps=self.high_mbps
+            )
+        else:
+            controller = DropController.always_drop()
+        config = BitmapFilterConfig(
+            size=2 ** self.size_bits,
+            vectors=self.vectors,
+            hashes=self.hashes,
+            rotate_interval=self.rotate_interval,
+            field_mode=(FieldMode.HOLE_PUNCHING if self.hole_punching
+                        else FieldMode.STRICT),
+        )
+        return BitmapPacketFilter(config, drop_controller=controller)
+
+    def as_spec(self) -> dict:
+        """JSON-safe form for the fleet manifest."""
+        return {
+            "size_bits": self.size_bits,
+            "vectors": self.vectors,
+            "hashes": self.hashes,
+            "rotate_interval": self.rotate_interval,
+            "hole_punching": self.hole_punching,
+            "low_mbps": self.low_mbps,
+            "high_mbps": self.high_mbps,
+            "use_blocklist": self.use_blocklist,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "ShardFilterSpec":
+        return cls(**spec)

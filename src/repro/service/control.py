@@ -25,6 +25,7 @@ from __future__ import annotations
 import asyncio
 import json
 import socket as socket_module
+import time
 from typing import Any, Optional, Tuple
 
 from repro.service.service import FilterService, ServiceError
@@ -175,28 +176,93 @@ class ControlError(RuntimeError):
     """The control server rejected a request or closed unexpectedly."""
 
 
-class ControlClient:
-    """Synchronous control-socket client (``repro ctl``, tests, scripts)."""
+#: Sentinel for "no per-request override": ``None`` must stay usable as
+#: an explicit "block forever".
+_DEFAULT_TIMEOUT = object()
 
-    def __init__(self, spec: str, timeout: Optional[float] = 30.0) -> None:
+
+class ControlClient:
+    """Synchronous control-socket client (``repro ctl``, tests, scripts).
+
+    ``timeout`` bounds each request/response round trip; a per-request
+    override (``request(..., timeout=...)``) serves calls with known
+    longer deadlines — a ``drain`` flushing a deep queue — without
+    loosening every other call.
+
+    ``connect_retry`` is the connect patience budget in seconds: while it
+    lasts, refused or not-yet-bound sockets are retried with bounded
+    exponential backoff (50ms doubling to 1s), which is how a supervisor
+    polls shard daemons that are still booting without racing the socket
+    bind.  The default (``None``) keeps the historical single-attempt
+    behavior and raises the OS error as-is.
+    """
+
+    #: First retry sleep; doubles per attempt up to the cap below.
+    RETRY_INITIAL = 0.05
+    RETRY_MAX = 1.0
+
+    def __init__(
+        self,
+        spec: str,
+        timeout: Optional[float] = 30.0,
+        *,
+        connect_retry: Optional[float] = None,
+    ) -> None:
         kind, address = parse_control_address(spec)
-        if kind == "unix":
-            self._socket = socket_module.socket(socket_module.AF_UNIX)
-            self._socket.settimeout(timeout)
-            self._socket.connect(address)
-        else:
-            self._socket = socket_module.create_connection(
-                address, timeout=timeout
-            )
+        self._timeout = timeout
+        deadline = (
+            None if connect_retry is None
+            else time.monotonic() + connect_retry
+        )
+        delay = self.RETRY_INITIAL
+        while True:
+            try:
+                self._socket = self._connect(kind, address, timeout)
+                break
+            except (ConnectionError, FileNotFoundError, OSError) as error:
+                if deadline is None:
+                    raise
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ControlError(
+                        f"control socket {spec} not reachable after "
+                        f"{connect_retry:.1f}s: {error}"
+                    ) from error
+                time.sleep(min(delay, remaining))
+                delay = min(delay * 2, self.RETRY_MAX)
         self._stream = self._socket.makefile("rwb")
 
-    def request(self, cmd: str, **params: Any) -> dict:
+    @staticmethod
+    def _connect(kind: str, address, timeout: Optional[float]):
+        if kind == "unix":
+            sock = socket_module.socket(socket_module.AF_UNIX)
+            sock.settimeout(timeout)
+            try:
+                sock.connect(address)
+            except BaseException:
+                sock.close()
+                raise
+            return sock
+        return socket_module.create_connection(address, timeout=timeout)
+
+    def request(
+        self, cmd: str, timeout: Any = _DEFAULT_TIMEOUT, **params: Any
+    ) -> dict:
         """Send one command, wait for its response; raises
-        :class:`ControlError` on a ``{"ok": false}`` reply."""
+        :class:`ControlError` on a ``{"ok": false}`` reply.  ``timeout``
+        overrides the client default for this round trip only (``None``
+        = wait indefinitely)."""
         message = {"cmd": cmd, **params}
-        self._stream.write(json.dumps(message).encode("utf-8") + b"\n")
-        self._stream.flush()
-        line = self._stream.readline()
+        override = timeout is not _DEFAULT_TIMEOUT
+        if override:
+            self._socket.settimeout(timeout)
+        try:
+            self._stream.write(json.dumps(message).encode("utf-8") + b"\n")
+            self._stream.flush()
+            line = self._stream.readline()
+        finally:
+            if override:
+                self._socket.settimeout(self._timeout)
         if not line:
             raise ControlError(f"control server closed during {cmd!r}")
         response = json.loads(line)
@@ -216,11 +282,11 @@ class ControlClient:
     def snapshot(self) -> str:
         return self.request("snapshot")["path"]
 
-    def drain(self) -> dict:
-        return self.request("drain")["summary"]
+    def drain(self, timeout: Any = _DEFAULT_TIMEOUT) -> dict:
+        return self.request("drain", timeout=timeout)["summary"]
 
-    def shutdown(self) -> dict:
-        return self.request("shutdown")["summary"]
+    def shutdown(self, timeout: Any = _DEFAULT_TIMEOUT) -> dict:
+        return self.request("shutdown", timeout=timeout)["summary"]
 
     def close(self) -> None:
         self._stream.close()

@@ -34,6 +34,7 @@ from __future__ import annotations
 import asyncio
 import functools
 import os
+import signal
 import time
 from typing import Any, Optional, Tuple
 
@@ -41,6 +42,7 @@ from repro.core.dropper import RedDropPolicy, StaticDropPolicy
 from repro.filters import restore_filter
 from repro.filters.base import PacketFilter
 from repro.net.table import PacketTable
+from repro.shard.lifecycle import pipeline_counters, restore_pipeline
 from repro.sim.pipeline import (
     BatchedBackend,
     ExecutionBackend,
@@ -77,6 +79,7 @@ class FilterService:
         snapshot_dir: Optional[str] = None,
         snapshot_interval: Optional[float] = None,
         control: Optional[str] = None,
+        handle_signals: bool = False,
     ) -> None:
         if speed is not None and speed <= 0:
             raise ValueError(f"speed must be positive: {speed}")
@@ -96,6 +99,10 @@ class FilterService:
         self.snapshot_dir = snapshot_dir
         self.snapshot_interval = snapshot_interval
         self.control_address = control
+        #: Install SIGTERM/SIGINT handlers while running: the first
+        #: signal drains gracefully (and schedules a final snapshot when
+        #: a snapshot_dir is configured), a second one force-discards.
+        self.handle_signals = handle_signals
         # The stepper is built eagerly so restore() can rehydrate its
         # pipeline before the loop starts.
         self.stepper = self.backend.stepper(PipelineConfig(
@@ -121,6 +128,8 @@ class FilterService:
         self._control_server = None
         self._pace_trace0: Optional[float] = None
         self._pace_wall0: Optional[float] = None
+        self._signal_seen = False
+        self._final_snapshot = False
 
     # -- warm restart ---------------------------------------------------
 
@@ -152,14 +161,7 @@ class FilterService:
         use_blocklist = document["router"]["blocklist"] is not None
         kwargs.setdefault("use_blocklist", use_blocklist)
         service = cls(source, packet_filter, backend, **kwargs)
-        pipeline = service.stepper.pipeline
-        pipeline.router.restore_state(document["router"])
-        counters = document["pipeline"]
-        pipeline.inbound = counters["inbound"]
-        pipeline.dropped = counters["dropped"]
-        pipeline.first_ts = counters["first_ts"]
-        pipeline.last_ts = counters["last_ts"]
-        pipeline.fingerprint = counters["fingerprint"]
+        restore_pipeline(service.stepper.pipeline, document)
         service.chunks_done = document["chunks_done"]
         service.snapshot_sequence = document.get("sequence", 0)
         source.skip(document["chunks_done"])
@@ -193,6 +195,18 @@ class FilterService:
             self._control_server = await start_control_server(
                 self, self.control_address
             )
+        signals_installed = []
+        if self.handle_signals:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    self._loop.add_signal_handler(
+                        signum, self._handle_signal, signum
+                    )
+                    signals_installed.append(signum)
+                except (NotImplementedError, RuntimeError):
+                    # Platforms without loop signal support (or non-main
+                    # threads) just run unsupervised.
+                    break
         ingest = asyncio.create_task(self._ingest())
         snapshotter = (
             asyncio.create_task(self._snapshot_loop())
@@ -202,6 +216,8 @@ class FilterService:
         try:
             await self._filter_loop()
         finally:
+            for signum in signals_installed:
+                self._loop.remove_signal_handler(signum)
             self._stopping = True
             self.source.close()
             ingest.cancel()
@@ -252,6 +268,28 @@ class FilterService:
     async def shutdown(self) -> dict:
         """Stop ingesting, discard the queue, finalize."""
         return await self._submit("shutdown")
+
+    # -- signal supervision ---------------------------------------------
+
+    def _handle_signal(self, signum: int) -> None:
+        """SIGTERM/SIGINT policy: first signal drains gracefully (process
+        the queued backlog, then finalize and — with a snapshot_dir — write
+        one last snapshot, so a supervisor can restart from it); a second
+        signal discards the backlog and shuts down now."""
+        if not self._signal_seen:
+            self._signal_seen = True
+            if self.snapshot_dir is not None:
+                self._final_snapshot = True
+            self._loop.create_task(self._signal_stop(self.drain))
+        else:
+            self._discard_remaining = True
+            self._loop.create_task(self._signal_stop(self.shutdown))
+
+    async def _signal_stop(self, action) -> None:
+        try:
+            await action()
+        except ServiceError:
+            pass  # already draining or finished; nothing to stop
 
     # -- internal tasks -------------------------------------------------
 
@@ -360,6 +398,15 @@ class FilterService:
                 if task is not None:
                     task.cancel()
             self.result = self.stepper.finish()
+            if self._final_snapshot:
+                # Signal-initiated stop: persist the drained end state so
+                # a supervisor restart resumes exactly here.  Post-finalize
+                # timing is deliberate — the filter is quiescent and the
+                # blocklist already compacted.
+                try:
+                    self.write_snapshot()
+                except Exception:
+                    pass  # dying is no reason to lose the drain result
             self.state = "finished"
             summary = self._summary()
             for future in finalizers:
@@ -470,13 +517,7 @@ class FilterService:
         payload = {
             "sequence": self.snapshot_sequence,
             "chunks_done": self.chunks_done,
-            "pipeline": {
-                "inbound": pipeline.inbound,
-                "dropped": pipeline.dropped,
-                "first_ts": pipeline.first_ts,
-                "last_ts": pipeline.last_ts,
-                "fingerprint": pipeline.fingerprint,
-            },
+            "pipeline": pipeline_counters(pipeline),
             "filter": self.filter.snapshot(),
             "router": pipeline.router.snapshot(),
             "source": self.source.describe(),

@@ -226,13 +226,17 @@ class SocketSource(PacketSource):
             self._connection = None
 
     def close(self) -> None:
-        if self._connection is not None:
+        # Snapshot the attribute: the iterator's finally (in the ingest
+        # thread) nulls it when the shutdown below wakes its read, and
+        # re-reading here would race that write.  Double-close of the
+        # socket object itself is harmless.
+        connection, self._connection = self._connection, None
+        if connection is not None:
             try:
-                self._connection.shutdown(socket_module.SHUT_RDWR)
+                connection.shutdown(socket_module.SHUT_RDWR)
             except OSError:
                 pass
-            self._connection.close()
-            self._connection = None
+            connection.close()
         self.listener.close()
         if self._unix_path is not None:
             try:

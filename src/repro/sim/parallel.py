@@ -7,17 +7,23 @@ one inner address, and the blocked-σ store is keyed per connection.  A
 sharded replay therefore decomposes exactly:
 
 1. **Partition** the timestamp-ordered stream into per-shard sub-streams
-   (:meth:`ShardedFilter.partition_packets`); transit packets matching no
-   shard go to a *default lane* that applies ``default_verdict``.
+   (the filter's :class:`~repro.shard.plan.ShardPlan`); transit packets
+   matching no shard go to a *default lane* that applies
+   ``default_verdict``.
 2. **Replay each lane in its own worker process**, each driving the
    lane filter's fused kernel (:mod:`repro.sim.kernels` — any registered
-   filter type, not just bitmap) over its sub-stream.
-   Every lane's filter carries its own RNG (seeded deterministically at
+   filter type, not just bitmap) over its sub-stream.  Lane processes
+   live under a :class:`~repro.shard.lifecycle.WorkerPool`; the serial
+   (``workers=1``) path isolates each lane through a
+   :class:`~repro.shard.lifecycle.MemberLane` instead.  Every lane's
+   filter carries its own RNG (seeded deterministically at
    construction), so verdicts are independent of worker scheduling.
-3. **Merge** the picklable per-lane records back into one aggregate:
-   throughput-series bins and drop-rate windows are keyed by absolute
-   trace time and counters are pure sums, so the merged result is
-   bit-identical to a single-process replay of the interleaved stream.
+3. **Merge** the picklable per-lane records back into one aggregate
+   (:func:`~repro.shard.lifecycle.fold_lane_record` plus the metrics
+   ``merge()`` layer): throughput-series bins and drop-rate windows are
+   keyed by absolute trace time and counters are pure sums, so the
+   merged result is bit-identical to a single-process replay of the
+   interleaved stream.
 
 The per-lane unit of work is one shard, so parallelism is capped by the
 shard count; ``workers`` caps the number of simultaneous processes.
@@ -25,35 +31,30 @@ shard count; ``workers`` caps the number of simultaneous processes.
 
 from __future__ import annotations
 
-import copy
-import multiprocessing
 import os
-import signal
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.bitmap_filter import BitmapFilterStats
-from repro.filters.base import FilterStats, PacketFilter, Verdict
+from repro.filters.base import FilterStats
 from repro.filters.sharded import ShardedFilter
-from repro.net.packet import Packet, SocketPair
+from repro.net.packet import SocketPair
 from repro.net.table import PacketTable, as_table
+from repro.shard.lifecycle import (
+    DefaultLaneFilter,
+    MemberLane,
+    WorkerPool,
+    combine_lane_fingerprints,
+    fold_lane_record,
+)
 from repro.sim.metrics import DropRateSampler, ThroughputSeries
 from repro.sim.pipeline import PipelineConfig, ReplayPipeline, ReplayResult
 
-
-class DefaultLaneFilter(PacketFilter):
-    """The default lane's stand-in filter: transit packets matching no
-    shard get the sharded filter's ``default_verdict``, exactly as
-    :meth:`ShardedFilter.decide` would hand them."""
-
-    name = "default-lane"
-
-    def __init__(self, verdict: Verdict) -> None:
-        super().__init__()
-        self.verdict = verdict
-
-    def decide(self, packet: Packet) -> Verdict:
-        return self.verdict
+__all__ = [
+    "DefaultLaneFilter",
+    "LaneResult",
+    "ParallelReplayResult",
+    "parallel_replay",
+]
 
 
 @dataclass
@@ -63,6 +64,9 @@ class LaneResult:
     Everything here is plain picklable data: counter dataclasses, series
     objects backed by ``dict``s, and (optionally) the lane's blocked-σ
     table.  ``lane`` is the shard index, or -1 for the default lane.
+    ``fingerprint`` is the lane's own FNV-1a verdict fingerprint when
+    the replay recorded one — the per-lane quantity
+    :func:`~repro.shard.lifecycle.combine_lane_fingerprints` aggregates.
     """
 
     lane: int
@@ -77,6 +81,7 @@ class LaneResult:
     blocked: Optional[Dict[SocketPair, float]]
     suppressed_packets: int
     suppressed_bytes: int
+    fingerprint: Optional[int] = None
 
 
 #: A parallel replay returns the same unified :class:`ReplayResult` as
@@ -105,7 +110,7 @@ def _replay_lane(task) -> LaneResult:
     from repro.sim.shm import ShmLane, attach_lane
 
     (lane, lane_filter, packets, use_blocklist, throughput_interval,
-     drop_window, batched) = task
+     drop_window, batched, record_fingerprint) = task
     attachment = None
     if isinstance(packets, ShmLane):
         attachment = attach_lane(packets)
@@ -118,6 +123,7 @@ def _replay_lane(task) -> LaneResult:
             throughput_interval=throughput_interval,
             drop_window=drop_window,
             batched=batched,
+            record_fingerprint=record_fingerprint,
         )
     finally:
         if attachment is not None:
@@ -138,6 +144,7 @@ def _replay_lane(task) -> LaneResult:
         blocked=dict(blocklist._blocked) if blocklist is not None else None,
         suppressed_packets=blocklist.suppressed_packets if blocklist else 0,
         suppressed_bytes=blocklist.suppressed_bytes if blocklist else 0,
+        fingerprint=result.fingerprint,
     )
 
 
@@ -150,8 +157,8 @@ def _check_rng_isolation(sharded: ShardedFilter) -> None:
     every ``BitmapPacketFilter`` seeds its own) are required.
     """
     seen: Dict[int, str] = {}
-    for position, (_, _, shard) in enumerate(sharded.shards):
-        holder = getattr(shard, "core", shard)
+    for position, member in enumerate(sharded.members):
+        holder = getattr(member, "core", member)
         rng = getattr(holder, "_rng", None)
         if rng is None:
             continue
@@ -165,47 +172,6 @@ def _check_rng_isolation(sharded: ShardedFilter) -> None:
         seen[id(rng)] = label
 
 
-def _pool_context():
-    """Prefer fork (cheap, inherits read-only state); fall back to spawn."""
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-
-
-def _init_worker() -> None:
-    """Pool workers ignore SIGINT.
-
-    A terminal Ctrl-C delivers SIGINT to the whole foreground process
-    group — parent *and* workers.  If workers die on their own, the
-    parent's interrupt handling races a pile of broken-pipe errors from
-    mid-pickle corpses; with SIGINT masked in the workers, the parent is
-    the single owner of the interrupt and tears the pool down in order
-    (terminate, join, re-raise).
-    """
-    signal.signal(signal.SIGINT, signal.SIG_IGN)
-
-
-def _run_pool(tasks: List[Tuple], workers: int) -> List[LaneResult]:
-    """Map lanes over a worker pool, guaranteeing no orphaned children.
-
-    Any exception while waiting — a worker crash, or SIGINT landing in
-    the parent — terminates and joins every worker before re-raising, so
-    an interrupted replay never leaks processes.  The normal path also
-    joins before returning: results in hand, workers reaped.
-    """
-    pool = _pool_context().Pool(
-        processes=min(workers, len(tasks)), initializer=_init_worker
-    )
-    try:
-        records = pool.map(_replay_lane, tasks)
-    except BaseException:
-        pool.terminate()
-        pool.join()
-        raise
-    pool.close()
-    pool.join()
-    return records
-
-
 def parallel_replay(
     packets,
     packet_filter: ShardedFilter,
@@ -215,6 +181,7 @@ def parallel_replay(
     drop_window: float = 10.0,
     batched: bool = True,
     transport: str = "auto",
+    record_fingerprint: bool = False,
 ) -> ParallelReplayResult:
     """Replay a packet stream through a sharded filter, one worker per lane.
 
@@ -243,6 +210,15 @@ def parallel_replay(
     ``"auto"`` (the default) uses shared memory whenever the dispatch is
     multiprocess, the input columnar and the platform capable.  Verdicts
     and merged statistics are identical across transports.
+
+    ``record_fingerprint`` records each lane's own FNV-1a verdict
+    fingerprint (``result.lanes[i].fingerprint``) and sets
+    ``result.fingerprint`` to their lane-keyed, order-independent
+    combination (:func:`~repro.shard.lifecycle.combine_lane_fingerprints`).
+    This is **not** the interleaved-stream fingerprint an in-process
+    replay records — it is the shard-decomposed invariant a fleet of
+    independent daemons can reproduce, and the offline reference the
+    fleet smoke verifies against.
     """
     from repro.sim.shm import HAVE_SHARED_MEMORY, SharedTableArena
 
@@ -295,7 +271,7 @@ def parallel_replay(
         if not len(lane_packets):
             continue
         lane_work.append(
-            (position, packet_filter.shards[position][2], lane_packets)
+            (position, packet_filter.members[position], lane_packets)
         )
     if len(default_lane):
         lane_work.append(
@@ -327,25 +303,31 @@ def parallel_replay(
     for (lane, lane_filter, _), payload in zip(lane_work, payloads):
         if in_process:
             # The in-process path replays the parent's own filter objects;
-            # copy so the parent's filter only accumulates the merged
-            # statistics afterwards.  Multiprocess dispatch skips this —
-            # pickling into the worker is already a copy, and a parent-side
+            # a MemberLane isolates each (deep copy on launch) so the
+            # parent's filter only accumulates the merged statistics
+            # afterwards.  Multiprocess dispatch skips this — pickling
+            # into the worker is already a copy, and a parent-side
             # deepcopy would just double the dispatch cost.
-            lane_filter = copy.deepcopy(lane_filter)
+            member = MemberLane(lane, lane_filter, isolate=True)
+            member.launch()
+            lane_filter = member.filter
         tasks.append((lane, lane_filter, payload, use_blocklist,
-                      throughput_interval, drop_window, batched))
+                      throughput_interval, drop_window, batched,
+                      record_fingerprint))
 
     try:
         if in_process:
             records = [_replay_lane(task) for task in tasks]
         else:
-            records = _run_pool(tasks, workers)
+            with WorkerPool(min(workers, len(tasks))) as pool:
+                records = pool.map(_replay_lane, tasks)
     finally:
         if arena is not None:
             arena.dispose()
 
     return _merge(packet_filter, span, records, workers,
-                  use_blocklist, throughput_interval, drop_window)
+                  use_blocklist, throughput_interval, drop_window,
+                  record_fingerprint)
 
 
 def _merge(
@@ -356,17 +338,19 @@ def _merge(
     use_blocklist: bool,
     throughput_interval: float,
     drop_window: float,
+    record_fingerprint: bool = False,
 ) -> ReplayResult:
     """Fold per-lane records into one router-shaped aggregate.
 
     The merge drives the same :class:`ReplayPipeline` every backend uses:
-    per-lane measurements fold in through :meth:`ReplayPipeline.merge_lane`
-    and the shared finalize hook compacts the merged blocklist at the
-    trace's end time.  A lane's store only GCs on its own lane's clock,
-    so an idle lane can ship expired entries a single-process store would
-    already have collected; end-of-replay compaction leaves exactly the
-    still-live entries — the same table every other backend's finalize
-    produces.
+    per-lane measurements fold in through :meth:`ReplayPipeline.merge_lane`,
+    filter statistics and blocked-σ rows through the shared
+    :func:`~repro.shard.lifecycle.fold_lane_record` arm, and the shared
+    finalize hook compacts the merged blocklist at the trace's end time.
+    A lane's store only GCs on its own lane's clock, so an idle lane can
+    ship expired entries a single-process store would already have
+    collected; end-of-replay compaction leaves exactly the still-live
+    entries — the same table every other backend's finalize produces.
     """
     pipeline = ReplayPipeline(PipelineConfig(
         packet_filter=packet_filter,
@@ -377,22 +361,14 @@ def _merge(
     blocklist = pipeline.router.blocklist
     for record in records:
         pipeline.merge_lane(record)
-        packet_filter.stats.merge(record.filter_stats)
-        if record.lane >= 0:
-            shard = packet_filter.shards[record.lane][2]
-            shard.stats.merge(record.filter_stats)
-            core = getattr(shard, "core", None)
-            if core is not None and record.core_stats is not None:
-                core.stats.merge(BitmapFilterStats(**record.core_stats))
-        else:
-            # Default-lane traffic is what ShardedFilter counts as unrouted.
-            self_total = record.filter_stats.total
-            packet_filter.unrouted_packets += self_total
-        if blocklist is not None and record.blocked is not None:
-            # Lanes own disjoint connections, so the union is a plain update.
-            blocklist._blocked.update(record.blocked)
-            blocklist.suppressed_packets += record.suppressed_packets
-            blocklist.suppressed_bytes += record.suppressed_bytes
+        fold_lane_record(packet_filter, record, blocklist=blocklist)
     if span is not None:
         pipeline.observe_span(*span)
-    return pipeline.finalize(workers=workers, lanes=records)
+    result = pipeline.finalize(workers=workers, lanes=records)
+    if record_fingerprint:
+        result.fingerprint = combine_lane_fingerprints({
+            record.lane: record.fingerprint
+            for record in records
+            if record.fingerprint is not None
+        })
+    return result

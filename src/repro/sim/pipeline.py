@@ -586,6 +586,10 @@ class ParallelBackend(ExecutionBackend):
             drop_window=config.drop_window,
             batched=self.lane_batched,
             transport=self.transport,
+            # Parallel lanes record per-lane fingerprints, combined
+            # lane-keyed — not the interleaved-stream value (replay()'s
+            # front door still refuses the ambiguous combination).
+            record_fingerprint=config.record_fingerprint,
         )
 
 

@@ -1,0 +1,123 @@
+"""Tests for ControlClient connect retry and per-request timeouts.
+
+These run against a minimal line-protocol server thread (the client only
+needs JSON-lines semantics), so bind delays and slow responses are
+scripted precisely instead of racing a full FilterService boot.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.service import ControlClient, ControlError
+
+
+class LineServer:
+    """A scriptable JSON-lines control server on a unix socket."""
+
+    def __init__(self, path, responder, bind_delay=0.0):
+        self.path = path
+        self.responder = responder
+        self.bind_delay = bind_delay
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+
+    def _run(self):
+        if self.bind_delay:
+            time.sleep(self.bind_delay)
+        listener = socket.socket(socket.AF_UNIX)
+        listener.bind(self.path)
+        listener.listen(1)
+        try:
+            connection, _ = listener.accept()
+        except OSError:
+            return
+        stream = connection.makefile("rwb")
+        try:
+            while True:
+                line = stream.readline()
+                if not line:
+                    return
+                response = self.responder(json.loads(line))
+                stream.write(json.dumps(response).encode() + b"\n")
+                stream.flush()
+        except (OSError, ValueError):
+            pass
+        finally:
+            # The client may have vanished mid-reply (the timeout
+            # tests); closing then flushes into a broken pipe.
+            try:
+                stream.close()
+            except OSError:
+                pass
+            connection.close()
+            listener.close()
+
+
+def echo_ok(request):
+    return {"ok": True, "cmd": request.get("cmd")}
+
+
+class TestConnectRetry:
+    def test_waits_for_a_late_bind(self, tmp_path):
+        path = str(tmp_path / "late.sock")
+        LineServer(path, echo_ok, bind_delay=0.4)
+        start = time.monotonic()
+        with ControlClient(f"unix:{path}", connect_retry=10.0) as client:
+            elapsed = time.monotonic() - start
+            assert client.request("health")["ok"] is True
+        # Connected only after the bind, not instantly and not at the
+        # end of the patience budget.
+        assert 0.2 <= elapsed < 5.0
+
+    def test_budget_exhaustion_raises_control_error(self, tmp_path):
+        path = str(tmp_path / "never.sock")
+        start = time.monotonic()
+        with pytest.raises(ControlError, match="not reachable"):
+            ControlClient(f"unix:{path}", connect_retry=0.3)
+        assert time.monotonic() - start >= 0.3
+
+    def test_default_is_single_attempt_raising_os_error(self, tmp_path):
+        path = str(tmp_path / "never.sock")
+        with pytest.raises((FileNotFoundError, ConnectionError, OSError)):
+            ControlClient(f"unix:{path}")
+
+
+class TestRequestTimeout:
+    def slow_server(self, tmp_path, delay):
+        path = str(tmp_path / "slow.sock")
+
+        def responder(request):
+            if request.get("cmd") == "slow":
+                time.sleep(delay)
+            return {"ok": True, "cmd": request.get("cmd")}
+
+        LineServer(path, responder)
+        return path
+
+    def test_override_tightens_one_request(self, tmp_path):
+        path = self.slow_server(tmp_path, delay=1.5)
+        with ControlClient(f"unix:{path}", timeout=30.0,
+                           connect_retry=5.0) as client:
+            with pytest.raises((TimeoutError, socket.timeout)):
+                client.request("slow", timeout=0.2)
+            # The client default is restored after the override.
+            assert client._socket.gettimeout() == 30.0
+
+    def test_override_none_waits_out_a_slow_reply(self, tmp_path):
+        path = self.slow_server(tmp_path, delay=0.6)
+        with ControlClient(f"unix:{path}", timeout=0.2,
+                           connect_retry=5.0) as client:
+            response = client.request("slow", timeout=None)
+            assert response["ok"] is True
+            assert client._socket.gettimeout() == 0.2
+
+    def test_default_timeout_applies_without_override(self, tmp_path):
+        path = self.slow_server(tmp_path, delay=1.5)
+        with ControlClient(f"unix:{path}", timeout=0.2,
+                           connect_retry=5.0) as client:
+            with pytest.raises((TimeoutError, socket.timeout)):
+                client.request("slow")

@@ -1,0 +1,125 @@
+"""Tests for the shared shard lifecycle layer (repro.shard.lifecycle)."""
+
+import pytest
+
+from repro.core.bitmap_filter import BitmapFilterConfig
+from repro.core.hashing import FNV64_OFFSET
+from repro.filters.base import SnapshotUnsupported, Verdict
+from repro.filters.bitmap import BitmapPacketFilter
+from repro.shard.lifecycle import (
+    DefaultLaneFilter,
+    MemberLane,
+    WorkerPool,
+    combine_lane_fingerprints,
+)
+
+from tests.conftest import in_packet, out_packet
+
+
+def make_filter():
+    return BitmapPacketFilter(
+        BitmapFilterConfig(size=2 ** 10, vectors=3, hashes=2,
+                           rotate_interval=5.0)
+    )
+
+
+class TestMemberLane:
+    def test_launch_without_isolation_shares_member(self):
+        member = make_filter()
+        lane = MemberLane(0, member)
+        lane.launch()
+        assert lane.filter is member
+        lane.stop()
+        assert lane.filter is None
+
+    def test_isolation_deep_copies(self):
+        member = make_filter()
+        with MemberLane(0, member, isolate=True) as lane:
+            assert lane.filter is not member
+            lane.filter.process(out_packet())
+            assert lane.filter.stats.total == 1
+            assert member.stats.total == 0
+
+    def test_ping_reports_status_and_packets(self):
+        lane = MemberLane(2, make_filter())
+        assert lane.ping() == {"lane": 2, "status": "down", "packets": 0}
+        lane.launch()
+        lane.filter.process(out_packet())
+        assert lane.ping()["status"] == "up"
+        assert lane.ping()["packets"] == 1
+
+    def test_snapshot_restore_round_trip(self):
+        lane = MemberLane(0, make_filter())
+        lane.launch()
+        lane.filter.process(out_packet(t=1.0))
+        state = lane.snapshot_state()
+        lane.restore_state(state)
+        lane.launch()
+        # The marked connection's return packet still passes.
+        assert lane.filter.decide(in_packet(t=1.5)) is Verdict.PASS
+
+    def test_launch_is_idempotent(self):
+        lane = MemberLane(0, make_filter(), isolate=True)
+        lane.launch()
+        isolated = lane.filter
+        lane.launch()
+        assert lane.filter is isolated
+
+
+def _square(value):
+    return value * value
+
+
+class TestWorkerPool:
+    def test_map_and_lifecycle(self):
+        pool = WorkerPool(2)
+        with pool:
+            assert pool.ping()["status"] == "up"
+            assert pool.map(_square, [1, 2, 3]) == [1, 4, 9]
+        assert pool.ping()["status"] == "down"
+
+    def test_map_before_launch_raises(self):
+        with pytest.raises(RuntimeError):
+            WorkerPool(2).map(_square, [1])
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+
+    def test_snapshot_unsupported(self):
+        with pytest.raises(SnapshotUnsupported):
+            WorkerPool(1).snapshot_state()
+
+
+class TestDefaultLaneFilter:
+    def test_returns_configured_verdict(self):
+        assert DefaultLaneFilter(Verdict.PASS).decide(in_packet()) is Verdict.PASS
+        assert DefaultLaneFilter(Verdict.DROP).decide(in_packet()) is Verdict.DROP
+
+
+class TestCombineLaneFingerprints:
+    def test_order_independent(self):
+        fingerprints = {0: 0x1234, 1: 0xABCD, -1: 0x9999}
+        shuffled = {-1: 0x9999, 1: 0xABCD, 0: 0x1234}
+        assert (combine_lane_fingerprints(fingerprints)
+                == combine_lane_fingerprints(shuffled))
+
+    def test_lane_keyed(self):
+        # Two lanes with swapped streams must not collide.
+        assert (combine_lane_fingerprints({0: 0x1234, 1: 0xABCD})
+                != combine_lane_fingerprints({0: 0xABCD, 1: 0x1234}))
+
+    def test_empty_lanes_contribute_nothing(self):
+        with_idle = {0: 0x1234, 1: FNV64_OFFSET, 2: FNV64_OFFSET}
+        assert (combine_lane_fingerprints(with_idle)
+                == combine_lane_fingerprints({0: 0x1234}))
+        assert combine_lane_fingerprints({}) == 0
+
+    def test_grouping_invariant(self):
+        # Partial combinations sum to the full combination (mod 2^64) —
+        # what lets the fleet fold shard and default-lane fingerprints
+        # in any aggregation order.
+        full = combine_lane_fingerprints({0: 7, 1: 11, 2: 13})
+        partial = (combine_lane_fingerprints({0: 7})
+                   + combine_lane_fingerprints({1: 11, 2: 13}))
+        assert full == partial & ((1 << 64) - 1)

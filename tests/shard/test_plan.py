@@ -1,0 +1,162 @@
+"""Tests for shard plans (repro.shard.plan): keyings, partitioning,
+spec round trips."""
+
+import pytest
+
+from repro.net.inet import parse_ipv4
+from repro.net.packet import Direction
+from repro.net.table import PacketTable
+from repro.shard.plan import (
+    HashShardPlan,
+    ShardPlan,
+    SubnetShardPlan,
+    plan_from_spec,
+)
+from repro.workload import TraceConfig, TraceGenerator
+
+from tests.conftest import in_packet, out_packet, tcp_pair
+
+NETWORK = parse_ipv4("10.1.0.0")
+
+
+def trace_table(duration=8.0, rate=6.0, seed=11):
+    return TraceGenerator(
+        TraceConfig(duration=duration, connection_rate=rate, seed=seed)
+    ).table()
+
+
+class TestSubnetShardPlan:
+    def test_from_cidr_layout(self):
+        plan = SubnetShardPlan.from_cidr(NETWORK, 16, shard_bits=2)
+        assert plan.lanes == 4
+        assert [plan.label(i) for i in range(4)] == [
+            "10.1.0.0/18", "10.1.64.0/18", "10.1.128.0/18", "10.1.192.0/18",
+        ]
+
+    def test_from_cidr_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            SubnetShardPlan.from_cidr(NETWORK, 31, shard_bits=2)
+        with pytest.raises(ValueError):
+            SubnetShardPlan.from_cidr(NETWORK, 16, shard_bits=0)
+
+    def test_lane_of_and_transit(self):
+        plan = SubnetShardPlan.from_cidr(NETWORK, 16, shard_bits=2)
+        assert plan.lane_of(parse_ipv4("10.1.0.5")) == 0
+        assert plan.lane_of(parse_ipv4("10.1.200.9")) == 3
+        assert plan.lane_of(parse_ipv4("192.0.2.1")) == -1
+
+    def test_first_match_wins_with_overlap(self):
+        # More-specific /24 listed first claims its addresses; the
+        # covering /16 takes the rest.
+        plan = SubnetShardPlan([
+            (parse_ipv4("10.1.7.0"), 24),
+            (NETWORK, 16),
+        ])
+        assert plan.lane_of(parse_ipv4("10.1.7.9")) == 0
+        assert plan.lane_of(parse_ipv4("10.1.8.9")) == 1
+
+    def test_route_cache_eviction_keeps_answers_right(self):
+        plan = SubnetShardPlan.from_cidr(NETWORK, 16, shard_bits=2,
+                                         route_cache_size=4)
+        addresses = [parse_ipv4(f"10.1.{i * 40}.1") for i in range(6)]
+        expected = [plan.scan(address) for address in addresses]
+        # Two passes churn the 4-entry FIFO cache past its bound.
+        for _ in range(2):
+            assert [plan.lane_of(a) for a in addresses] == expected
+        assert len(plan._route_cache) <= 4
+
+    def test_inner_address_orientation(self):
+        pair = tcp_pair()
+        assert ShardPlan.inner_address(out_packet(pair)) == pair.src_addr
+        inbound = in_packet()
+        assert ShardPlan.inner_address(inbound) == inbound.pair.dst_addr
+
+    def test_spec_round_trip(self):
+        plan = SubnetShardPlan.from_cidr(NETWORK, 16, shard_bits=2)
+        rebuilt = plan_from_spec(plan.as_spec())
+        assert isinstance(rebuilt, SubnetShardPlan)
+        assert rebuilt.subnets == plan.subnets
+
+
+class TestHashShardPlan:
+    def test_routes_everything(self):
+        plan = HashShardPlan(5, seed=3)
+        for i in range(50):
+            lane = plan.lane_of(parse_ipv4(f"10.{i}.{i * 3 % 256}.7"))
+            assert 0 <= lane < 5
+
+    def test_subnet_granularity(self):
+        # Addresses sharing a /24 land on the same lane by construction.
+        plan = HashShardPlan(4, subnet_prefix=24, seed=1)
+        assert (plan.lane_of(parse_ipv4("10.1.5.1"))
+                == plan.lane_of(parse_ipv4("10.1.5.200")))
+
+    def test_consistent_hashing_moves_few_subnets(self):
+        subnets = [parse_ipv4(f"10.{i // 256}.{i % 256}.0")
+                   for i in range(512)]
+        before = HashShardPlan(4, seed=9)
+        after = HashShardPlan(5, seed=9)
+        moved = sum(1 for s in subnets
+                    if before.lane_of(s) != after.lane_of(s))
+        # Consistent hashing remaps ~1/lanes of the keys, not ~all of
+        # them (a modulo keying would remap ~4/5 here).
+        assert moved / len(subnets) < 0.5
+
+    def test_spec_round_trip(self):
+        plan = HashShardPlan(3, subnet_prefix=20, replicas=16, seed=42)
+        rebuilt = plan_from_spec(plan.as_spec())
+        assert isinstance(rebuilt, HashShardPlan)
+        addresses = [parse_ipv4(f"10.9.{i}.1") for i in range(64)]
+        assert ([plan.lane_of(a) for a in addresses]
+                == [rebuilt.lane_of(a) for a in addresses])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashShardPlan(0)
+        with pytest.raises(ValueError):
+            HashShardPlan(2, subnet_prefix=40)
+        with pytest.raises(ValueError):
+            HashShardPlan(2, replicas=0)
+
+
+def test_plan_from_spec_rejects_unknown_keying():
+    with pytest.raises(ValueError, match="keying"):
+        plan_from_spec({"keying": "geo"})
+
+
+@pytest.mark.parametrize("plan", [
+    SubnetShardPlan.from_cidr(NETWORK, 16, shard_bits=2),
+    HashShardPlan(3, seed=5),
+])
+def test_partition_table_matches_partition_packets(plan):
+    table = trace_table()
+    lane_tables, default_table = plan.partition_table(table)
+    lane_lists, default_list = plan.partition_packets(table.to_packets())
+
+    def rows(packets):
+        return [(p.timestamp, p.pair, p.direction, p.size) for p in packets]
+
+    assert len(lane_tables) == plan.lanes
+    for lane_table, lane_list in zip(lane_tables, lane_lists):
+        assert rows(lane_table.to_packets()) == rows(lane_list)
+    assert rows(default_table.to_packets()) == rows(default_list)
+    total = sum(len(t) for t in lane_tables) + len(default_table)
+    assert total == len(table)
+
+
+def test_partition_keeps_connections_whole():
+    plan = SubnetShardPlan.from_cidr(NETWORK, 16, shard_bits=2)
+    table = trace_table()
+    lane_tables, default_table = plan.partition_table(table)
+    owners = {}
+    for lane, sub in enumerate(lane_tables + [default_table]):
+        for packet in sub.to_packets():
+            key = packet.pair.canonical
+            assert owners.setdefault(key, lane) == lane
+
+
+def test_empty_table_partitions_empty():
+    plan = HashShardPlan(3)
+    lanes, default_table = plan.partition_table(PacketTable())
+    assert all(len(t) == 0 for t in lanes)
+    assert len(default_table) == 0

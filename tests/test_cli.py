@@ -226,3 +226,42 @@ class TestFeed:
                 pair = chunk.pair(position)
                 assert seen.setdefault(pair, chunk.pair_ids[position]) == \
                     chunk.pair_ids[position]
+
+
+class TestFleet:
+    def test_fleet_parser_tree(self):
+        parser = build_parser()
+        args = parser.parse_args(["fleet", "serve", "--keying", "hash",
+                                  "--shards", "3", "--rolling-restart"])
+        assert args.shards == 3 and args.rolling_restart
+        args = parser.parse_args(["fleet", "status", "/tmp/x"])
+        assert args.workdir == "/tmp/x"
+        args = parser.parse_args(["fleet", "ctl", "/tmp/x", "config",
+                                  "--low-mbps", "0.5"])
+        assert args.command == "config" and args.low_mbps == 0.5
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fleet", "serve", "--keying", "geo"])
+
+    def test_fleet_status_without_manifest(self, tmp_path):
+        with pytest.raises(SystemExit, match="manifest"):
+            main(["fleet", "status", str(tmp_path)])
+
+    def test_fleet_serve_rejects_bad_shard_args(self, tmp_path):
+        with pytest.raises(SystemExit, match="keying hash"):
+            main(["fleet", "serve", "--keying", "subnet", "--shards", "3"])
+        with pytest.raises(SystemExit, match="out of range"):
+            main(["fleet", "serve", "--keying", "hash", "--shards", "2",
+                  "--kill-shard", "5"])
+
+    def test_fleet_serve_end_to_end(self, tmp_path, capsys):
+        """A tiny 2-shard fleet through the CLI, verified offline."""
+        assert main(["fleet", "serve",
+                     "--workdir", str(tmp_path / "fleet"),
+                     "--keying", "subnet", "--shard-bits", "1",
+                     "--duration", "6", "--rate", "5", "--seed", "5",
+                     "--chunk-size", "512", "--size-bits", "12",
+                     "--vectors", "3", "--hashes", "2",
+                     "--verify-offline"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet fingerprint:" in out
+        assert "offline verification: fingerprint and blocklist identical" in out
