@@ -46,6 +46,9 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--seed", type=int, default=7, help="random seed")
     trace.add_argument("--snaplen", type=int, default=65535,
                        help="bytes captured per packet (64 = headers only)")
+    trace.add_argument("--workers", type=int, default=1,
+                       help="worker processes for trace materialization "
+                            "(byte-identical output, scales with cores)")
     trace.set_defaults(handler=cmd_trace)
 
     analyze = sub.add_parser("analyze", help="run the section-3 traffic analysis")
@@ -54,9 +57,21 @@ def build_parser() -> argparse.ArgumentParser:
                          help="client network CIDR (decides packet direction)")
     analyze.set_defaults(handler=cmd_analyze)
 
-    filt = sub.add_parser("filter", help="replay a pcap through a filter")
-    filt.add_argument("pcap", help="input pcap path")
+    filt = sub.add_parser(
+        "filter", help="replay a pcap (or synthetic trace) through a filter"
+    )
+    filt.add_argument("pcap", nargs="?", default=None,
+                      help="input pcap (omit to synthesize a trace)")
     filt.add_argument("--network", default="10.1.0.0/16")
+    filt.add_argument("--duration", type=float, default=60.0,
+                      help="synthetic trace seconds (no pcap given)")
+    filt.add_argument("--rate", type=float, default=10.0,
+                      help="synthetic connection arrivals/sec")
+    filt.add_argument("--hosts", type=int, default=120)
+    filt.add_argument("--seed", type=int, default=7)
+    filt.add_argument("--gen-workers", type=int, default=1,
+                      help="worker processes for synthetic trace "
+                           "materialization (--workers is replay workers)")
     filt.add_argument("--filter", dest="filter_name", default="bitmap",
                       choices=("bitmap", "spi", "naive", "counting", "none"))
     filt.add_argument("--size-bits", type=int, default=20, help="n of N=2^n")
@@ -98,6 +113,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="synthetic trace seconds (no pcap given)")
     figures.add_argument("--rate", type=float, default=12.0)
     figures.add_argument("--seed", type=int, default=7)
+    figures.add_argument("--gen-workers", type=int, default=1,
+                         help="worker processes for synthetic trace "
+                              "materialization")
     figures.set_defaults(handler=cmd_figures)
 
     serve = sub.add_parser(
@@ -168,6 +186,9 @@ def build_parser() -> argparse.ArgumentParser:
     feed.add_argument("--format", dest="wire_format", default="binary",
                       choices=("binary", "json"),
                       help="frame payload codec (json = legacy compat)")
+    feed.add_argument("--workers", type=int, default=1,
+                      help="worker processes for synthetic trace "
+                           "materialization (byte-identical frames)")
     feed.set_defaults(handler=cmd_feed)
 
     fleet = sub.add_parser(
@@ -313,6 +334,7 @@ def _load_table(path: str, network_cidr: str):
 def cmd_trace(args) -> int:
     """Synthesize a client-network trace and write it as a pcap."""
     from repro.workload.generator import TraceConfig, TraceGenerator
+    from repro.workload.progress import ProgressReporter
 
     config = TraceConfig(
         duration=args.duration,
@@ -321,7 +343,11 @@ def cmd_trace(args) -> int:
         seed=args.seed,
     )
     generator = TraceGenerator(config)
-    count = generator.write_pcap(args.out, snaplen=args.snaplen)
+    reporter = ProgressReporter("trace", duration=args.duration)
+    count = generator.write_pcap(args.out, snaplen=args.snaplen,
+                                 workers=args.workers,
+                                 progress=reporter.update)
+    reporter.finish()
     print(f"wrote {count:,} packets ({len(generator.specs()):,} connections) "
           f"to {args.out}")
     return 0
@@ -425,7 +451,21 @@ def cmd_filter(args) -> int:
     from repro.sim.pipeline import select_backend
     from repro.sim.replay import replay
 
-    packets = _load_table(args.pcap, args.network)
+    if args.pcap is not None:
+        packets = _load_table(args.pcap, args.network)
+    else:
+        from repro.workload.generator import TraceConfig, TraceGenerator
+
+        print(f"synthesizing trace ({args.duration:g}s at {args.rate:g} "
+              f"conn/s, seed {args.seed}"
+              + (f", {args.gen_workers} workers" if args.gen_workers > 1 else "")
+              + ")...")
+        packets = TraceGenerator(TraceConfig(
+            duration=args.duration,
+            connection_rate=args.rate,
+            hosts=args.hosts,
+            seed=args.seed,
+        )).table(workers=args.gen_workers)
     if not len(packets):
         print("no parseable packets", file=sys.stderr)
         return 1
@@ -511,7 +551,7 @@ def cmd_figures(args) -> int:
         packets = TraceGenerator(
             TraceConfig(duration=args.duration, connection_rate=args.rate,
                         seed=args.seed)
-        ).table()
+        ).table(workers=args.gen_workers)
     if not len(packets):
         print("no parseable packets", file=sys.stderr)
         return 1
@@ -724,7 +764,7 @@ def cmd_feed(args) -> int:
             hosts=args.hosts,
             seed=args.seed,
         ))
-        chunks = generator.iter_tables(args.chunk_size)
+        chunks = generator.iter_tables(args.chunk_size, workers=args.workers)
         label = (f"synthetic trace ({args.duration:g}s at "
                  f"{args.rate:g} conn/s, seed {args.seed})")
 
@@ -740,11 +780,20 @@ def cmd_feed(args) -> int:
         return 1
     stream = connection.makefile("wb")
     writer = FrameWriter(stream, binary=args.wire_format == "binary")
+    from repro.workload.progress import ProgressReporter
+
+    reporter = ProgressReporter(
+        "feed", duration=args.duration if args.pcap is None else None
+    )
     packets = 0
     try:
         for chunk in chunks:
             writer.send(chunk)
             packets += len(chunk)
+            reporter.update(
+                packets, chunk.timestamps[-1] if len(chunk) else None
+            )
+        reporter.finish()
     except (BrokenPipeError, ConnectionResetError):
         print("daemon closed the feed", file=sys.stderr)
         return 1

@@ -49,6 +49,13 @@ class _FlowState:
         return self.fin_fwd and self.fin_rev
 
 
+#: Measured per-tracked-flow footprint of the CPython structures: the
+#: canonical :class:`SocketPair` key (80 B), a ``__slots__``
+#: :class:`_FlowState` (64 B) and the amortized dict slot (~52 B) —
+#: what the Figure-8 state/accuracy frontier charges the SPI baseline.
+SPI_BYTES_PER_FLOW = 200
+
+
 class SPIFilter(PacketFilter):
     """Exact per-flow positive-listing filter."""
 
@@ -78,11 +85,26 @@ class SPIFilter(PacketFilter):
         self._table: Dict[SocketPair, _FlowState] = {}
         self._gc_interval = gc_interval
         self._next_gc: Optional[float] = None
+        #: High-water mark of the flow table — the state a real SPI
+        #: device must provision for (the frontier's x-axis for the
+        #: unbounded-state baseline).  Maintained at both install sites
+        #: (here and the fused kernel's).
+        self.peak_flows = 0
 
     @property
     def tracked_flows(self) -> int:
         """Current state-table size — the baseline's O(n) footprint."""
         return len(self._table)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Current state footprint (:data:`SPI_BYTES_PER_FLOW` per flow)."""
+        return len(self._table) * SPI_BYTES_PER_FLOW
+
+    @property
+    def peak_memory_bytes(self) -> int:
+        """Provisioned state: the flow-table high-water mark in bytes."""
+        return self.peak_flows * SPI_BYTES_PER_FLOW
 
     def decide(self, packet: Packet) -> Verdict:
         now = packet.timestamp
@@ -95,6 +117,8 @@ class SPIFilter(PacketFilter):
                 # New flow, or a fresh SYN reusing a five-tuple: (re)install.
                 state = _FlowState(now)
                 self._table[key] = state
+                if len(self._table) > self.peak_flows:
+                    self.peak_flows = len(self._table)
             else:
                 state.last_seen = now
             self._track_close(state, packet, key, forward=True)
@@ -156,6 +180,7 @@ class SPIFilter(PacketFilter):
         super().reset()
         self._table.clear()
         self._next_gc = None
+        self.peak_flows = 0
 
     def snapshot(self) -> dict:
         """Flow table, timers, RNG position and controller state."""
@@ -165,6 +190,7 @@ class SPIFilter(PacketFilter):
             "time_wait": self.time_wait,
             "gc_interval": self._gc_interval,
             "next_gc": self._next_gc,
+            "peak_flows": self.peak_flows,
             "rng": rng_state(self._rng),
             "controller": self.drop_controller.snapshot(),
             "stats": self.stats.snapshot(),
@@ -198,4 +224,6 @@ class SPIFilter(PacketFilter):
             state.fin_rev = fin_rev
             state.expires_at = expires_at
             filt._table[SocketPair(*fields)] = state
+        # Pre-peak-tracking snapshots: the live table is the best floor.
+        filt.peak_flows = snapshot.get("peak_flows", len(filt._table))
         return filt

@@ -27,7 +27,7 @@ import copy
 import multiprocessing
 import signal
 from abc import ABC, abstractmethod
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.core.bitmap_filter import BitmapFilterStats
 from repro.core.hashing import FNV64_OFFSET, splitmix64
@@ -178,6 +178,26 @@ class WorkerPool(ShardLifecycle):
         except BaseException:
             self.terminate()
             raise
+
+    def imap(self, func: Callable, tasks: Sequence) -> Iterator:
+        """Ordered streaming map: results arrive as they finish, in task
+        order, so the consumer overlaps its own work with the workers'.
+        Same teardown contract as :meth:`map` — any exception while
+        waiting (including SIGINT in the parent) terminates and joins
+        every worker before re-raising."""
+        if self._pool is None:
+            raise RuntimeError("worker pool is not launched")
+        results = self._pool.imap(func, tasks)
+
+        def drain() -> Iterator:
+            try:
+                for result in results:
+                    yield result
+            except BaseException:
+                self.terminate()
+                raise
+
+        return drain()
 
     def ping(self) -> dict:
         processes = getattr(self._pool, "_pool", None) or []

@@ -209,6 +209,7 @@ def _spi_replay(flt: SPIFilter, table, router) -> List[Verdict]:
     flow_table = flt._table
     flow_get = flow_table.get
     flow_pop = flow_table.pop
+    peak_flows = flt.peak_flows
     rng_random = flt._rng.random
     controller = flt.drop_controller
     record_upload = controller.meter.record
@@ -319,6 +320,8 @@ def _spi_replay(flt: SPIFilter, table, router) -> List[Verdict]:
                 # New flow, or a fresh SYN reusing a five-tuple.
                 state = _FlowState(now)
                 flow_table[key] = state
+                if len(flow_table) > peak_flows:
+                    peak_flows = len(flow_table)
             else:
                 state.last_seen = now
             if tcp_flags[pid]:
@@ -378,6 +381,7 @@ def _spi_replay(flt: SPIFilter, table, router) -> List[Verdict]:
             append(PASS)
 
     flt._next_gc = next_gc
+    flt.peak_flows = peak_flows
     _flush_stats(flt.stats, passed_out_n, passed_in_n, dropped_out_n,
                  dropped_in_n, passed_out_b, passed_in_b, dropped_out_b,
                  dropped_in_b)

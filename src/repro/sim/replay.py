@@ -9,7 +9,8 @@ raises — there are no silent mode downgrades.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field as dataclass_field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.filters.base import PacketFilter
@@ -117,10 +118,18 @@ def replay(
 
 @dataclass
 class DropRateComparison:
-    """Figure 8's data: two filters over the same trace."""
+    """Figure 8's data: two (or more) filters over the same trace.
+
+    ``timings`` records the comparison's phase split: ``trace_s`` (the
+    one-time stream materialization, 0.0 when the caller handed over a
+    ready list/table or a factory) and per-filter replay seconds under
+    ``replay_s`` — the generate/replay accounting the benchmark JSONs
+    publish.
+    """
 
     results: Dict[str, ReplayResult]
     points: List[Tuple[float, float]]
+    timings: Dict[str, object] = dataclass_field(default_factory=dict)
 
     def overall(self, name: str) -> float:
         """One filter's overall inbound drop rate."""
@@ -143,6 +152,14 @@ def compare_drop_rates(
     default there so the filters' raw decisions are compared packet by
     packet.  ``points`` pairs the first two filters in insertion order.
 
+    ``packets`` may also be a **callable trace factory**: it is invoked
+    once per filter and its return value (typically a fresh
+    ``iter_tables`` chunk stream) goes straight to :func:`replay`
+    *without* being materialized — the bounded-memory path for
+    10–100M-packet Figure-8 campaigns, where one merged table would not
+    fit.  Deterministic generators make every invocation replay the
+    identical stream, so results match the materialized path exactly.
+
     ``batched`` / ``workers`` pass straight through to :func:`replay`,
     so Figure-8 comparisons on large traces can use the columnar and
     multiprocess fast paths — the per-window rates are identical by the
@@ -150,21 +167,33 @@ def compare_drop_rates(
     """
     if len(filters) < 2:
         raise ValueError("need at least two filters to compare")
-    if not isinstance(packets, (list, PacketTable)):
+    factory = packets if callable(packets) else None
+    trace_s = 0.0
+    if factory is None and not isinstance(packets, (list, PacketTable)):
         # The same stream replays once per filter — materialize one
         # reusable representation (a generator of table chunks merges
         # into a single table; packet iterables do the same via the
         # exact Packet → row converter).
+        started = time.perf_counter()
         packets = as_table(packets)
-    results = {
-        name: replay(packets, flt, use_blocklist=use_blocklist,
-                     drop_window=drop_window, batched=batched, workers=workers)
-        for name, flt in filters.items()
-    }
+        trace_s = time.perf_counter() - started
+    results: Dict[str, ReplayResult] = {}
+    replay_s: Dict[str, float] = {}
+    for name, flt in filters.items():
+        stream = factory() if factory is not None else packets
+        started = time.perf_counter()
+        results[name] = replay(stream, flt, use_blocklist=use_blocklist,
+                               drop_window=drop_window, batched=batched,
+                               workers=workers)
+        replay_s[name] = time.perf_counter() - started
     names = list(filters)
     points = scatter_points(
         results[names[0]].router.inbound_drops,
         results[names[1]].router.inbound_drops,
         min_packets=min_window_packets,
     )
-    return DropRateComparison(results=results, points=points)
+    return DropRateComparison(
+        results=results,
+        points=points,
+        timings={"trace_s": trace_s, "replay_s": replay_s},
+    )

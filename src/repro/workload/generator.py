@@ -9,14 +9,28 @@ port-reuse peaks at multiples of 60 seconds.
 
 Packet streams are produced by a lazy k-way merge so memory stays
 proportional to the number of *concurrent* connections, not trace length.
+
+The synthesiser is split in two phases with a determinism contract
+between them:
+
+* **spec synthesis** (:meth:`TraceGenerator.specs`) walks one shared RNG
+  through the Poisson arrival loop — cheap, inherently serial, and the
+  single source of truth for connection count and ordering;
+* **materialization** expands each spec to packet rows with a *private*
+  RNG seeded by ``derive_seed(config.seed, spec_index)`` — no spec's
+  rows depend on any other spec's draws, which is what lets
+  ``workers=N`` farm materialization out to a process pool
+  (:mod:`repro.workload.parallel`) and still produce byte-identical
+  column streams.
 """
 
 from __future__ import annotations
 
 import heapq
 import random
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.hashing import derive_seed
 from repro.net import table as _table_mod
@@ -34,6 +48,11 @@ from repro.workload.apps import (
 )
 from repro.workload.calibrate import DEFAULT_APP_MIX
 from repro.workload.topology import AddressSpace, ClientNetwork, HostModel
+
+#: :meth:`TraceGenerator.packet_list` warns once past this many ``Packet``
+#: objects — at that size the columnar stream (:meth:`TraceGenerator.table`
+#: / :meth:`TraceGenerator.iter_tables`) is the right representation.
+MATERIALIZE_WARNING_THRESHOLD = 5_000_000
 
 
 @dataclass
@@ -72,6 +91,159 @@ class TraceConfig:
             raise ValueError(f"unknown apps in mix: {sorted(unknown)}")
         if not 0.0 <= self.port_reuse_fraction <= 1.0:
             raise ValueError(f"port_reuse_fraction out of [0,1]: {self.port_reuse_fraction}")
+
+
+class _PendingMerger:
+    """The timestamp merge shared by the serial and parallel streams.
+
+    Merge columns are ordered (timestamps, sizes, flags, payload_ids,
+    outbound, pair_ids) — the order :class:`_ChunkEmitter` writes them
+    into a :class:`PacketTable`.
+
+    Pending rows live as six parallel columns, not row tuples — merging
+    is an *index* sort by timestamp plus a gather per column, which
+    numpy's stable argsort turns into a few C passes.  The heap merge's
+    total order is (timestamp, admission counter, schedule position) —
+    and rows enter the pending columns in exactly (counter, position)
+    order, an order every *stable* timestamp sort preserves on ties, so
+    sorting by timestamp alone reproduces the heap stream without
+    carrying tiebreak fields.  (After a flush the surviving tail is kept
+    timestamp-sorted with ties in counter order, and newly appended rows
+    carry strictly larger counters, so the invariant holds across
+    flushes.)
+
+    The numpy path keeps the surviving (already-sorted) tail as numpy
+    arrays between flushes — only the rows appended since the last flush
+    cross the Python-object boundary, once.  The mode is latched at
+    construction so tail state stays one type for the stream's lifetime.
+    The numpy and stdlib paths compute the identical permutation (both
+    are stable sorts keyed on timestamp with insertion-order ties).
+    """
+
+    __slots__ = ("use_numpy", "_np", "_dtypes", "tails")
+
+    def __init__(self) -> None:
+        self.use_numpy = _table_mod._np_enabled()
+        self._np = _table_mod._np
+        if self.use_numpy:
+            np = self._np
+            self._dtypes = (np.float64, np.int64, np.uint32, np.int64,
+                            np.int8, np.int64)
+            self.tails = [np.empty(0, dtype=dtype) for dtype in self._dtypes]
+        else:
+            self._dtypes = None
+            self.tails = [[], [], [], [], [], []]
+
+    def merge(self, fresh: Sequence, frontier: Optional[float]) -> Tuple[tuple, int]:
+        """Stable-sort the pending rows (sorted tail + fresh columns) by
+        timestamp and split them at ``frontier``: rows timestamped at or
+        before it are final (every future row is no earlier and carries a
+        larger admission counter).  Returns ``(columns, count)`` — six
+        merged columns of which the first ``count`` rows are ready to
+        emit — and retains the rest, still sorted, as the new tail.
+
+        ``fresh`` is six same-length column sequences in merge order; on
+        the numpy path they may be lists, ``array.array`` columns, or
+        ndarrays, on the stdlib path they must be plain lists.
+        """
+        if self.use_numpy:
+            np = self._np
+            combined = [
+                np.concatenate([tail, np.asarray(values, dtype=dtype)])
+                if len(values) else tail
+                for tail, values, dtype in zip(self.tails, fresh, self._dtypes)
+            ]
+            ts = combined[0]
+            order = np.argsort(ts, kind="stable")
+            merged_ts = ts[order]
+            cut = (
+                len(order) if frontier is None
+                else int(np.searchsorted(merged_ts, frontier, side="right"))
+            )
+            head, rest = order[:cut], order[cut:]
+            columns = [merged_ts[:cut]]
+            new_tails = [merged_ts[cut:]]
+            for column in combined[1:]:
+                columns.append(column[head])
+                new_tails.append(column[rest])
+            self.tails = new_tails
+        else:
+            combined = [tail + values for tail, values in zip(self.tails, fresh)]
+            ts = combined[0]
+            order = sorted(range(len(ts)), key=ts.__getitem__)
+            if frontier is None:
+                cut = len(order)
+            else:
+                # Manual bisect over the permutation — 3.9's bisect
+                # has no key=.
+                lo, hi = 0, len(order)
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    if ts[order[mid]] <= frontier:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                cut = lo
+            head, rest = order[:cut], order[cut:]
+            columns = []
+            new_tails = []
+            for column in combined:
+                columns.append([column[i] for i in head])
+                new_tails.append([column[i] for i in rest])
+            self.tails = new_tails
+        return tuple(columns), cut
+
+
+class _ChunkEmitter:
+    """Fills bounded :class:`PacketTable` chunks from merged columns.
+
+    All chunks spawn from one pool table so ``pair_ids``/``payload_ids``
+    stay valid across the whole stream.  Emitted chunk boundaries are a
+    pure function of the merged row stream and ``limit`` — consecutive
+    ``limit``-row windows — so they are independent of *when* the caller
+    flushed, which is what lets the parallel driver flush on batch
+    boundaries and still emit the exact chunks the serial path emits.
+    """
+
+    __slots__ = ("pool", "limit", "current")
+
+    def __init__(self, pool: PacketTable, limit: Optional[int]) -> None:
+        self.pool = pool
+        self.limit = limit
+        self.current = pool.spawn()
+
+    def emit(self, columns: tuple, count: int) -> List[PacketTable]:
+        """Append ``count`` merged rows to the current chunk; return the
+        chunks that filled up.  numpy columns land via raw-buffer
+        ``frombytes`` (same element layout as the array typecodes);
+        list columns via plain ``extend``.
+        """
+        limit = self.limit
+        current = self.current
+        done: List[PacketTable] = []
+        start = 0
+        raw = not isinstance(columns[0], list)
+        while start < count:
+            take = count - start
+            if limit is not None:
+                take = min(take, limit - len(current))
+            stop = start + take
+            targets = (
+                current.timestamps, current.sizes, current.flags,
+                current.payload_ids, current.outbound, current.pair_ids,
+            )
+            if raw:
+                for target, column in zip(targets, columns):
+                    target.frombytes(column[start:stop].tobytes())
+            else:
+                for target, column in zip(targets, columns):
+                    target.extend(column[start:stop])
+            start = stop
+            if limit is not None and len(current) >= limit:
+                done.append(current)
+                current = self.pool.spawn()
+        self.current = current
+        return done
 
 
 class TraceGenerator:
@@ -199,14 +371,37 @@ class TraceGenerator:
                 )
 
     def packet_list(self) -> List[Packet]:
-        """The whole trace in memory (convenient for repeated replays)."""
-        return list(self.packets())
+        """The whole trace in memory (convenient for repeated replays).
+
+        Warns once past :data:`MATERIALIZE_WARNING_THRESHOLD` packets —
+        ``Packet`` objects cost two orders of magnitude more memory than
+        columnar rows, so 10M+-packet traces belong in :meth:`table` /
+        :meth:`iter_tables`.
+        """
+        packets: List[Packet] = []
+        threshold: Optional[int] = MATERIALIZE_WARNING_THRESHOLD
+        for packet in self.packets():
+            packets.append(packet)
+            if threshold is not None and len(packets) >= threshold:
+                threshold = None
+                warnings.warn(
+                    f"packet_list() is materializing more than {len(packets):,} "
+                    f"Packet objects; use TraceGenerator.table() or "
+                    f"iter_tables() for traces this large",
+                    stacklevel=2,
+                )
+        return packets
 
     # ------------------------------------------------------------------
     # Columnar packet stream
     # ------------------------------------------------------------------
 
-    def iter_tables(self, chunk_size: Optional[int] = 65536) -> Iterator[PacketTable]:
+    def iter_tables(
+        self,
+        chunk_size: Optional[int] = 65536,
+        workers: int = 1,
+        stats=None,
+    ) -> Iterator[PacketTable]:
         """The trace as a stream of :class:`PacketTable` chunks.
 
         Emits the *same packets in the same order* as :meth:`packets`
@@ -225,143 +420,41 @@ class TraceGenerator:
         whole stream and consumers can carry per-flow state between
         chunks.  ``chunk_size=None`` emits a single table at the end —
         that is :meth:`table`.
+
+        ``workers > 1`` materializes connections on a process pool
+        (:func:`repro.workload.parallel.parallel_tables`) — the emitted
+        chunk stream is **byte-identical** (columns, pools, chunk
+        boundaries) for every worker count; ``stats`` (a
+        :class:`repro.workload.parallel.GenerationStats`) then receives
+        per-worker utilization accounting.
         """
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1: {chunk_size}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1: {workers}")
+        if workers > 1:
+            from repro.workload.parallel import parallel_tables
+
+            yield from parallel_tables(
+                self, chunk_size=chunk_size, workers=workers, stats=stats
+            )
+            return
+
         specs = self.specs()
         seed = self.config.seed
         pool = PacketTable()
         intern_pair = pool._pair_id
         intern_payload = pool._payload_id
-        limit = chunk_size
-        flush_floor = max(limit or 0, 65536)
+        flush_floor = max(chunk_size or 0, 65536)
 
-        # Pending rows live as six parallel column lists, not row tuples —
-        # merging is an *index* sort by timestamp plus a gather per column,
-        # which numpy's stable argsort turns into a few C passes.  The heap
-        # merge's total order is (timestamp, admission counter, schedule
-        # position) — and rows enter the pending columns in exactly
-        # (counter, position) order, an order every *stable* timestamp
-        # sort preserves on ties, so sorting by timestamp alone reproduces
-        # the heap stream without carrying tiebreak fields.  (After a
-        # flush the surviving tail is kept timestamp-sorted with ties in
-        # counter order, and newly appended rows carry strictly larger
-        # counters, so the invariant holds across flushes.)
+        merger = _PendingMerger()
+        emitter = _ChunkEmitter(pool, chunk_size)
         ts_l: List[float] = []
         sz_l: List[int] = []
         fl_l: List[int] = []
         py_l: List[int] = []
         ob_l: List[int] = []
         pi_l: List[int] = []
-        current = pool.spawn()
-
-        # The numpy merge keeps the surviving (already-sorted) tail as
-        # numpy arrays between flushes — only the rows appended since the
-        # last flush cross the Python-object boundary, once.  The mode is
-        # latched for the stream's lifetime so tail state stays one type.
-        use_numpy = _table_mod._np_enabled()
-        np = _table_mod._np
-        if use_numpy:
-            tails = [
-                np.empty(0, dtype=dtype)
-                for dtype in (np.float64, np.int64, np.uint32, np.int64,
-                              np.int8, np.int64)
-            ]
-        else:
-            tails = [[], [], [], [], [], []]
-
-        def merge(frontier: Optional[float]) -> Tuple[tuple, int]:
-            """Stable-sort the pending rows (sorted tail + fresh columns)
-            by timestamp and split them at ``frontier``: rows timestamped
-            at or before it are final (every future row is no earlier and
-            carries a larger admission counter).  Returns ``(columns,
-            count)`` — six merged columns of which the first ``count``
-            rows are ready to emit — and retains the rest, still sorted,
-            as the new tail.  The numpy and stdlib paths compute the
-            identical permutation (both are stable sorts keyed on
-            timestamp with insertion-order ties).
-            """
-            nonlocal ts_l, sz_l, fl_l, py_l, ob_l, pi_l, tails
-            fresh = (ts_l, sz_l, fl_l, py_l, ob_l, pi_l)
-            if use_numpy:
-                dtypes = (np.float64, np.int64, np.uint32, np.int64,
-                          np.int8, np.int64)
-                combined = [
-                    np.concatenate([tail, np.asarray(values, dtype=dtype)])
-                    if values else tail
-                    for tail, values, dtype in zip(tails, fresh, dtypes)
-                ]
-                ts = combined[0]
-                order = np.argsort(ts, kind="stable")
-                merged_ts = ts[order]
-                cut = (
-                    len(order) if frontier is None
-                    else int(np.searchsorted(merged_ts, frontier, side="right"))
-                )
-                head, rest = order[:cut], order[cut:]
-                columns = [merged_ts[:cut]]
-                new_tails = [merged_ts[cut:]]
-                for column in combined[1:]:
-                    columns.append(column[head])
-                    new_tails.append(column[rest])
-                tails = new_tails
-            else:
-                combined = [tail + values for tail, values in zip(tails, fresh)]
-                ts = combined[0]
-                order = sorted(range(len(ts)), key=ts.__getitem__)
-                if frontier is None:
-                    cut = len(order)
-                else:
-                    # Manual bisect over the permutation — 3.9's bisect
-                    # has no key=.
-                    lo, hi = 0, len(order)
-                    while lo < hi:
-                        mid = (lo + hi) // 2
-                        if ts[order[mid]] <= frontier:
-                            lo = mid + 1
-                        else:
-                            hi = mid
-                    cut = lo
-                head, rest = order[:cut], order[cut:]
-                columns = []
-                new_tails = []
-                for column in combined:
-                    columns.append([column[i] for i in head])
-                    new_tails.append([column[i] for i in rest])
-                tails = new_tails
-            ts_l, sz_l, fl_l, py_l, ob_l, pi_l = [], [], [], [], [], []
-            return tuple(columns), cut
-
-        def emit(columns: tuple, count: int) -> List[PacketTable]:
-            """Append ``count`` merged rows to the current chunk; return
-            the chunks that filled up.  numpy columns land via raw-buffer
-            ``frombytes`` (same element layout as the array typecodes);
-            list columns via plain ``extend``.
-            """
-            nonlocal current
-            done: List[PacketTable] = []
-            start = 0
-            raw = not isinstance(columns[0], list)
-            while start < count:
-                take = count - start
-                if limit is not None:
-                    take = min(take, limit - len(current))
-                stop = start + take
-                targets = (
-                    current.timestamps, current.sizes, current.flags,
-                    current.payload_ids, current.outbound, current.pair_ids,
-                )
-                if raw:
-                    for target, column in zip(targets, columns):
-                        target.frombytes(column[start:stop].tobytes())
-                else:
-                    for target, column in zip(targets, columns):
-                        target.extend(column[start:stop])
-                start = stop
-                if limit is not None and len(current) >= limit:
-                    done.append(current)
-                    current = pool.spawn()
-            return done
 
         # Flush on *growth* since the last sort, not absolute pending size:
         # long-lived connections keep O(concurrent rows) pending at all
@@ -370,9 +463,11 @@ class TraceGenerator:
         for index, spec in enumerate(specs):
             if grown >= flush_floor:
                 grown = 0
-                columns, cut = merge(spec.start)
+                fresh = (ts_l, sz_l, fl_l, py_l, ob_l, pi_l)
+                ts_l, sz_l, fl_l, py_l, ob_l, pi_l = [], [], [], [], [], []
+                columns, cut = merger.merge(fresh, spec.start)
                 if cut:
-                    for chunk in emit(columns, cut):
+                    for chunk in emitter.emit(columns, cut):
                         yield chunk
             rows = connection_rows(spec, random.Random(derive_seed(seed, index)))
             if not rows:
@@ -388,32 +483,44 @@ class TraceGenerator:
             pi_l += [pid_out if row[1] else pid_in for row in rows]
             grown += len(rows)
 
-        columns, cut = merge(None)
-        for chunk in emit(columns, cut):
+        columns, cut = merger.merge((ts_l, sz_l, fl_l, py_l, ob_l, pi_l), None)
+        for chunk in emitter.emit(columns, cut):
             yield chunk
-        if len(current):
-            yield current
+        if len(emitter.current):
+            yield emitter.current
 
-    def table(self) -> PacketTable:
+    def table(self, workers: int = 1, stats=None) -> PacketTable:
         """The whole trace as one :class:`PacketTable`."""
         result: Optional[PacketTable] = None
-        for chunk in self.iter_tables(chunk_size=None):
+        for chunk in self.iter_tables(chunk_size=None, workers=workers,
+                                      stats=stats):
             result = chunk
         return result if result is not None else PacketTable()
 
-    def write_pcap(self, path: str, snaplen: int = 65535) -> int:
+    def write_pcap(
+        self,
+        path: str,
+        snaplen: int = 65535,
+        workers: int = 1,
+        progress=None,
+    ) -> int:
         """Serialize the trace to a pcap file in wire format.
 
         Bulk data packets carry zero padding up to their declared size so
         the file is structurally faithful; identification payloads are real.
-        Returns the number of packets written.
+        Returns the number of packets written.  ``workers`` parallelizes
+        trace materialization (byte-identical output); ``progress``, if
+        given, is called as ``progress(packets_written, trace_time)``
+        after every chunk (see
+        :class:`repro.workload.progress.ProgressReporter`).
         """
         written = 0
         with open(path, "wb") as fileobj:
             writer = PcapWriter(fileobj, snaplen=snaplen)
             # Stream columnar chunks and read rows through the reused
             # view cursor: bounded memory, no per-packet objects.
-            for chunk in self.iter_tables():
+            last_timestamp = 0.0
+            for chunk in self.iter_tables(workers=workers):
                 for view in chunk.iter_views():
                     pair = view.pair
                     transport = 20 if pair.protocol == IPPROTO_TCP else 8
@@ -426,9 +533,32 @@ class TraceGenerator:
                     )
                     writer.write(view.timestamp, data)
                     written += 1
+                    last_timestamp = view.timestamp
+                if progress is not None:
+                    progress(written, last_timestamp)
         return written
 
 
-def generate_trace(config: Optional[TraceConfig] = None) -> List[Packet]:
-    """One-call convenience: a full in-memory synthetic trace."""
-    return TraceGenerator(config).packet_list()
+def generate_trace(
+    config: Optional[TraceConfig] = None, workers: int = 1
+) -> List[Packet]:
+    """One-call convenience: a full in-memory synthetic trace.
+
+    ``workers > 1`` materializes the trace on a process pool and converts
+    the columnar stream back to ``Packet`` objects (field-identical to
+    the serial path).  Either way the full object list is built — see
+    :meth:`TraceGenerator.packet_list` for the size warning; tables are
+    the representation for 10M+-packet traces.
+    """
+    generator = TraceGenerator(config)
+    if workers <= 1:
+        return generator.packet_list()
+    table = generator.table(workers=workers)
+    if len(table) >= MATERIALIZE_WARNING_THRESHOLD:
+        warnings.warn(
+            f"generate_trace() is materializing {len(table):,} Packet "
+            f"objects; use TraceGenerator.table() or iter_tables() for "
+            f"traces this large",
+            stacklevel=2,
+        )
+    return table.to_packets()

@@ -1,0 +1,96 @@
+"""Throttled progress reporting for long trace generations.
+
+A 100M-packet synthesis runs for minutes; :class:`ProgressReporter`
+keeps the operator informed without drowning short runs in noise: lines
+go to stderr (stdout stays machine-readable), at most one per
+``interval`` wall-clock seconds, and a run that finishes inside the
+first interval prints nothing at all — so tests and quick CLI calls are
+unaffected.
+
+The ETA comes from *trace time*, not packet counts: the generator knows
+the configured trace duration up front but not the final packet count,
+and packet rate is roughly stationary in trace time, so
+``elapsed × (duration − t) / t`` is an honest estimate from the first
+line onward.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds < 0:
+        seconds = 0.0
+    if seconds < 100:
+        return f"{seconds:.0f}s"
+    minutes, secs = divmod(int(seconds + 0.5), 60)
+    if minutes < 100:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+class ProgressReporter:
+    """Emits ``label: N packets · R pkt/s · trace t/T s · ETA x`` lines.
+
+    ``update(packets, trace_time)`` is cheap enough to call per chunk:
+    it returns immediately unless ``interval`` seconds have passed since
+    the last line.  ``finish()`` prints one summary line — but only if
+    an interval line was ever printed, keeping short runs silent.
+
+    ``clock`` and ``stream`` are injectable for tests.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        duration: Optional[float] = None,
+        interval: float = 2.0,
+        stream=None,
+        clock=time.monotonic,
+    ) -> None:
+        self.label = label
+        self.duration = duration
+        self.interval = interval
+        self.stream = stream if stream is not None else sys.stderr
+        self._clock = clock
+        self._start = clock()
+        self._deadline = self._start + interval
+        self._emitted = False
+        self.packets = 0
+
+    def update(self, packets: int, trace_time: Optional[float] = None) -> None:
+        """Record progress; print a line if the throttle interval passed."""
+        self.packets = packets
+        now = self._clock()
+        if now < self._deadline:
+            return
+        self._deadline = now + self.interval
+        self._emitted = True
+        elapsed = now - self._start
+        rate = packets / elapsed if elapsed > 0 else 0.0
+        parts = [f"{self.label}: {packets:,} packets",
+                 f"{rate:,.0f} pkt/s"]
+        if trace_time is not None and self.duration:
+            parts.append(f"trace {trace_time:.0f}/{self.duration:.0f}s")
+            if 0 < trace_time < self.duration:
+                remaining = elapsed * (self.duration - trace_time) / trace_time
+                parts.append(f"ETA {_format_seconds(remaining)}")
+        print("  " + " · ".join(parts), file=self.stream, flush=True)
+
+    def finish(self) -> None:
+        """Print the closing summary — only for runs long enough to have
+        reported at least once."""
+        if not self._emitted:
+            return
+        elapsed = self._clock() - self._start
+        rate = self.packets / elapsed if elapsed > 0 else 0.0
+        print(
+            f"  {self.label}: done — {self.packets:,} packets in "
+            f"{_format_seconds(elapsed)} ({rate:,.0f} pkt/s)",
+            file=self.stream,
+            flush=True,
+        )

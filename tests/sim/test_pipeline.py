@@ -321,6 +321,41 @@ class TestCompareDropRatesPassthrough:
             assert parallel.overall(name) == reference.overall(name)
 
 
+class TestCompareDropRatesFactory:
+    """The bounded-memory path: a callable trace factory replays each
+    filter from a fresh chunk stream, never materializing one table."""
+
+    def make_filters(self):
+        return {
+            "spi": SPIFilter(idle_timeout=240.0),
+            "bitmap": BitmapPacketFilter(
+                BitmapFilterConfig(size=2 ** 14, vectors=4, hashes=3,
+                                   rotate_interval=5.0)),
+        }
+
+    def test_factory_matches_materialized(self):
+        config = TraceConfig(duration=25.0, connection_rate=6.0, seed=15)
+        table = TraceGenerator(config).table()
+        reference = compare_drop_rates(table, self.make_filters(),
+                                       batched=True)
+        streamed = compare_drop_rates(
+            lambda: TraceGenerator(config).iter_tables(chunk_size=512),
+            self.make_filters(), batched=True,
+        )
+        assert streamed.points == reference.points
+        for name in ("spi", "bitmap"):
+            assert streamed.overall(name) == reference.overall(name)
+        # The factory path never materializes: no trace_s is charged.
+        assert streamed.timings["trace_s"] == 0.0
+
+    def test_timings_cover_every_filter(self):
+        comparison = compare_drop_rates(trace(15), self.make_filters())
+        assert set(comparison.timings["replay_s"]) == {"spi", "bitmap"}
+        assert all(value >= 0.0
+                   for value in comparison.timings["replay_s"].values())
+        assert comparison.timings["trace_s"] == 0.0  # list passed through
+
+
 class TestUnifiedResultShape:
     def test_parallel_result_is_replay_result(self):
         """The pre-unification result split is gone: one class, aliased."""

@@ -1,0 +1,243 @@
+"""The parallel materialization path's byte-identity contract.
+
+``iter_tables(workers=N)`` must emit *exactly* the serial chunk stream —
+same column bytes, same shared interning pools, same chunk boundaries —
+for every worker count, on both merge paths.  Alongside it: the
+utilization accounting (:class:`GenerationStats`), the throttled
+:class:`ProgressReporter`, and the materialization-size warnings.
+"""
+
+import io
+
+import pytest
+
+import repro.net.table as table_mod
+import repro.workload.generator as generator_mod
+from repro.workload.generator import TraceConfig, TraceGenerator, generate_trace
+from repro.workload.parallel import GenerationStats, parallel_tables
+from repro.workload.progress import ProgressReporter, _format_seconds
+
+CONFIGS = [
+    TraceConfig(duration=30.0, connection_rate=6.0, seed=7),
+    TraceConfig(duration=45.0, connection_rate=4.0, seed=42),
+]
+
+
+def column_bytes(chunk):
+    return (
+        chunk.timestamps.tobytes(),
+        chunk.sizes.tobytes(),
+        chunk.flags.tobytes(),
+        chunk.outbound.tobytes(),
+        chunk.pair_ids.tobytes(),
+        chunk.payload_ids.tobytes(),
+    )
+
+
+def stream_signature(chunks):
+    """Everything the identity contract covers: per-chunk column bytes
+    plus the shared pools' exact contents and order."""
+    chunks = list(chunks)
+    columns = [column_bytes(chunk) for chunk in chunks]
+    if chunks:
+        pairs = [tuple(pair) for pair in chunks[-1].pairs]
+        payloads = list(chunks[-1].payloads)
+    else:
+        pairs, payloads = [], []
+    return columns, pairs, payloads
+
+
+@pytest.fixture(params=["numpy", "stdlib"])
+def merge_path(request, monkeypatch):
+    if request.param == "numpy" and not table_mod.HAVE_NUMPY:
+        pytest.skip("numpy not installed")
+    monkeypatch.setattr(
+        table_mod, "_use_numpy", request.param == "numpy" and table_mod.HAVE_NUMPY
+    )
+    return request.param
+
+
+class TestParallelByteIdentity:
+    @pytest.mark.parametrize("config", CONFIGS, ids=["seed7", "seed42"])
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_chunk_stream_identical(self, config, workers, merge_path):
+        serial = stream_signature(
+            TraceGenerator(config).iter_tables(chunk_size=1024)
+        )
+        parallel = stream_signature(
+            TraceGenerator(config).iter_tables(chunk_size=1024, workers=workers)
+        )
+        assert parallel == serial
+
+    def test_one_shot_table_identical(self, merge_path):
+        serial = TraceGenerator(CONFIGS[0]).table()
+        parallel = TraceGenerator(CONFIGS[0]).table(workers=2)
+        assert len(parallel) == len(serial)
+        assert column_bytes(parallel) == column_bytes(serial)
+        assert [tuple(pair) for pair in parallel.pairs] == [
+            tuple(pair) for pair in serial.pairs
+        ]
+        assert list(parallel.payloads) == list(serial.payloads)
+
+    def test_chunk_size_bounds_hold(self):
+        chunks = list(
+            TraceGenerator(CONFIGS[0]).iter_tables(chunk_size=777, workers=2)
+        )
+        assert len(chunks) > 1
+        assert all(len(chunk) <= 777 for chunk in chunks)
+        # All chunks spawn from one pool: interned ids stay valid
+        # across the stream.
+        assert all(chunk.pairs is chunks[0].pairs for chunk in chunks[1:])
+
+    def test_batch_size_does_not_affect_output(self):
+        generator = TraceGenerator(CONFIGS[0])
+        baseline = stream_signature(generator.iter_tables(chunk_size=512))
+        for batch_size in (1, 7, 1000):
+            got = stream_signature(
+                parallel_tables(
+                    TraceGenerator(CONFIGS[0]), chunk_size=512, workers=2,
+                    batch_size=batch_size,
+                )
+            )
+            assert got == baseline
+
+    def test_workers_one_falls_through_to_serial(self):
+        serial = stream_signature(TraceGenerator(CONFIGS[0]).iter_tables())
+        fallthrough = stream_signature(
+            parallel_tables(TraceGenerator(CONFIGS[0]), workers=1)
+        )
+        assert fallthrough == serial
+
+    def test_empty_trace(self):
+        # Seeded so the first Poisson arrival lands past the horizon:
+        # zero specs, zero chunks, an empty table.
+        config = TraceConfig(duration=0.01, connection_rate=0.01, seed=1)
+        assert list(TraceGenerator(config).iter_tables(workers=2)) == list(
+            TraceGenerator(config).iter_tables()
+        )
+        assert len(TraceGenerator(config).table(workers=2)) == 0
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            list(TraceGenerator(CONFIGS[0]).iter_tables(workers=0))
+
+    def test_early_abandon_terminates_cleanly(self):
+        stream = TraceGenerator(CONFIGS[0]).iter_tables(chunk_size=64, workers=2)
+        first = next(stream)
+        assert len(first) == 64
+        stream.close()  # must not hang on queued batches
+
+
+class TestGeneratePacketsParity:
+    def test_generate_trace_parallel_matches_serial(self):
+        config = TraceConfig(duration=10.0, connection_rate=4.0, seed=9)
+        serial = generate_trace(config)
+        parallel = generate_trace(config, workers=2)
+        assert [
+            (p.timestamp, p.pair, p.size, p.flags, p.payload, p.direction)
+            for p in parallel
+        ] == [
+            (p.timestamp, p.pair, p.size, p.flags, p.payload, p.direction)
+            for p in serial
+        ]
+
+
+class TestGenerationStats:
+    def test_populated_by_parallel_run(self):
+        stats = GenerationStats()
+        table = TraceGenerator(CONFIGS[0]).table(workers=2, stats=stats)
+        assert stats.workers == 2
+        assert stats.batches >= 1
+        assert stats.rows == len(table)
+        assert stats.busy_s > 0.0
+        assert stats.wall_s > 0.0
+        assert 0.0 < stats.utilization()
+
+    def test_utilization_degenerate_cases(self):
+        assert GenerationStats().utilization() == 0.0
+        assert GenerationStats(workers=4, wall_s=0.0).utilization() == 0.0
+
+
+class _FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestProgressReporter:
+    def make(self, **kwargs):
+        clock = _FakeClock()
+        stream = io.StringIO()
+        reporter = ProgressReporter(
+            "gen", interval=2.0, stream=stream, clock=clock, **kwargs
+        )
+        return reporter, clock, stream
+
+    def test_throttles_to_one_line_per_interval(self):
+        reporter, clock, stream = self.make()
+        clock.t = 1.0
+        reporter.update(10)
+        assert stream.getvalue() == ""  # inside the first interval
+        clock.t = 2.5
+        reporter.update(50)
+        clock.t = 3.0
+        reporter.update(60)  # deadline moved to 4.5: suppressed
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 1
+        assert "gen: 50 packets" in lines[0]
+        assert "20 pkt/s" in lines[0]  # 50 packets / 2.5 s
+
+    def test_eta_from_trace_time(self):
+        reporter, clock, stream = self.make(duration=100.0)
+        clock.t = 2.5
+        reporter.update(50, trace_time=25.0)
+        line = stream.getvalue()
+        assert "trace 25/100s" in line
+        # elapsed 2.5 s covered 25 of 100 trace seconds -> 7.5 s left.
+        assert "ETA 8s" in line
+
+    def test_finish_summarizes_long_runs_only(self):
+        reporter, clock, stream = self.make()
+        clock.t = 2.5
+        reporter.update(50)
+        clock.t = 5.0
+        reporter.finish()
+        assert "done — 50 packets" in stream.getvalue().splitlines()[-1]
+
+    def test_short_runs_stay_silent(self):
+        reporter, clock, stream = self.make()
+        clock.t = 1.0
+        reporter.update(1000)
+        reporter.finish()
+        assert stream.getvalue() == ""
+
+    def test_format_seconds(self):
+        assert _format_seconds(5.4) == "5s"
+        assert _format_seconds(250) == "4m10s"
+        assert _format_seconds(7320) == "2h02m"
+        assert _format_seconds(-3.0) == "0s"
+
+
+class TestMaterializeWarnings:
+    def test_packet_list_warns_past_threshold(self, monkeypatch):
+        monkeypatch.setattr(generator_mod, "MATERIALIZE_WARNING_THRESHOLD", 100)
+        with pytest.warns(UserWarning, match="packet_list"):
+            packets = TraceGenerator(CONFIGS[0]).packet_list()
+        assert len(packets) > 100  # warning did not truncate the trace
+
+    def test_generate_trace_parallel_warns_past_threshold(self, monkeypatch):
+        monkeypatch.setattr(generator_mod, "MATERIALIZE_WARNING_THRESHOLD", 100)
+        config = TraceConfig(duration=10.0, connection_rate=4.0, seed=9)
+        with pytest.warns(UserWarning, match="generate_trace"):
+            generate_trace(config, workers=2)
+
+    def test_small_traces_stay_quiet(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            TraceGenerator(
+                TraceConfig(duration=5.0, connection_rate=2.0, seed=3)
+            ).packet_list()

@@ -70,6 +70,42 @@ class TestStreamEquivalence:
                 previous = timestamp
 
 
+COLUMNS = ("timestamps", "sizes", "flags", "outbound", "pair_ids", "payload_ids")
+
+
+class TestChunkingByteIdentity:
+    """Chunk boundaries are presentation only: concatenating any chunk
+    stream reproduces the one-shot ``table()`` byte for byte — columns
+    *and* interning pools.  Prime chunk sizes force boundaries to
+    straddle connection row-runs; 65536 exercises the flush floor."""
+
+    @pytest.mark.parametrize("config", CONFIGS, ids=["seed7", "seed42"])
+    @pytest.mark.parametrize("chunk_size", [1, 13, 97, 311, 1024, 65536])
+    def test_concat_equals_one_shot(self, config, chunk_size, merge_path):
+        one_shot = TraceGenerator(config).table()
+        chunks = list(TraceGenerator(config).iter_tables(chunk_size=chunk_size))
+        for column in COLUMNS:
+            assert b"".join(
+                getattr(chunk, column).tobytes() for chunk in chunks
+            ) == getattr(one_shot, column).tobytes(), column
+        pool = chunks[-1]
+        assert list(pool.pairs) == list(one_shot.pairs)
+        assert list(pool.payloads) == list(one_shot.payloads)
+
+    @pytest.mark.parametrize("chunk_size", [311, 4096])
+    def test_parallel_chunking_matches_serial_one_shot(self, chunk_size,
+                                                       merge_path):
+        one_shot = TraceGenerator(CONFIGS[1]).table()
+        chunks = list(
+            TraceGenerator(CONFIGS[1]).iter_tables(chunk_size=chunk_size,
+                                                   workers=2)
+        )
+        for column in COLUMNS:
+            assert b"".join(
+                getattr(chunk, column).tobytes() for chunk in chunks
+            ) == getattr(one_shot, column).tobytes(), column
+
+
 class TestNumpyStdlibIdentity:
     """The acceleration path is an optimization, never a behavior change."""
 
