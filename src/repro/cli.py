@@ -279,6 +279,47 @@ def build_parser() -> argparse.ArgumentParser:
                      help="config: new Δt (rotation phase re-anchors)")
     ctl.set_defaults(handler=cmd_ctl)
 
+    swarm = sub.add_parser(
+        "swarm",
+        help="run the adversarial closed-loop swarm against a filter",
+    )
+    swarm.add_argument("--peers", type=int, default=16, help="outside swarm peers")
+    swarm.add_argument("--clients", type=int, default=4, help="inside client hosts")
+    swarm.add_argument("--duration", type=float, default=120.0, help="trace seconds")
+    swarm.add_argument("--seed", type=int, default=7, help="run seed")
+    swarm.add_argument("--filter", dest="filter_name", default="bitmap",
+                       choices=("bitmap", "counting", "spi", "chain"))
+    swarm.add_argument("--size-bits", type=int, default=14, help="n of N=2^n")
+    swarm.add_argument("--vectors", type=int, default=4, help="k bit vectors")
+    swarm.add_argument("--hashes", type=int, default=3, help="m hash functions")
+    swarm.add_argument("--rotate", type=float, default=5.0, help="Δt seconds")
+    swarm.add_argument("--hole-punching", action="store_true",
+                       help="asymmetric fields: ignore the remote port "
+                            "(lets the hole-punch tactic through)")
+    swarm.add_argument("--pd", type=float, default=1.0,
+                       help="static inbound drop probability P_d")
+    swarm.add_argument("--no-evasion", action="store_true",
+                       help="peers never react to refusals (baseline)")
+    swarm.add_argument("--background-rate", type=float, default=1.0,
+                       help="non-P2P connections/sec (collateral probe)")
+    swarm.add_argument("--link-lifetime", type=float, default=45.0,
+                       help="mean seconds before a link churns (0 = forever)")
+    swarm.add_argument("--retune-mbps", type=float, default=None,
+                       help="close the defense loop: steer P_d toward this "
+                            "uplink target (starts from --pd)")
+    swarm.add_argument("--retune-via", default="direct",
+                       choices=("direct", "control"),
+                       help="apply retuned P_d in-process or through a live "
+                            "FilterService control socket")
+    swarm.add_argument("--retune-interval", type=float, default=5.0,
+                       help="seconds between retune probes")
+    swarm.add_argument("--retune-gain", type=float, default=0.4,
+                       help="TargetRateController integral gain")
+    swarm.add_argument("--json", dest="json_out", default=None,
+                       help="write the full SwarmResult as JSON (use '-' "
+                            "for stdout)")
+    swarm.set_defaults(handler=cmd_swarm)
+
     plan = sub.add_parser("plan", help="size a bitmap filter (section 4.3)")
     plan.add_argument("--connections", type=int, required=True,
                       help="active connections per T_e window")
@@ -1047,6 +1088,128 @@ def cmd_ctl(args) -> int:
     except (ControlError, ConnectionError, FileNotFoundError, OSError) as error:
         print(f"control error: {error}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _build_swarm_filter(args):
+    """The swarm's defender and, when retuning, its drop controller."""
+    from repro.core.dropper import StaticDropPolicy
+    from repro.filters.bitmap import BitmapPacketFilter
+    from repro.filters.chain import FilterChain
+    from repro.filters.counting import CountingBitmapFilter
+    from repro.filters.policy import DropController
+    from repro.filters.spi import SPIFilter
+
+    controller = DropController(StaticDropPolicy(args.pd))
+    config = BitmapFilterConfig(
+        size=2 ** args.size_bits,
+        vectors=args.vectors,
+        hashes=args.hashes,
+        rotate_interval=args.rotate,
+        field_mode=FieldMode.HOLE_PUNCHING if args.hole_punching
+        else FieldMode.STRICT,
+    )
+    if args.filter_name == "bitmap":
+        return BitmapPacketFilter(config, controller), controller
+    if args.filter_name == "counting":
+        return CountingBitmapFilter(config, controller), controller
+    if args.filter_name == "spi":
+        return SPIFilter(idle_timeout=240.0, drop_controller=controller), controller
+    # chain: SPI in front of the bitmap; retune steers the bitmap's P_d.
+    spi = SPIFilter(idle_timeout=240.0, drop_controller=DropController.never_drop())
+    return FilterChain([spi, BitmapPacketFilter(config, controller)]), controller
+
+
+def cmd_swarm(args) -> int:
+    """Run the adversarial swarm and print the engagement summary."""
+    import json
+
+    from repro.core.autotune import TargetRateController
+    from repro.swarm import (
+        ControlApplier,
+        DirectApplier,
+        EvasionPolicy,
+        RetuneLoop,
+        SwarmConfig,
+        SwarmSimulator,
+        launch_control_service,
+    )
+
+    evasion = EvasionPolicy.off() if args.no_evasion else EvasionPolicy()
+    config = SwarmConfig(
+        peers=args.peers,
+        clients=args.clients,
+        duration=args.duration,
+        seed=args.seed,
+        background_rate=args.background_rate,
+        link_lifetime=args.link_lifetime,
+        evasion=evasion,
+    )
+    packet_filter, controller = _build_swarm_filter(args)
+
+    retune = None
+    handle = None
+    if args.retune_mbps is not None:
+        target = TargetRateController.mbps(
+            args.retune_mbps, gain=args.retune_gain,
+            initial_probability=args.pd,
+        )
+        if args.retune_via == "control":
+            import os
+            import tempfile
+
+            sock = os.path.join(tempfile.mkdtemp(prefix="swarm-ctl-"),
+                                "control.sock")
+            handle = launch_control_service(packet_filter, "unix:" + sock)
+            applier = ControlApplier(handle.client())
+        else:
+            applier = DirectApplier(controller)
+        retune = RetuneLoop(target, applier, interval=args.retune_interval)
+
+    try:
+        result = SwarmSimulator(packet_filter, config, retune=retune).run()
+    finally:
+        if handle is not None:
+            handle.close()
+
+    payload = result.as_dict()
+    if args.json_out == "-":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+
+    print(f"swarm: {args.peers} peers vs {args.clients} clients, "
+          f"{args.duration:.0f}s, filter={args.filter_name} "
+          f"P_d={args.pd} evasion={'off' if args.no_evasion else 'on'}")
+    print(f"  attempts: {result.attempts_total} "
+          f"(admitted {result.attempts_admitted}, "
+          f"refused {result.attempts_refused})")
+    print(f"  penetration probability: {result.penetration_probability:.3f} "
+          f"({result.peers_penetrated}/{result.peers} peers penetrated)")
+    for tactic in sorted(result.tactic_attempts):
+        print(f"    {tactic}: {result.tactic_successes.get(tactic, 0)}"
+              f"/{result.tactic_attempts[tactic]}")
+    print(f"  reverse connections (outbound-initiated): "
+          f"{result.reverse_connections}")
+    print(f"  swarm upload: {result.swarm_upload_bytes:,} bytes "
+          f"(bursts {result.burst_upload_bytes:,}, "
+          f"reverse {result.reverse_upload_bytes:,})")
+    print(f"  background: {result.background_total} connections, "
+          f"{result.background_refused} refused "
+          f"({result.background_refusal_rate:.1%} collateral)")
+    if result.evasion_onset is not None:
+        print(f"  evasion onset: t={result.evasion_onset:.1f}s")
+    if retune is not None:
+        recovery = ("%.1fs" % result.recovery_time
+                    if result.recovery_time is not None else "not reached")
+        print(f"  retune ({args.retune_via}): target "
+              f"{args.retune_mbps:.2f} Mbps, recovery {recovery}, "
+              f"final P_d {retune.controller.current_probability:.3f}")
+    if result.replay is not None:
+        print(f"  packets: {result.replay.packets:,}, "
+              f"fingerprint {result.replay.fingerprint:#018x}")
     return 0
 
 

@@ -33,6 +33,17 @@ from repro.sim.pipeline import PipelineConfig, ReplayPipeline, ReplayResult
 from repro.workload.apps import ConnectionSpec, connection_packets
 
 
+def retry_stream_seed(seed: int, ident: int, attempt: int) -> int:
+    """RNG stream for retry ``attempt`` of connection ``ident``.
+
+    A nested :func:`derive_seed` chain keeps retry streams in their own
+    splitmix64 domain.  (The previous ``ident + 1_000_000`` additive
+    offset collided with the primary per-spec streams once a workload
+    carried a million connections.)
+    """
+    return derive_seed(derive_seed(seed, ident), attempt)
+
+
 @dataclass
 class ClosedLoopResult:
     """Outcome of a closed-loop run."""
@@ -46,6 +57,10 @@ class ClosedLoopResult:
     connections_refused: int = 0
     #: Refused connections by initiator ("client"/"remote").
     refused_by_initiator: Dict[str, int] = field(default_factory=dict)
+    #: Trace timestamp of every refusal, in refusal order — when the
+    #: filter pushed back, not just how often (reaction-latency input
+    #: for closed-loop consumers like the swarm plane).
+    refusal_times: List[float] = field(default_factory=list)
     packets_sent: int = 0
     #: The underlying engine result — same shape as open-loop replay
     #: (router with offered/passed series, drop windows, blocklist).
@@ -136,9 +151,12 @@ class ClosedLoopSimulator:
 
         def admit(spec: ConnectionSpec, index: int, attempts: int = 0) -> None:
             nonlocal counter
-            schedule = connection_packets(
-                spec, random.Random(derive_seed(seed, index))
+            stream = (
+                derive_seed(seed, index)
+                if attempts == 0
+                else retry_stream_seed(seed, index, attempts)
             )
+            schedule = connection_packets(spec, random.Random(stream))
             if not schedule:
                 return
             live = _LiveConnection(spec, schedule, attempts)
@@ -154,7 +172,7 @@ class ClosedLoopSimulator:
                 next_event = heap[0][0] if heap else float("inf")
             while retries and retries[0][0] <= next_event:
                 _, index, spec, attempts = heapq.heappop(retries)
-                admit(spec, index + 1_000_000, attempts)
+                admit(spec, index, attempts)
                 next_event = heap[0][0] if heap else float("inf")
             if not heap:
                 if admit_index < len(ordered):
@@ -163,7 +181,7 @@ class ClosedLoopSimulator:
                     continue
                 if retries:
                     _, index, spec, attempts = heapq.heappop(retries)
-                    admit(spec, index + 1_000_000, attempts)
+                    admit(spec, index, attempts)
                     continue
                 break
 
@@ -187,6 +205,7 @@ class ClosedLoopSimulator:
                 if live.position < self.admission_window and not live.counted:
                     # Admission refused: the connection never establishes.
                     result.connections_refused += 1
+                    result.refusal_times.append(packet.timestamp)
                     initiator = live.spec.initiator.value
                     result.refused_by_initiator[initiator] = (
                         result.refused_by_initiator.get(initiator, 0) + 1

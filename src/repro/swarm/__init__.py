@@ -1,0 +1,57 @@
+"""Adversarial closed-loop swarm plane.
+
+P2P peers that *react* to the filter's refusals — tracker re-announce,
+source-port hopping, optimistic-unchoke churn, PEX retries, NAT
+hole-punching — and the retune loop that claws the upload bound back.
+See :mod:`repro.swarm.engine` for the event loop, docs/architecture.md
+for the plane-level picture.
+"""
+
+from repro.swarm.engine import SwarmConfig, SwarmResult, SwarmSimulator
+from repro.swarm.evasion import (
+    ALL_TACTICS,
+    EvasionPolicy,
+    TACTIC_CHURN,
+    TACTIC_CYCLE,
+    TACTIC_HOLE_PUNCH,
+    TACTIC_INITIAL,
+    TACTIC_PEX,
+    TACTIC_PORT_HOP,
+    TACTIC_REANNOUNCE,
+)
+from repro.swarm.peers import ClientPeer, PeerLink, RateMeasure, SwarmPeer
+from repro.swarm.retune import (
+    ControlApplier,
+    ControlServiceHandle,
+    DirectApplier,
+    RetuneLoop,
+    launch_control_service,
+)
+from repro.swarm.tracker import AnnounceResult, Tracker, TrackerEntry
+
+__all__ = [
+    "ALL_TACTICS",
+    "AnnounceResult",
+    "ClientPeer",
+    "ControlApplier",
+    "ControlServiceHandle",
+    "DirectApplier",
+    "EvasionPolicy",
+    "PeerLink",
+    "RateMeasure",
+    "RetuneLoop",
+    "SwarmConfig",
+    "SwarmPeer",
+    "SwarmResult",
+    "SwarmSimulator",
+    "TACTIC_CHURN",
+    "TACTIC_CYCLE",
+    "TACTIC_HOLE_PUNCH",
+    "TACTIC_INITIAL",
+    "TACTIC_PEX",
+    "TACTIC_PORT_HOP",
+    "TACTIC_REANNOUNCE",
+    "Tracker",
+    "TrackerEntry",
+    "launch_control_service",
+]

@@ -1,0 +1,146 @@
+"""Evasion tactics a refused swarm peer may react with.
+
+The paper evaluates the bitmap filter against replayed traces; real
+BitTorrent peers *react* to refused connections.  The tactics modeled
+here are the standard client behaviors (BUTorrent / TinyTorrent lineage,
+plus the NAT-traversal folklore every modern client implements):
+
+``reannounce``
+    Go back to the tracker early.  Besides learning fresh targets, the
+    re-announce puts the peer back at the front of the tracker's recent
+    list — an *inside* client's next announce may then dial the peer
+    outbound, and upload on a client-initiated connection sails past
+    inbound admission entirely (the locality-paper dynamic).
+
+``port_hop``
+    Retry from a fresh ephemeral source port.  Against an exact-σ
+    blocklist this evades suppression outright; against the bitmap it is
+    a fresh penetration trial (new hash indices, new ``P_d`` coin).
+
+``churn``
+    Optimistic-unchoke churn: rotate the peer's own optimistic slot to a
+    *different* inside member already known, instead of hammering the
+    refusing one.
+
+``pex``
+    Peer-exchange retry: gossip with a swarm peer that *does* hold an
+    established connection, learn inside members this peer has never
+    tried, and attempt one of those.
+
+``hole_punch``
+    Rendezvous through the tracker: the inside client emits an outbound
+    probe from its listen port toward the peer, then the peer connects
+    inbound to that listen port from a *different* ephemeral port.  The
+    probe opens the door only under
+    :attr:`repro.core.bitmap_filter.FieldMode.HOLE_PUNCHING`, whose hash
+    omits the remote port; under ``STRICT`` the ports mismatch and the
+    punch fails — exactly the asymmetry the paper's section 4 discusses.
+
+Tactic order is fixed (:data:`TACTIC_CYCLE`): a refused target chain
+cycles through the enabled tactics deterministically, so every enabled
+tactic gets exercised and runs stay bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+#: Tactic labels as they appear in per-tactic attempt/success counts.
+TACTIC_INITIAL = "initial"
+TACTIC_REANNOUNCE = "reannounce"
+TACTIC_PORT_HOP = "port-hop"
+TACTIC_CHURN = "churn"
+TACTIC_PEX = "pex"
+TACTIC_HOLE_PUNCH = "hole-punch"
+
+#: The deterministic reaction order for a refused target chain.
+TACTIC_CYCLE = (
+    TACTIC_PORT_HOP,
+    TACTIC_REANNOUNCE,
+    TACTIC_HOLE_PUNCH,
+    TACTIC_PEX,
+    TACTIC_CHURN,
+)
+
+#: Every label a SwarmResult tactic table may carry.
+ALL_TACTICS = (TACTIC_INITIAL,) + TACTIC_CYCLE
+
+
+@dataclass
+class EvasionPolicy:
+    """Which reactions a refused admission triggers, and how eagerly."""
+
+    reannounce: bool = True
+    port_hop: bool = True
+    churn: bool = True
+    pex: bool = True
+    hole_punch: bool = True
+    #: Seconds before the first reaction to a refusal.
+    retry_backoff: float = 2.0
+    #: Backoff multiplier per successive refusal of the same target chain.
+    backoff_factor: float = 1.5
+    #: Reactions per (peer, target) chain before the peer gives up on it.
+    max_attempts: int = 5
+    #: Outbound rendezvous probe → inbound connect delay (hole punching).
+    hole_punch_delay: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.retry_backoff <= 0:
+            raise ValueError(f"retry_backoff must be positive: {self.retry_backoff}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(f"backoff_factor must be >= 1: {self.backoff_factor}")
+        if self.max_attempts < 0:
+            raise ValueError(f"max_attempts must be >= 0: {self.max_attempts}")
+        if self.hole_punch_delay <= 0:
+            raise ValueError(
+                f"hole_punch_delay must be positive: {self.hole_punch_delay}"
+            )
+
+    @classmethod
+    def off(cls) -> "EvasionPolicy":
+        """Peers that never react — the evasion-off baseline."""
+        return cls(
+            reannounce=False, port_hop=False, churn=False, pex=False,
+            hole_punch=False, max_attempts=0,
+        )
+
+    @property
+    def any_enabled(self) -> bool:
+        return bool(self.enabled_tactics())
+
+    def enabled_tactics(self) -> List[str]:
+        """Enabled tactic labels in :data:`TACTIC_CYCLE` order."""
+        flags = {
+            TACTIC_PORT_HOP: self.port_hop,
+            TACTIC_REANNOUNCE: self.reannounce,
+            TACTIC_HOLE_PUNCH: self.hole_punch,
+            TACTIC_PEX: self.pex,
+            TACTIC_CHURN: self.churn,
+        }
+        return [tactic for tactic in TACTIC_CYCLE if flags[tactic]]
+
+    def tactic_for(self, attempt_number: int) -> str:
+        """The reaction to refusal number ``attempt_number`` (0-based) of
+        one target chain — cycles through the enabled tactics."""
+        enabled = self.enabled_tactics()
+        if not enabled:
+            raise ValueError("no evasion tactics enabled")
+        return enabled[attempt_number % len(enabled)]
+
+    def backoff_for(self, attempt_number: int) -> float:
+        """Seconds to wait before reaction ``attempt_number`` (0-based)."""
+        return self.retry_backoff * (self.backoff_factor ** attempt_number)
+
+    def as_dict(self) -> dict:
+        return {
+            "reannounce": self.reannounce,
+            "port_hop": self.port_hop,
+            "churn": self.churn,
+            "pex": self.pex,
+            "hole_punch": self.hole_punch,
+            "retry_backoff": self.retry_backoff,
+            "backoff_factor": self.backoff_factor,
+            "max_attempts": self.max_attempts,
+            "hole_punch_delay": self.hole_punch_delay,
+        }

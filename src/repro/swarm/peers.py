@@ -1,0 +1,244 @@
+"""Swarm participants: inside clients with choker state, outside peers.
+
+The per-peer rate measurement and the choke/unchoke machinery follow the
+BUTorrent ``Upload``/``Measure`` loop (see SNIPPETS.md): every inside
+client serves at most ``unchoke_slots`` peers, ranks interested peers by
+their recently measured transfer rate on each rechoke tick, and rotates
+one *optimistic* unchoke slot on a slower timer so idle peers get a
+chance to prove themselves.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.workload.topology import HostModel
+
+
+class RateMeasure:
+    """Sliding-origin rate estimator (BUTorrent's ``Measure``).
+
+    ``update`` adds transferred bytes at trace time ``now``; ``rate``
+    reports bytes/second over at most the last ``max_rate_period``
+    seconds.  The origin slides forward so an idle link's measured rate
+    decays toward zero instead of averaging over its whole lifetime.
+    """
+
+    def __init__(self, max_rate_period: float = 20.0) -> None:
+        if max_rate_period <= 0:
+            raise ValueError(f"max_rate_period must be positive: {max_rate_period}")
+        self.max_rate_period = max_rate_period
+        self.rate_since: Optional[float] = None
+        self.last = 0.0
+        self.total = 0.0
+        self._rate = 0.0
+
+    def update(self, now: float, amount: int) -> None:
+        if self.rate_since is None:
+            self.rate_since = now - 0.001
+        self.total += amount
+        elapsed = max(now - self.rate_since, 0.001)
+        self._rate = self.total / elapsed
+        self.last = now
+        # Slide the origin so old transfers age out of the estimate.
+        if now - self.rate_since > self.max_rate_period:
+            excess = (now - self.max_rate_period) - self.rate_since
+            self.total = max(0.0, self.total - self._rate * excess)
+            self.rate_since = now - self.max_rate_period
+
+    def rate(self, now: float) -> float:
+        if self.rate_since is None:
+            return 0.0
+        elapsed = max(now - self.rate_since, 0.001)
+        return self.total / elapsed
+
+
+class PeerLink:
+    """One established connection between an inside client and a peer."""
+
+    __slots__ = (
+        "link_id", "client", "peer", "tactic", "established_at",
+        "unchoked", "measure", "rng", "outbound", "client_port", "remote_port",
+    )
+
+    def __init__(
+        self,
+        link_id: int,
+        client: "ClientPeer",
+        peer: "SwarmPeer",
+        tactic: str,
+        now: float,
+        rng: random.Random,
+        outbound: bool = False,
+        client_port: int = 0,
+        remote_port: int = 0,
+    ) -> None:
+        self.link_id = link_id
+        self.client = client
+        self.peer = peer
+        self.tactic = tactic
+        self.established_at = now
+        self.unchoked = False
+        #: Measured upload rate client → peer on this link.
+        self.measure = RateMeasure()
+        #: Burst pacing RNG — derived per link by the engine.
+        self.rng = rng
+        #: True when the *client* initiated (reverse connection) — upload
+        #: then rides an outbound-initiated connection.
+        self.outbound = outbound
+        self.client_port = client_port
+        self.remote_port = remote_port
+
+
+class ClientPeer:
+    """An inside host running a BitTorrent-style client.
+
+    Holds the choker state: which established links are interested, which
+    are unchoked, and which one holds the optimistic slot.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        host: HostModel,
+        listen_port: int,
+        rng: random.Random,
+        unchoke_slots: int = 4,
+        optimistic_rounds: int = 3,
+    ) -> None:
+        if unchoke_slots < 1:
+            raise ValueError(f"unchoke_slots must be >= 1: {unchoke_slots}")
+        if optimistic_rounds < 1:
+            raise ValueError(f"optimistic_rounds must be >= 1: {optimistic_rounds}")
+        self.index = index
+        self.host = host
+        self.addr = host.addr
+        self.listen_port = listen_port
+        self.rng = rng
+        self.unchoke_slots = unchoke_slots
+        self.optimistic_rounds = optimistic_rounds
+        #: Established links by link id, insertion-ordered (deterministic).
+        self.links: Dict[int, PeerLink] = {}
+        self.optimistic: Optional[PeerLink] = None
+        self.rechoke_round = 0
+        #: Peers this client already dialed outbound (reverse connects).
+        self.dialed: Dict[int, bool] = {}
+
+    @property
+    def interested(self) -> List[PeerLink]:
+        return list(self.links.values())
+
+    def free_slots(self) -> int:
+        used = sum(1 for link in self.links.values() if link.unchoked)
+        return max(0, self.unchoke_slots - used)
+
+    def add_link(self, link: PeerLink) -> None:
+        self.links[link.link_id] = link
+
+    def rechoke(self, now: float) -> List[PeerLink]:
+        """One choker tick (BUTorrent: every ~10 s): unchoke the fastest
+        ``slots - 1`` interested links plus one optimistic pick, rotated
+        every ``optimistic_rounds`` ticks.  Returns links that became
+        *newly* unchoked (the engine schedules their upload bursts)."""
+        self.rechoke_round += 1
+        links = self.interested
+        if not links:
+            self.optimistic = None
+            return []
+        ranked = sorted(
+            links,
+            key=lambda link: (-link.measure.rate(now), link.link_id),
+        )
+        regular = ranked[: max(0, self.unchoke_slots - 1)]
+        rotate = (
+            self.optimistic is None
+            or self.optimistic.link_id not in self.links
+            or self.rechoke_round % self.optimistic_rounds == 0
+        )
+        if rotate:
+            choked = [link for link in ranked if link not in regular]
+            self.optimistic = self.rng.choice(choked) if choked else None
+        unchoked = list(regular)
+        if self.optimistic is not None and self.optimistic not in unchoked:
+            unchoked.append(self.optimistic)
+        newly = []
+        chosen = {link.link_id for link in unchoked}
+        for link in links:
+            was = link.unchoked
+            link.unchoked = link.link_id in chosen
+            if link.unchoked and not was:
+                newly.append(link)
+        return newly
+
+
+class SwarmPeer:
+    """An outside swarm member that wants the inside clients' upload."""
+
+    def __init__(
+        self,
+        index: int,
+        addr: int,
+        listen_port: int,
+        rng: random.Random,
+    ) -> None:
+        self.index = index
+        self.addr = addr
+        self.listen_port = listen_port
+        self.rng = rng
+        #: Fresh ephemeral source ports — each connection attempt (and
+        #: every port hop) draws a new one.
+        self._port_base = rng.randint(1024, 20000)
+        self._port_count = 0
+        #: Inside clients learned from the tracker / PEX, by client index.
+        self.known_clients: Dict[int, bool] = {}
+        #: Per-target evasion chains: client index → refusal count.
+        self.refusals: Dict[int, int] = {}
+        #: Targets with an attempt currently in flight (no double-dialing).
+        self.in_flight: Dict[int, bool] = {}
+        #: Established links by client index (inbound or reverse).
+        self.links: Dict[int, PeerLink] = {}
+        #: Targets this peer has abandoned (evasion chain exhausted).
+        self.abandoned: Dict[int, bool] = {}
+        #: Sticky: some inbound attempt established at least once, even
+        #: if the link churned away later.
+        self.was_penetrated = False
+        #: Download rate achieved across all links (the peer's payoff).
+        self.measure = RateMeasure()
+        #: True while the peer's latest tracker announce was an evasive
+        #: re-announce (credits the reannounce tactic on reverse connects).
+        self.evasive_announce = False
+        #: Tracker-imposed earliest next announce (back-off state lives
+        #: in the tracker; this caches the last advisory).
+        self.next_announce = 0.0
+
+    def next_port(self) -> int:
+        """A fresh ephemeral source port (port hops never repeat one)."""
+        port = 1024 + (self._port_base - 1024 + self._port_count) % 60000
+        self._port_count += 1
+        return port
+
+    def learn(self, client_index: int) -> bool:
+        """Record an inside client as a known target; True if new."""
+        if client_index in self.known_clients:
+            return False
+        self.known_clients[client_index] = True
+        return True
+
+    def candidate_targets(self) -> List[int]:
+        """Known clients with no live link, not in flight, not abandoned,
+        in deterministic learned order."""
+        return [
+            index
+            for index in self.known_clients
+            if index not in self.links
+            and index not in self.in_flight
+            and index not in self.abandoned
+        ]
+
+    @property
+    def penetrated(self) -> bool:
+        """Did any *inbound* attempt of this peer ever establish?"""
+        return self.was_penetrated or any(
+            not link.outbound for link in self.links.values()
+        )

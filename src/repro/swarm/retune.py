@@ -1,0 +1,206 @@
+"""The defense side of the closed loop: live retuning and recovery time.
+
+A :class:`RetuneLoop` pairs a :class:`repro.core.autotune.TargetRateController`
+with an *applier* that pushes each new ``P_d`` into the filter.  Two
+appliers ship:
+
+* :class:`DirectApplier` mutates the filter's
+  :class:`~repro.core.dropper.StaticDropPolicy` in-process — the fast
+  path for benches and tests;
+* :class:`ControlApplier` sends ``config probability=...`` through a
+  live :class:`~repro.service.control.ControlClient`, exercising the
+  real control plane end to end.
+
+Because the swarm engine fires retune probes at fixed *trace-time*
+intervals and the control request is a synchronous round trip, the
+mutation lands deterministically between swarm events: a control-plane
+run is bit-identical to a direct-apply run (the determinism tests pin
+this).  :func:`launch_control_service` starts a real
+:class:`~repro.service.service.FilterService` over an
+:class:`~repro.service.sources.IdleSource` in a background thread,
+wrapping the *same* filter object the swarm pipeline adjudicates with,
+so the service's ``_apply_config`` mutation is visible to the very next
+swarm packet.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional, Tuple
+
+from repro.core.autotune import TargetRateController
+from repro.core.dropper import StaticDropPolicy
+from repro.filters.base import PacketFilter
+from repro.filters.policy import DropController
+
+
+class DirectApplier:
+    """Apply ``P_d`` straight onto the filter's static drop policy."""
+
+    name = "direct"
+
+    def __init__(self, drop_controller: DropController) -> None:
+        if not isinstance(drop_controller.policy, StaticDropPolicy):
+            raise ValueError(
+                "retuning P_d needs a StaticDropPolicy on the filter "
+                f"(got {type(drop_controller.policy).__name__}); the "
+                "TargetRateController lives in the RetuneLoop"
+            )
+        self._policy = drop_controller.policy
+
+    def apply(self, probability: float) -> None:
+        self._policy._probability = probability
+
+    def close(self) -> None:
+        pass
+
+
+class ControlApplier:
+    """Apply ``P_d`` through a live control socket (the real plane)."""
+
+    name = "control"
+
+    def __init__(self, client) -> None:
+        self._client = client
+
+    def apply(self, probability: float) -> None:
+        self._client.configure(probability=probability)
+
+    def close(self) -> None:
+        pass
+
+
+class RetuneLoop:
+    """Probe the uplink every ``interval`` trace seconds, steer ``P_d``.
+
+    ``tolerance`` and ``hold`` define the recovery criterion: the bound
+    counts as re-established at the first probe whose measured uplink is
+    at or below ``target × (1 + tolerance)`` and *stays* there for
+    ``hold`` consecutive probes.
+    """
+
+    def __init__(
+        self,
+        controller: TargetRateController,
+        applier,
+        interval: float = 5.0,
+        tolerance: float = 0.1,
+        hold: int = 2,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive: {interval}")
+        if tolerance < 0:
+            raise ValueError(f"tolerance must be >= 0: {tolerance}")
+        if hold < 1:
+            raise ValueError(f"hold must be >= 1: {hold}")
+        self.controller = controller
+        self.applier = applier
+        self.interval = interval
+        self.tolerance = tolerance
+        self.hold = hold
+        #: (trace time, measured bps, applied P_d) per probe.
+        self.log: List[Tuple[float, float, float]] = []
+
+    @property
+    def target_bps(self) -> float:
+        return self.controller.target_bps
+
+    def probe(self, now: float, measured_bps: float) -> float:
+        """One control step: observe, compute, apply, log."""
+        probability = self.controller.probability(measured_bps)
+        self.applier.apply(probability)
+        self.log.append((now, measured_bps, probability))
+        return probability
+
+    def recovery_time(self, onset: Optional[float]) -> Optional[float]:
+        """Seconds from evasion onset to the bound being re-established,
+        or ``None`` when the bound never recovered (or evasion never
+        started)."""
+        if onset is None:
+            return None
+        bound = self.target_bps * (1.0 + self.tolerance)
+        run = 0
+        recovered_at: Optional[float] = None
+        for when, measured, _ in self.log:
+            if when < onset:
+                continue
+            if measured <= bound:
+                if run == 0:
+                    recovered_at = when
+                run += 1
+                if run >= self.hold:
+                    return max(0.0, recovered_at - onset)
+            else:
+                run = 0
+                recovered_at = None
+        return None
+
+    def close(self) -> None:
+        self.applier.close()
+
+
+class ControlServiceHandle:
+    """A live :class:`FilterService` over an idle source, in a thread.
+
+    The service wraps the *shared* filter instance and serves the control
+    socket; the swarm's synchronous ``ControlClient`` round trips land
+    their mutations between swarm events.  ``close()`` shuts the service
+    down through its own control plane and joins the thread.
+    """
+
+    def __init__(self, service, thread: threading.Thread, address: str) -> None:
+        self.service = service
+        self.thread = thread
+        self.address = address
+        self._client = None
+
+    def client(self, connect_retry: float = 10.0):
+        from repro.service.control import ControlClient
+
+        if self._client is None:
+            self._client = ControlClient(self.address, connect_retry=connect_retry)
+        return self._client
+
+    def close(self) -> None:
+        from repro.service.control import ControlError
+
+        try:
+            self.client().shutdown()
+        except (ControlError, OSError):
+            pass
+        if self._client is not None:
+            self._client.close()
+            self._client = None
+        self.thread.join(timeout=10.0)
+
+    def __enter__(self) -> "ControlServiceHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def launch_control_service(
+    packet_filter: PacketFilter, address: str
+) -> ControlServiceHandle:
+    """Start a control-serving :class:`FilterService` around
+    ``packet_filter`` in a daemon thread and return its handle.
+
+    The service ingests nothing (:class:`IdleSource`); its only job is to
+    hold the warm filter and answer control requests — ``config``
+    mutations apply to the same object the swarm pipeline consults.
+    """
+    from repro.service.service import FilterService
+    from repro.service.sources import IdleSource
+
+    service = FilterService(
+        IdleSource(poll_interval=0.01),
+        packet_filter,
+        use_blocklist=False,
+        control=address,
+    )
+    thread = threading.Thread(
+        target=service.run_forever, name="swarm-control-service", daemon=True
+    )
+    thread.start()
+    return ControlServiceHandle(service, thread, address)

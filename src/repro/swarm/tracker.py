@@ -1,0 +1,136 @@
+"""A deterministic BitTorrent-style tracker.
+
+Serves announce/re-announce with a per-actor minimum interval (the
+tracker-imposed back-off real trackers enforce), returns peer samples,
+and keeps a recency list so freshly (re-)announced peers are what inside
+clients learn about next — which is exactly why the ``reannounce``
+evasion tactic works: the refused peer re-announces, an inside client's
+next announce returns it, and the client may dial *outbound*.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass
+class TrackerEntry:
+    """One swarm member as the tracker advertises it."""
+
+    kind: str  # "client" (inside) or "peer" (outside)
+    index: int
+    addr: int
+    port: int
+    #: The member's latest announce was an evasive re-announce.
+    evasive: bool = False
+
+
+class AnnounceResult:
+    """Outcome of one announce: either a peer sample, or "come back at"."""
+
+    __slots__ = ("sample", "interval", "retry_at")
+
+    def __init__(
+        self,
+        sample: Optional[List[TrackerEntry]] = None,
+        interval: float = 0.0,
+        retry_at: Optional[float] = None,
+    ) -> None:
+        self.sample = sample
+        self.interval = interval
+        self.retry_at = retry_at
+
+    @property
+    def accepted(self) -> bool:
+        return self.sample is not None
+
+
+class Tracker:
+    """Announce registry with back-off enforcement and recency sampling."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        min_interval: float = 10.0,
+        announce_interval: float = 30.0,
+        numwant: int = 8,
+        recent_window: int = 32,
+    ) -> None:
+        if min_interval <= 0:
+            raise ValueError(f"min_interval must be positive: {min_interval}")
+        if announce_interval < min_interval:
+            raise ValueError("announce_interval must be >= min_interval")
+        if numwant < 1:
+            raise ValueError(f"numwant must be >= 1: {numwant}")
+        self.rng = rng
+        self.min_interval = min_interval
+        self.announce_interval = announce_interval
+        self.numwant = numwant
+        self.recent_window = recent_window
+        #: Registered members keyed by (kind, index), insertion-ordered.
+        self._members: Dict[tuple, TrackerEntry] = {}
+        #: Per-actor earliest next accepted announce.
+        self._allowed_at: Dict[tuple, float] = {}
+        #: Outside peers in most-recent-announce-first order.
+        self._recent_peers: List[tuple] = []
+
+    def register(self, entry: TrackerEntry) -> None:
+        key = (entry.kind, entry.index)
+        self._members[key] = entry
+        if entry.kind == "peer" and key not in self._recent_peers:
+            self._recent_peers.append(key)
+
+    def earliest_announce(self, kind: str, index: int) -> float:
+        return self._allowed_at.get((kind, index), 0.0)
+
+    def announce(
+        self, kind: str, index: int, now: float, evasive: bool = False
+    ) -> AnnounceResult:
+        """One announce at trace time ``now``.
+
+        Early re-announces are refused with the time to come back at —
+        the caller's back-off.  Accepted announces refresh the member's
+        recency position, record the ``evasive`` flag, and return a
+        sample: outside peers get inside clients to dial; inside clients
+        get the most recently announced outside peers.
+        """
+        key = (kind, index)
+        if key not in self._members:
+            raise KeyError(f"unregistered swarm member: {key}")
+        allowed = self._allowed_at.get(key, 0.0)
+        if now < allowed:
+            return AnnounceResult(retry_at=allowed)
+        self._allowed_at[key] = now + self.min_interval
+        entry = self._members[key]
+        entry.evasive = evasive
+        if kind == "peer":
+            try:
+                self._recent_peers.remove(key)
+            except ValueError:
+                pass
+            self._recent_peers.insert(0, key)
+            sample = self._sample("client")
+        else:
+            sample = self._sample_recent_peers()
+        return AnnounceResult(sample=sample, interval=self.announce_interval)
+
+    def _sample(self, kind: str) -> List[TrackerEntry]:
+        pool = [entry for entry in self._members.values() if entry.kind == kind]
+        if len(pool) <= self.numwant:
+            return list(pool)
+        return self.rng.sample(pool, self.numwant)
+
+    def _sample_recent_peers(self) -> List[TrackerEntry]:
+        """Up to ``numwant`` outside peers, biased to recent announcers:
+        the window holds the most recent ``recent_window`` announcers and
+        the sample is drawn from it, so a just-re-announced peer is far
+        more likely to reach a client than one announced long ago."""
+        window = [
+            self._members[key]
+            for key in self._recent_peers[: self.recent_window]
+        ]
+        if len(window) <= self.numwant:
+            return list(window)
+        return self.rng.sample(window, self.numwant)

@@ -236,6 +236,40 @@ class TestFieldModes:
         to_other_local_port = SocketPair(IPPROTO_UDP, REMOTE_ADDR, 6881, CLIENT_ADDR, 4001)
         assert not filt.lookup_inbound(to_other_local_port)
 
+    def test_hole_punch_rendezvous_admits_port_hopping_probes(self):
+        # The swarm plane's hole-punch rendezvous: one outbound probe from
+        # the client's listen port toward the peer, then inbound connects
+        # hopping across ephemeral source ports.  Under HOLE_PUNCHING
+        # every hop matches the single probe's mark.
+        filt = small_filter(field_mode=FieldMode.HOLE_PUNCHING)
+        probe = SocketPair(IPPROTO_TCP, CLIENT_ADDR, 6881, REMOTE_ADDR, 40001)
+        filt.mark_outbound(probe)
+        for hop in (40002, 51333, 1024, 65535):
+            inbound = SocketPair(IPPROTO_TCP, REMOTE_ADDR, hop, CLIENT_ADDR, 6881)
+            assert filt.lookup_inbound(inbound), hop
+
+    def test_strict_refuses_every_port_hop_but_the_probed_one(self):
+        # Same rendezvous against STRICT fields: only the exact probed
+        # remote port matches; every hop misses.
+        filt = small_filter(field_mode=FieldMode.STRICT)
+        probe = SocketPair(IPPROTO_TCP, CLIENT_ADDR, 6881, REMOTE_ADDR, 40001)
+        filt.mark_outbound(probe)
+        assert filt.lookup_inbound(probe.inverse)
+        for hop in (40002, 51333, 1024, 65535):
+            inbound = SocketPair(IPPROTO_TCP, REMOTE_ADDR, hop, CLIENT_ADDR, 6881)
+            assert not filt.lookup_inbound(inbound), hop
+
+    def test_hole_punch_door_survives_rotation_within_expiry(self):
+        # The asymmetric mark ages like any other: refreshed rotations
+        # within T_e keep the door open for hopping probes.
+        filt = small_filter(field_mode=FieldMode.HOLE_PUNCHING,
+                            vectors=4, rotate_interval=5.0)
+        probe = SocketPair(IPPROTO_TCP, CLIENT_ADDR, 6881, REMOTE_ADDR, 40001)
+        filt.mark_outbound(probe)
+        filt.rotate()
+        hop = SocketPair(IPPROTO_TCP, REMOTE_ADDR, 50999, CLIENT_ADDR, 6881)
+        assert filt.lookup_inbound(hop)
+
 
 class TestPenetration:
     def test_utilization_reported(self):

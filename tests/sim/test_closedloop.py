@@ -169,3 +169,58 @@ class TestPipelineIntegration:
         blocklist = result.replay.router.blocklist
         assert blocklist is not None
         assert len(blocklist) >= 1  # the refused σ is persisted
+
+
+class TestRefusalTimes:
+    def test_refusal_timestamps_surface(self):
+        sim = ClosedLoopSimulator(bitmap_filter())
+        specs = [spec(Initiator.REMOTE, start=float(i), sport=3000 + i)
+                 for i in range(4)]
+        result = sim.run(specs)
+        assert len(result.refusal_times) == result.connections_refused == 4
+        # One refusal per spec, at (or after) each spec's start, in order.
+        assert result.refusal_times == sorted(result.refusal_times)
+        for when, s in zip(result.refusal_times, specs):
+            assert when >= s.start
+
+    def test_no_refusals_no_times(self):
+        sim = ClosedLoopSimulator(AcceptAllFilter())
+        result = sim.run([spec(Initiator.REMOTE)])
+        assert result.refusal_times == []
+
+
+class TestRetryStreamSeeds:
+    """Regression for the additive retry-seed domain (seed + 1_000_000)."""
+
+    def test_retry_stream_is_nested_derive_seed(self):
+        from repro.core.hashing import derive_seed
+        from repro.sim.closedloop import retry_stream_seed
+
+        assert retry_stream_seed(7, 42, 1) == derive_seed(derive_seed(7, 42), 1)
+
+    def test_retry_stream_never_collides_with_primary_streams(self):
+        # The old scheme mapped retry ident i to primary stream i + 1e6 —
+        # a guaranteed collision once a workload held a million specs.
+        from repro.core.hashing import derive_seed
+        from repro.sim.closedloop import retry_stream_seed
+
+        seed = 7
+        primary = {derive_seed(seed, index) for index in range(1_000_000,
+                                                              1_000_100)}
+        retries = {retry_stream_seed(seed, ident, attempt)
+                   for ident in range(100) for attempt in (1, 2)}
+        assert not primary & retries
+
+    def test_zero_attempt_path_unchanged(self):
+        # attempts == 0 must keep the original derive_seed(seed, index)
+        # stream so non-retry runs are byte-identical to the seed replays.
+        import random as _random
+
+        from repro.core.hashing import derive_seed
+        from repro.workload.apps import connection_packets
+
+        s = spec(Initiator.CLIENT)
+        sim = ClosedLoopSimulator(AcceptAllFilter())
+        result = sim.run([s], seed=9)
+        expected = connection_packets(s, _random.Random(derive_seed(9, 0)))
+        assert result.packets_sent == len(expected)

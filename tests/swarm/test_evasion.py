@@ -1,0 +1,72 @@
+"""Tests for the evasion policy and its deterministic tactic cycle."""
+
+import pytest
+
+from repro.swarm.evasion import (
+    ALL_TACTICS,
+    EvasionPolicy,
+    TACTIC_CHURN,
+    TACTIC_CYCLE,
+    TACTIC_HOLE_PUNCH,
+    TACTIC_INITIAL,
+    TACTIC_PEX,
+    TACTIC_PORT_HOP,
+    TACTIC_REANNOUNCE,
+)
+
+
+class TestPolicy:
+    def test_defaults_enable_everything(self):
+        policy = EvasionPolicy()
+        assert policy.any_enabled
+        assert policy.enabled_tactics() == list(TACTIC_CYCLE)
+
+    def test_off_disables_everything(self):
+        policy = EvasionPolicy.off()
+        assert not policy.any_enabled
+        assert policy.enabled_tactics() == []
+        assert policy.max_attempts == 0
+
+    def test_tactic_cycle_is_deterministic(self):
+        policy = EvasionPolicy()
+        first_pass = [policy.tactic_for(i) for i in range(len(TACTIC_CYCLE))]
+        assert first_pass == list(TACTIC_CYCLE)
+        # The cycle wraps.
+        assert policy.tactic_for(len(TACTIC_CYCLE)) == TACTIC_CYCLE[0]
+
+    def test_disabled_tactics_skipped(self):
+        policy = EvasionPolicy(reannounce=False, hole_punch=False)
+        assert policy.enabled_tactics() == [
+            TACTIC_PORT_HOP, TACTIC_PEX, TACTIC_CHURN,
+        ]
+        assert policy.tactic_for(1) == TACTIC_PEX
+
+    def test_no_tactics_raises(self):
+        with pytest.raises(ValueError):
+            EvasionPolicy.off().tactic_for(0)
+
+    def test_backoff_grows_geometrically(self):
+        policy = EvasionPolicy(retry_backoff=2.0, backoff_factor=1.5)
+        assert policy.backoff_for(0) == 2.0
+        assert policy.backoff_for(1) == 3.0
+        assert policy.backoff_for(2) == pytest.approx(4.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EvasionPolicy(retry_backoff=0.0)
+        with pytest.raises(ValueError):
+            EvasionPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            EvasionPolicy(max_attempts=-1)
+        with pytest.raises(ValueError):
+            EvasionPolicy(hole_punch_delay=0.0)
+
+    def test_all_tactics_covers_cycle_plus_initial(self):
+        assert ALL_TACTICS[0] == TACTIC_INITIAL
+        assert set(TACTIC_CYCLE) < set(ALL_TACTICS)
+        assert TACTIC_REANNOUNCE in ALL_TACTICS
+
+    def test_as_dict_round_trips(self):
+        policy = EvasionPolicy(port_hop=False, max_attempts=3)
+        rebuilt = EvasionPolicy(**policy.as_dict())
+        assert rebuilt.as_dict() == policy.as_dict()

@@ -1,0 +1,145 @@
+"""Tests for swarm participants: rate measurement, choker, peer state."""
+
+import random
+
+import pytest
+
+from repro.swarm.peers import ClientPeer, PeerLink, RateMeasure, SwarmPeer
+from repro.workload.topology import HostModel
+
+from tests.conftest import CLIENT_ADDR, REMOTE_ADDR
+
+
+def make_client(index=0, slots=3, optimistic_rounds=3):
+    rng = random.Random(42 + index)
+    host = HostModel(CLIENT_ADDR + index, rng)
+    return ClientPeer(index, host, 6881, rng, unchoke_slots=slots,
+                      optimistic_rounds=optimistic_rounds)
+
+
+def make_peer(index=0):
+    return SwarmPeer(index, REMOTE_ADDR + index, 6881, random.Random(7 + index))
+
+
+def make_link(link_id, client, peer, now=0.0):
+    return PeerLink(link_id, client, peer, "initial", now,
+                    random.Random(link_id))
+
+
+class TestRateMeasure:
+    def test_zero_before_any_update(self):
+        assert RateMeasure().rate(10.0) == 0.0
+
+    def test_measures_transfer_rate(self):
+        measure = RateMeasure()
+        for second in range(10):
+            measure.update(float(second), 1000)
+        assert measure.rate(9.0) == pytest.approx(1000.0, rel=0.15)
+
+    def test_idle_link_decays(self):
+        measure = RateMeasure(max_rate_period=20.0)
+        measure.update(0.0, 50_000)
+        busy = measure.rate(1.0)
+        assert measure.rate(100.0) < busy / 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateMeasure(max_rate_period=0.0)
+
+
+class TestSwarmPeer:
+    def test_next_port_never_repeats(self):
+        peer = make_peer()
+        ports = [peer.next_port() for _ in range(5000)]
+        assert len(set(ports)) == len(ports)
+        assert all(1024 <= port <= 65535 for port in ports)
+
+    def test_learn_and_candidates(self):
+        peer = make_peer()
+        assert peer.learn(2)
+        assert peer.learn(0)
+        assert not peer.learn(2)  # already known
+        assert peer.candidate_targets() == [2, 0]  # learned order
+
+    def test_candidates_exclude_busy_and_abandoned(self):
+        peer = make_peer()
+        for index in range(4):
+            peer.learn(index)
+        peer.in_flight[0] = True
+        peer.abandoned[1] = True
+        client = make_client(2)
+        peer.links[2] = make_link(1, client, peer)
+        assert peer.candidate_targets() == [3]
+
+    def test_penetrated_only_by_inbound_links(self):
+        peer = make_peer()
+        client = make_client()
+        outbound = PeerLink(1, client, peer, "initial", 0.0,
+                            random.Random(1), outbound=True)
+        peer.links[0] = outbound
+        assert not peer.penetrated
+        peer.links[1] = make_link(2, client, peer)
+        assert peer.penetrated
+
+    def test_penetration_is_sticky_across_churn(self):
+        peer = make_peer()
+        peer.links[0] = make_link(1, make_client(), peer)
+        peer.was_penetrated = True
+        peer.links.clear()  # the link churned away
+        assert peer.penetrated
+
+
+class TestChoker:
+    def test_unchokes_at_most_slots(self):
+        client = make_client(slots=3)
+        peer = make_peer()
+        for link_id in range(6):
+            client.add_link(make_link(link_id, client, peer))
+        client.rechoke(10.0)
+        assert sum(link.unchoked for link in client.links.values()) <= 3
+
+    def test_fastest_links_win_regular_slots(self):
+        client = make_client(slots=3)
+        peer = make_peer()
+        links = [make_link(link_id, client, peer) for link_id in range(5)]
+        for link in links:
+            client.add_link(link)
+        links[4].measure.update(9.0, 500_000)
+        links[2].measure.update(9.0, 300_000)
+        client.rechoke(10.0)
+        assert links[4].unchoked and links[2].unchoked
+
+    def test_optimistic_rotates_on_schedule(self):
+        client = make_client(slots=2, optimistic_rounds=2)
+        peer = make_peer()
+        for link_id in range(8):
+            client.add_link(make_link(link_id, client, peer))
+        picks = []
+        for tick in range(8):
+            client.rechoke(float(tick))
+            picks.append(client.optimistic.link_id
+                         if client.optimistic else None)
+        assert len(set(picks)) > 1  # the slot rotated at least once
+
+    def test_returns_newly_unchoked_only(self):
+        client = make_client(slots=2)
+        peer = make_peer()
+        link = make_link(1, client, peer)
+        client.add_link(link)
+        first = client.rechoke(1.0)
+        assert link in first
+        again = client.rechoke(2.0)
+        assert link not in again  # already unchoked, not "newly"
+
+    def test_no_links_no_unchokes(self):
+        client = make_client()
+        assert client.rechoke(1.0) == []
+        assert client.optimistic is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_client(slots=0)
+        rng = random.Random(1)
+        with pytest.raises(ValueError):
+            ClientPeer(0, HostModel(CLIENT_ADDR, rng), 6881, rng,
+                       optimistic_rounds=0)

@@ -1,0 +1,83 @@
+"""Tests for the retune loop: appliers, probing, recovery criterion."""
+
+import pytest
+
+from repro.core.autotune import TargetRateController
+from repro.core.dropper import StaticDropPolicy
+from repro.filters.policy import DropController
+from repro.swarm.retune import ControlApplier, DirectApplier, RetuneLoop
+
+
+def make_loop(applier=None, target_bps=1_000_000.0, **kwargs):
+    controller = TargetRateController(target_bps, gain=0.5)
+    if applier is None:
+        applier = DirectApplier(DropController(StaticDropPolicy(0.0)))
+    return RetuneLoop(controller, applier, **kwargs)
+
+
+class TestDirectApplier:
+    def test_mutates_the_static_policy(self):
+        drop_controller = DropController(StaticDropPolicy(0.0))
+        DirectApplier(drop_controller).apply(0.7)
+        assert drop_controller.policy._probability == 0.7
+
+    def test_rejects_non_static_policies(self):
+        red = DropController.red_mbps(low_mbps=1.0, high_mbps=2.0)
+        with pytest.raises(ValueError):
+            DirectApplier(red)
+
+
+class TestControlApplier:
+    def test_sends_probability_config(self):
+        sent = []
+
+        class FakeClient:
+            def configure(self, **params):
+                sent.append(params)
+
+        ControlApplier(FakeClient()).apply(0.4)
+        assert sent == [{"probability": 0.4}]
+
+
+class TestProbe:
+    def test_probe_applies_and_logs(self):
+        drop_controller = DropController(StaticDropPolicy(0.0))
+        loop = make_loop(DirectApplier(drop_controller))
+        probability = loop.probe(5.0, measured_bps=3_000_000.0)
+        assert probability > 0.0
+        assert drop_controller.policy._probability == probability
+        assert loop.log == [(5.0, 3_000_000.0, probability)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_loop(interval=0.0)
+        with pytest.raises(ValueError):
+            make_loop(tolerance=-0.1)
+        with pytest.raises(ValueError):
+            make_loop(hold=0)
+
+
+class TestRecoveryTime:
+    def test_none_without_onset(self):
+        assert make_loop().recovery_time(None) is None
+
+    def test_recovery_needs_hold_consecutive_probes(self):
+        loop = make_loop(tolerance=0.1, hold=2)
+        # target 1 Mbps, bound 1.1 Mbps.  Over at 10/15, dips at 20,
+        # bounces at 25 (run resets), recovers for good at 30.
+        for when, measured in ((10.0, 2e6), (15.0, 1.5e6), (20.0, 1.0e6),
+                               (25.0, 1.4e6), (30.0, 0.9e6), (35.0, 0.8e6)):
+            loop.log.append((when, measured, 0.5))
+        assert loop.recovery_time(onset=10.0) == pytest.approx(20.0)
+
+    def test_never_recovered_is_none(self):
+        loop = make_loop(hold=2)
+        loop.log.extend([(10.0, 5e6, 1.0), (15.0, 4e6, 1.0)])
+        assert loop.recovery_time(onset=5.0) is None
+
+    def test_probes_before_onset_ignored(self):
+        loop = make_loop(tolerance=0.1, hold=1)
+        loop.log.extend([(5.0, 0.5e6, 0.0),   # calm before the storm
+                         (10.0, 3e6, 0.8),    # onset-era overload
+                         (15.0, 0.9e6, 0.8)])
+        assert loop.recovery_time(onset=8.0) == pytest.approx(7.0)

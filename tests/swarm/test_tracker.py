@@ -1,0 +1,110 @@
+"""Tests for the deterministic tracker: back-off, recency, samples."""
+
+import random
+
+import pytest
+
+from repro.swarm.tracker import AnnounceResult, Tracker, TrackerEntry
+
+from tests.conftest import CLIENT_ADDR, REMOTE_ADDR
+
+
+def make_tracker(clients=3, peers=5, **kwargs):
+    tracker = Tracker(random.Random(11), **kwargs)
+    for index in range(clients):
+        tracker.register(TrackerEntry("client", index, CLIENT_ADDR + index, 6881))
+    for index in range(peers):
+        tracker.register(TrackerEntry("peer", index, REMOTE_ADDR + index, 6881))
+    return tracker
+
+
+class TestAnnounce:
+    def test_peer_announce_samples_clients(self):
+        tracker = make_tracker()
+        outcome = tracker.announce("peer", 0, now=1.0)
+        assert outcome.accepted
+        assert {entry.kind for entry in outcome.sample} == {"client"}
+        assert outcome.interval == tracker.announce_interval
+
+    def test_client_announce_samples_peers(self):
+        tracker = make_tracker()
+        outcome = tracker.announce("client", 0, now=1.0)
+        assert outcome.accepted
+        assert {entry.kind for entry in outcome.sample} == {"peer"}
+
+    def test_unregistered_member_raises(self):
+        with pytest.raises(KeyError):
+            make_tracker().announce("peer", 99, now=1.0)
+
+    def test_sample_respects_numwant(self):
+        tracker = make_tracker(peers=20, numwant=4)
+        outcome = tracker.announce("client", 0, now=1.0)
+        assert len(outcome.sample) == 4
+
+
+class TestBackoff:
+    def test_early_reannounce_refused_with_retry_at(self):
+        tracker = make_tracker(min_interval=10.0)
+        assert tracker.announce("peer", 0, now=5.0).accepted
+        retry = tracker.announce("peer", 0, now=8.0)
+        assert not retry.accepted
+        assert retry.retry_at == 15.0
+        assert retry.sample is None
+
+    def test_reannounce_allowed_after_backoff(self):
+        tracker = make_tracker(min_interval=10.0)
+        tracker.announce("peer", 0, now=5.0)
+        assert tracker.announce("peer", 0, now=15.0).accepted
+
+    def test_backoff_is_per_actor(self):
+        tracker = make_tracker(min_interval=10.0)
+        tracker.announce("peer", 0, now=5.0)
+        assert tracker.announce("peer", 1, now=6.0).accepted
+
+    def test_earliest_announce_tracks_allowance(self):
+        tracker = make_tracker(min_interval=10.0)
+        assert tracker.earliest_announce("peer", 0) == 0.0
+        tracker.announce("peer", 0, now=3.0)
+        assert tracker.earliest_announce("peer", 0) == 13.0
+
+
+class TestRecency:
+    def test_reannounced_peer_moves_to_front(self):
+        tracker = make_tracker(peers=40, numwant=8, recent_window=8)
+        for index in range(40):
+            tracker.announce("peer", index, now=float(index))
+        # Peer 0 announced first (stale); a re-announce makes it current.
+        outcome = tracker.announce("peer", 0, now=100.0, evasive=True)
+        assert outcome.accepted
+        sample = tracker.announce("client", 0, now=101.0).sample
+        indices = {entry.index for entry in sample}
+        assert 0 in indices  # front of the recency window: always sampled
+
+    def test_evasive_flag_recorded(self):
+        tracker = make_tracker()
+        tracker.announce("peer", 2, now=1.0, evasive=True)
+        sample = tracker.announce("client", 0, now=2.0).sample
+        flagged = {entry.index: entry.evasive for entry in sample}
+        assert flagged.get(2) is True
+
+    def test_stale_peers_age_out_of_window(self):
+        tracker = make_tracker(peers=40, numwant=8, recent_window=8)
+        for index in range(40):
+            tracker.announce("peer", index, now=float(index))
+        sample = tracker.announce("client", 0, now=50.0).sample
+        # Only the 8 most recent announcers (32..39) are in the window.
+        assert {entry.index for entry in sample} <= set(range(32, 40))
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            Tracker(random.Random(0), min_interval=0.0)
+        with pytest.raises(ValueError):
+            Tracker(random.Random(0), min_interval=30.0, announce_interval=10.0)
+        with pytest.raises(ValueError):
+            Tracker(random.Random(0), numwant=0)
+
+    def test_announce_result_accepted_property(self):
+        assert AnnounceResult(sample=[]).accepted
+        assert not AnnounceResult(retry_at=5.0).accepted

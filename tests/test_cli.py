@@ -138,6 +138,43 @@ class TestPlan:
             main(["plan", "--connections", "1000", "--expiry", "400"])
 
 
+class TestSwarm:
+    ARGS = ["swarm", "--peers", "4", "--clients", "2", "--duration", "30",
+            "--seed", "7"]
+
+    def test_runs_and_reports(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "penetration probability" in out
+        assert "evasion=on" in out
+        assert "fingerprint" in out
+
+    def test_json_output_is_deterministic(self, tmp_path, capsys):
+        import json
+
+        paths = [str(tmp_path / name) for name in ("a.json", "b.json")]
+        for path in paths:
+            assert main(self.ARGS + ["--json", path]) == 0
+        first, second = (open(path).read() for path in paths)
+        assert first == second
+        payload = json.loads(first)
+        assert payload["attempts"]["total"] > 0
+
+    def test_no_evasion_flag(self, capsys):
+        assert main(self.ARGS + ["--no-evasion"]) == 0
+        assert "evasion=off" in capsys.readouterr().out
+
+    def test_retune_direct(self, capsys):
+        assert main(self.ARGS + ["--pd", "0", "--retune-mbps", "0.5"]) == 0
+        assert "retune (direct)" in capsys.readouterr().out
+
+    def test_filter_kinds_parse(self):
+        parser = build_parser()
+        for kind in ("bitmap", "counting", "spi", "chain"):
+            args = parser.parse_args(["swarm", "--filter", kind])
+            assert args.filter_name == kind
+
+
 class TestFigures:
     def test_figures_from_pcap(self, trace_path, capsys):
         assert main(["figures", trace_path]) == 0
